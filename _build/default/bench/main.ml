@@ -1,0 +1,288 @@
+(* Reproduction harness: regenerates every "result" the paper reports
+   (its evaluation is Figure 1 plus worked examples and decision
+   procedures), then times the library's algorithms with Bechamel.
+
+   Run with: dune exec bench/main.exe
+   (pass --tables-only to skip the timing runs) *)
+
+open Omega
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+let fm s = Of_formula.of_string pq s
+
+let header title =
+  Format.printf "@.=== %s ===@." title
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the inclusion diagram as a membership matrix               *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header "Figure 1 — inclusion relations between the classes";
+  Format.printf
+    "(one canonical property per class; cells: is the property in the \
+     column's class?)@.@.";
+  let witnesses =
+    [
+      ("safety:      A(a^+ b*)", Build.a_re ab "a^+ b*");
+      ("guarantee:   E(.* b a)", Build.e_re ab ".* b a");
+      ("obligation:  a^w + <>bb",
+       Automaton.union (Build.a_re ab "a^*") (Build.e_re ab ".* b b"));
+      ("recurrence:  R(.* b)", Build.r_re ab ".* b");
+      ("persistence: P(.* b)", Build.p_re ab ".* b");
+      ("reactivity:  []<>p | <>[]q", fm "[]<> p | <>[] q");
+    ]
+  in
+  Format.printf "%-30s %6s %6s %6s %6s %6s %6s@." "" "Saf" "Gua" "Obl1"
+    "Rec" "Per" "Rea1";
+  List.iter
+    (fun (name, a) ->
+      let row = List.map snd (Classify.memberships a) in
+      Format.printf "%-30s" name;
+      List.iter (fun b -> Format.printf " %6s" (if b then "yes" else "-")) row;
+      Format.printf "@.")
+    witnesses;
+  Format.printf
+    "@.Each row is strictly higher than the previous ones — the paper's \
+     strict inclusion diagram.@."
+
+(* ------------------------------------------------------------------ *)
+(* E1: the four operators on the paper's examples                       *)
+(* ------------------------------------------------------------------ *)
+
+let operators () =
+  header "E1 — the operators A, E, R, P (section 2 examples)";
+  let l = Finitary.Word.lasso_of_string ab in
+  let show name a members non_members =
+    Format.printf "%-12s in: %s   out: %s@." name
+      (String.concat " "
+         (List.map
+            (fun w ->
+              assert (Automaton.accepts a (l w));
+              w)
+            members))
+      (String.concat " "
+         (List.map
+            (fun w ->
+              assert (not (Automaton.accepts a (l w)));
+              w)
+            non_members))
+  in
+  show "A(a^+ b*)" (Build.a_re ab "a^+ b*") [ "(a)"; "aa(b)" ] [ "(b)"; "ab(a)" ];
+  show "E(a^+ b*)" (Build.e_re ab "a^+ b*") [ "a(ba)" ] [ "(ba)" ];
+  show "R(.* b)" (Build.r_re ab ".* b") [ "(ab)"; "(b)" ] [ "bb(a)" ];
+  show "P(.* b)" (Build.p_re ab ".* b") [ "a(b)" ] [ "(ab)" ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: the paper's temporal equivalences                                *)
+(* ------------------------------------------------------------------ *)
+
+let equivalences () =
+  header "E9 — section 4 equivalences, machine-checked";
+  let pqr = Finitary.Alphabet.of_props [ "p"; "q"; "r" ] in
+  let pairs =
+    [
+      ("[] p & [] q", "[] (p & q)");
+      ("[] p | [] q", "[] (H p | H q)");
+      ("<> p & <> q", "<> (O p & O q)");
+      ("p -> [] q", "[] (O (p & first) -> q)");
+      ("p -> <> q", "<> (O (first & p) -> q)");
+      ("[] (p -> <> q)", "[]<> ((!p) B q)");
+      ("[]<> p & []<> q", "[]<> (q & Y ((!q) S p))");
+      ("<>[] p | <>[] q", "<>[] (q | Y (p S (p & !q)))");
+      ("[] (p -> <>[] q)", "<>[] (O p -> q)");
+      ("[] p", "[]<> (H p)");
+      ("<> p", "<>[] (O p)");
+      ("[]<> r -> []<> p", "[]<> p | <>[] !r");
+    ]
+  in
+  let ok = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      let yes =
+        Logic.Tableau.equiv pqr (Logic.Parser.parse a) (Logic.Parser.parse b)
+      in
+      if yes then incr ok;
+      Format.printf "  %-24s ~ %-32s %s@." a b (if yes then "ok" else "FAIL"))
+    pairs;
+  Format.printf "%d/%d verified@." !ok (List.length pairs)
+
+(* ------------------------------------------------------------------ *)
+(* E10: the responsiveness ladder                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ladder () =
+  header "E10 — the responsiveness ladder (section 4 summary)";
+  List.iter
+    (fun s ->
+      match Hierarchy.Property.analyze_string pq s with
+      | Some r ->
+          Format.printf "  %-28s -> %-18s (Borel %s)@." s
+            (Kappa.name r.semantic)
+            (Kappa.borel_name r.semantic)
+      | None -> Format.printf "  %-28s -> (not translatable)@." s)
+    [
+      "p -> <> q";
+      "<> p -> <> (q & O p)";
+      "[] (p -> <> q)";
+      "p -> <>[] q";
+      "[]<> p -> []<> q";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: decision procedures (section 5.1)                               *)
+(* ------------------------------------------------------------------ *)
+
+let staircase k =
+  let alpha =
+    Finitary.Alphabet.of_names (List.init ((2 * k) + 1) (Printf.sprintf "l%d"))
+  in
+  let n = (2 * k) + 1 in
+  let delta = Array.init n (fun _ -> Array.init n Fun.id) in
+  let rec acc_for hi =
+    if hi < 0 then Acceptance.False
+    else
+      let top = Iset.singleton hi in
+      if hi mod 2 = 0 then Acceptance.Or [ Acceptance.Inf top; acc_for (hi - 1) ]
+      else Acceptance.And [ Acceptance.Fin top; acc_for (hi - 1) ]
+  in
+  Automaton.make ~alpha ~n ~start:0 ~delta ~acc:(acc_for (n - 1))
+
+let decisions () =
+  header "E12 — deciding the class of a given automaton (section 5.1)";
+  let a4 = Finitary.Alphabet.of_props [ "p"; "q"; "r"; "s" ] in
+  let cases =
+    [
+      ("A(a^+ b*)", Build.a_re ab "a^+ b*");
+      ("E(.* b a)", Build.e_re ab ".* b a");
+      ("R(.* b)", Build.r_re ab ".* b");
+      ("P(.* b)", Build.p_re ab ".* b");
+      ("[](p -> <>q)", fm "[] (p -> <> q)");
+      ("[]p & <>q", fm "[] p & <> q");
+      ("2-pair reactivity",
+       Of_formula.of_string a4 "([]<> p | <>[] q) & ([]<> r | <>[] s)");
+      ("Wagner staircase k=3", staircase 3);
+      ("b at an even position", Build.e_re ab "(. .)* b");
+    ]
+  in
+  Format.printf "%-26s %-18s %5s %9s %8s@." "automaton" "class" "rank"
+    "obl.deg" "ctr-free";
+  List.iter
+    (fun (name, a) ->
+      Format.printf "%-26s %-18s %5d %9s %8b@." name
+        (Kappa.name (Classify.classify a))
+        (Classify.reactivity_rank a)
+        (match Classify.obligation_degree a with
+        | Some d -> string_of_int d
+        | None -> "-")
+        (Counter_free.is_counter_free a))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* E14: verification of reactive programs                               *)
+(* ------------------------------------------------------------------ *)
+
+let programs () =
+  header "E14 — mutual exclusion and fairness over real programs";
+  let verdict sys s =
+    match Fts.Check.holds_s sys s with
+    | Fts.Check.Holds -> "holds"
+    | Fts.Check.Fails _ -> "FAILS"
+  in
+  let pet = Fts.Models.peterson () in
+  Format.printf "  Peterson (%d states):@." (Fts.System.n_reachable pet);
+  List.iter
+    (fun s -> Format.printf "    %-34s %s@." s (verdict pet s))
+    [ "[] !(pc1=2 & pc2=2)"; "[] (pc1=1 -> <> pc1=2)"; "[] (pc1=2 -> O pc1=1)" ];
+  let naive = Fts.Models.mutex_do_nothing () in
+  Format.printf "  Do-nothing protocol:@.";
+  List.iter
+    (fun s -> Format.printf "    %-34s %s@." s (verdict naive s))
+    [ "[] !(pc1=2 & pc2=2)"; "[] (pc1=1 -> <> pc1=2)" ];
+  Format.printf "  Allocator:@.";
+  Format.printf "    %-34s %s@." "weak fairness: accessibility"
+    (verdict (Fts.Models.allocator ~strong:false ()) "[] (c1=1 -> <> c1=2)");
+  Format.printf "    %-34s %s@." "strong fairness: accessibility"
+    (verdict (Fts.Models.allocator ~strong:true ()) "[] (c1=1 -> <> c1=2)")
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benches                                              *)
+(* ------------------------------------------------------------------ *)
+
+let benches () =
+  let open Bechamel in
+  let open Toolkit in
+  header "Timing benches (Bechamel; ns per run, OLS estimate)";
+  let resp = fm "[] (p -> <> q)" in
+  let lasso =
+    let l n = Finitary.Alphabet.letter_of_name pq n in
+    Finitary.Word.lasso ~prefix:[| l "{p}" |] ~cycle:[| l "{q}"; l "{}" |]
+  in
+  let phi1 = Finitary.Regex.compile ab ".* b"
+  and phi2 = Finitary.Regex.compile ab ".* a" in
+  let pet = Fts.Models.peterson () in
+  let respf = Logic.Parser.parse "[] (p -> <> q)" in
+  let tests =
+    [
+      Test.make ~name:"classify: response formula automaton"
+        (Staged.stage (fun () -> Classify.classify resp));
+      Test.make ~name:"classify: staircase k=2"
+        (Staged.stage (fun () -> Classify.classify (staircase 2)));
+      Test.make ~name:"classify: staircase k=4"
+        (Staged.stage (fun () -> Classify.classify (staircase 4)));
+      Test.make ~name:"translate: [](p -> <>q) to automaton"
+        (Staged.stage (fun () -> Of_formula.translate pq respf));
+      Test.make ~name:"tableau: satisfiability of response"
+        (Staged.stage (fun () -> Logic.Tableau.satisfiable pq respf));
+      Test.make ~name:"minex product"
+        (Staged.stage (fun () -> Finitary.Lang_ops.minex phi1 phi2));
+      Test.make ~name:"omega product + emptiness"
+        (Staged.stage (fun () ->
+             Lang.nonempty (Automaton.inter (Build.r phi1) (Build.r phi2))));
+      Test.make ~name:"language equality (safety closure check)"
+        (Staged.stage (fun () -> Classify.is_safety resp));
+      Test.make ~name:"lasso semantics of response"
+        (Staged.stage (fun () -> Logic.Semantics.holds pq respf lasso));
+      Test.make ~name:"model check Peterson accessibility"
+        (Staged.stage (fun () ->
+             Fts.Check.holds_s pet "[] (pc1=1 -> <> pc1=2)"));
+      Test.make ~name:"counter-freedom of R(.* b)"
+        (Staged.stage (fun () ->
+             Counter_free.is_counter_free (Build.r phi1)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let grouped = Test.make_grouped ~name:"hierarchy" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
+        | Some _ | None -> "(no estimate)"
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Format.printf "  %-52s %s@." name est)
+    (List.sort compare !rows)
+
+let () =
+  let tables_only =
+    Array.exists (fun a -> a = "--tables-only") Sys.argv
+  in
+  fig1 ();
+  operators ();
+  equivalences ();
+  ladder ();
+  decisions ();
+  programs ();
+  if not tables_only then benches ();
+  Format.printf "@.done.@."

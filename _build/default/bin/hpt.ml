@@ -1,0 +1,172 @@
+(* hpt — the Hierarchy of temporal ProperTies, on the command line.
+
+   Subcommands: classify, lint, equiv, witness, views. *)
+
+open Cmdliner
+
+let props_arg =
+  let doc = "Comma-separated atomic propositions forming the alphabet." in
+  Arg.(value & opt (some string) None & info [ "props"; "p" ] ~docv:"P,Q,..." ~doc)
+
+let chars_arg =
+  let doc = "Symbolic alphabet given as characters (e.g. 'ab')." in
+  Arg.(value & opt (some string) None & info [ "chars"; "c" ] ~docv:"CHARS" ~doc)
+
+let alphabet_of props chars formulas =
+  match (props, chars) with
+  | Some p, None ->
+      Finitary.Alphabet.of_props (String.split_on_char ',' p)
+  | None, Some c -> Finitary.Alphabet.of_chars c
+  | Some _, Some _ -> invalid_arg "give either --props or --chars, not both"
+  | None, None ->
+      (* infer from the formulas' atoms *)
+      let atoms =
+        List.sort_uniq compare (List.concat_map Logic.Formula.atoms formulas)
+      in
+      if atoms = [] then invalid_arg "empty alphabet: give --props or --chars";
+      Finitary.Alphabet.of_props atoms
+
+let formula_arg =
+  let doc = "Temporal formula, e.g. '[] (p -> <> q)'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+
+let wrap f = try f () with Invalid_argument m | Failure m ->
+  Fmt.epr "error: %s@." m;
+  exit 1
+
+(* ---------------- classify ---------------- *)
+
+let classify_cmd =
+  let run props chars formula_s =
+    wrap @@ fun () ->
+    let f = Logic.Parser.parse formula_s in
+    let alpha = alphabet_of props chars [ f ] in
+    match Hierarchy.Property.analyze_formula alpha f with
+    | Some r ->
+        Fmt.pr "%s@.%a@." formula_s Hierarchy.Property.pp_report r
+    | None ->
+        Fmt.pr
+          "%s@.outside the canonical fragment (no deterministic translation); \
+           syntactic class: %s@."
+          formula_s
+          (match Logic.Rewrite.classify f with
+          | Some k -> Kappa.name k
+          | None -> "unknown")
+  in
+  let info =
+    Cmd.info "classify"
+      ~doc:"Locate a temporal formula in the safety-progress hierarchy"
+  in
+  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg)
+
+(* ---------------- views ---------------- *)
+
+let views_cmd =
+  let run props chars formula_s =
+    wrap @@ fun () ->
+    let f = Logic.Parser.parse formula_s in
+    let alpha = alphabet_of props chars [ f ] in
+    match Logic.Rewrite.to_canon f with
+    | None -> Fmt.pr "outside the canonical fragment@."
+    | Some canon ->
+        let a = Omega.Of_formula.of_canon alpha canon in
+        Fmt.pr "@[<v>formula      : %s@," formula_s;
+        Fmt.pr "canonical    : %a@," Logic.Rewrite.pp canon;
+        Fmt.pr "automaton    :@,%a@," Omega.Automaton.pp a;
+        let sa, li = Hierarchy.Property.safety_liveness_decomposition a in
+        Fmt.pr "safety part  : %d states; liveness part: %d states@,"
+          sa.Omega.Automaton.n li.Omega.Automaton.n;
+        (match Omega.Lang.witness a with
+        | Some w ->
+            Fmt.pr "a model      : %a@," (Finitary.Word.pp_lasso alpha) w
+        | None -> Fmt.pr "a model      : (language empty)@,");
+        Fmt.pr "@]"
+  in
+  let info =
+    Cmd.info "views" ~doc:"Show a formula in all views of the hierarchy"
+  in
+  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg)
+
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let specs_arg =
+    let doc = "Requirement of the form NAME=FORMULA (repeatable)." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME=FORMULA" ~doc)
+  in
+  let run specs =
+    wrap @@ fun () ->
+    let parse spec =
+      match String.index_opt spec '=' with
+      | Some i ->
+          ( String.sub spec 0 i,
+            String.sub spec (i + 1) (String.length spec - i - 1) )
+      | None -> invalid_arg (spec ^ ": expected NAME=FORMULA")
+    in
+    let v = Hierarchy.Lint.lint_strings (List.map parse specs) in
+    Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Classify each requirement of a specification and warn about \
+         underspecification"
+  in
+  Cmd.v info Term.(const run $ specs_arg)
+
+(* ---------------- equiv ---------------- *)
+
+let equiv_cmd =
+  let f2_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FORMULA2")
+  in
+  let run props chars f1s f2s =
+    wrap @@ fun () ->
+    let f1 = Logic.Parser.parse f1s and f2 = Logic.Parser.parse f2s in
+    let alpha = alphabet_of props chars [ f1; f2 ] in
+    if Logic.Tableau.equiv alpha f1 f2 then Fmt.pr "equivalent@."
+    else begin
+      Fmt.pr "not equivalent@.";
+      let w =
+        match Logic.Tableau.witness alpha (Logic.Formula.And (f1, Logic.Formula.Not f2)) with
+        | Some w -> Some (w, "satisfies the first only")
+        | None -> (
+            match
+              Logic.Tableau.witness alpha (Logic.Formula.And (f2, Logic.Formula.Not f1))
+            with
+            | Some w -> Some (w, "satisfies the second only")
+            | None -> None)
+      in
+      match w with
+      | Some (w, side) ->
+          Fmt.pr "witness: %a (%s)@." (Finitary.Word.pp_lasso alpha) w side
+      | None -> ()
+    end
+  in
+  let info =
+    Cmd.info "equiv" ~doc:"Decide equivalence of two temporal formulas"
+  in
+  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg $ f2_arg)
+
+(* ---------------- witness ---------------- *)
+
+let witness_cmd =
+  let run props chars fs =
+    wrap @@ fun () ->
+    let f = Logic.Parser.parse fs in
+    let alpha = alphabet_of props chars [ f ] in
+    match Logic.Tableau.witness alpha f with
+    | Some w -> Fmt.pr "%a@." (Finitary.Word.pp_lasso alpha) w
+    | None -> Fmt.pr "unsatisfiable@."
+  in
+  let info = Cmd.info "witness" ~doc:"Produce a model of a temporal formula" in
+  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg)
+
+let main =
+  let info =
+    Cmd.info "hpt" ~version:"1.0.0"
+      ~doc:"The Manna-Pnueli hierarchy of temporal properties"
+  in
+  Cmd.group info [ classify_cmd; views_cmd; lint_cmd; equiv_cmd; witness_cmd ]
+
+let () = exit (Cmd.eval main)

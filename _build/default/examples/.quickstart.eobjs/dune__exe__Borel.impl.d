@@ -1,0 +1,1 @@
+examples/borel.ml: Array Finitary Format Hierarchy List Omega

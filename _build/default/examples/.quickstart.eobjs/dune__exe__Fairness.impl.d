@@ -1,0 +1,1 @@
+examples/fairness.ml: Finitary Format Fts Hierarchy Kappa List

@@ -1,0 +1,1 @@
+examples/mutex.ml: Array Format Fts Hierarchy

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Finitary Format Hierarchy Kappa List Logic Omega

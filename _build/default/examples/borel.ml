@@ -1,0 +1,90 @@
+(* The topological view (section 3): the hierarchy's classes are the
+   first levels of the Borel hierarchy over Sigma^omega.
+
+   Run with: dune exec examples/borel.exe *)
+
+let () =
+  let ab = Finitary.Alphabet.of_chars "ab" in
+  let l = Finitary.Word.lasso_of_string ab in
+
+  Format.printf "== The metric space of infinite words ==@.";
+  let mu = Hierarchy.Topology.distance in
+  Format.printf "  mu(a^w, aab^w)        = %g@." (mu (l "(a)") (l "aa(b)"));
+  Format.printf "  mu(ab^w, (ab)^w)      = %g@." (mu (l "a(b)") (l "(ab)"));
+  Format.printf "  mu((ab)^w, ab(ab)^w)  = %g  (same word, two spellings)@."
+    (mu (l "(ab)") (l "ab(ab)"));
+
+  Format.printf "@.== Convergence: a^k b^w -> a^w ==@.";
+  let target = Omega.Build.a_re ab "a^+ b*" in
+  (* the safety language A of "a^+ b-star" contains each a^k b^w and their limit a^w *)
+  List.iter
+    (fun k ->
+      let w =
+        Finitary.Word.lasso
+          ~prefix:(Array.make k (Finitary.Alphabet.letter_of_name ab "a"))
+          ~cycle:[| Finitary.Alphabet.letter_of_name ab "b" |]
+      in
+      Format.printf "  mu(a^%d b^w, a^w) = %g@." k (mu w (l "(a)")))
+    [ 1; 3; 6; 10 ];
+  Format.printf "  the limit a^w is in the (closed) safety language: %b@."
+    (Omega.Automaton.accepts target (l "(a)"));
+
+  Format.printf "@.== Closed / open / G_delta / F_sigma = the four classes ==@.";
+  let examples =
+    [
+      ("A(a^+ b*)   (safety)", Omega.Build.a_re ab "a^+ b*");
+      ("E(a^+ b*)   (guarantee)", Omega.Build.e_re ab "a^+ b*");
+      ("R(.* b)     (recurrence)", Omega.Build.r_re ab ".* b");
+      ("P(.* b)     (persistence)", Omega.Build.p_re ab ".* b");
+    ]
+  in
+  List.iter
+    (fun (name, a) ->
+      Format.printf "  %-26s closed:%b open:%b G_delta:%b F_sigma:%b dense:%b@."
+        name
+        (Hierarchy.Topology.is_closed a)
+        (Hierarchy.Topology.is_open a)
+        (Hierarchy.Topology.is_g_delta a)
+        (Hierarchy.Topology.is_f_sigma a)
+        (Hierarchy.Topology.is_dense a))
+    examples;
+
+  Format.printf "@.== The closure operator is the safety closure ==@.";
+  (* cl(a^+ b^w) adds the limit word a^w; the paper computes
+     cl(a^+ b^w) = a^+ b^w + a^w. *)
+  let abw = Omega.Automaton.inter (Omega.Build.a_re ab "a^+ b*") (Omega.Build.e_re ab ".* b") in
+  (* a^+ b^w = the safety language intersected with E(b occurs) *)
+  let cl = Hierarchy.Topology.closure abw in
+  Format.printf "  a^w in a^+ b^w: %b;  a^w in cl(a^+ b^w): %b@."
+    (Omega.Automaton.accepts abw (l "(a)"))
+    (Omega.Automaton.accepts cl (l "(a)"));
+  Format.printf "  cl is idempotent: %b@."
+    (Omega.Lang.equal cl (Hierarchy.Topology.closure cl));
+
+  Format.printf "@.== G_delta witnesses for R(.* b) ==@.";
+  (* The paper's proof that recurrence properties are G_delta exhibits
+     open sets G_k = "at least k occurrences of b"; their infinite
+     intersection is the property. *)
+  let r = Omega.Build.r_re ab ".* b" in
+  let gs = Hierarchy.Topology.g_delta_witnesses r 5 in
+  List.iteri
+    (fun i g ->
+      Format.printf "  G_%d open: %b, contains Pi: %b@." (i + 1)
+        (Hierarchy.Topology.is_open g)
+        (Omega.Lang.included r g))
+    gs;
+  let inter5 =
+    List.fold_left Omega.Automaton.inter
+      (Omega.Automaton.full ab)
+      gs
+  in
+  Format.printf
+    "  inter G_1..G_5 still bigger than Pi (finitely many G's never \
+     suffice): %b@."
+    (not (Omega.Lang.included inter5 r));
+
+  Format.printf "@.== Density = liveness (Alpern-Schneider, section 3) ==@.";
+  List.iter
+    (fun (name, a) ->
+      Format.printf "  %-26s dense: %b@." name (Hierarchy.Topology.is_dense a))
+    examples

@@ -1,0 +1,87 @@
+(* Mutual exclusion: the paper's running example (sections 1 and 4).
+
+   - the safety requirement alone underspecifies: a do-nothing protocol
+     satisfies it (the "trivial but obviously unsatisfactory
+     implementation" of the introduction);
+   - Peterson's algorithm satisfies both the safety and the
+     accessibility (response/recurrence) requirement;
+   - both proof principles are exercised: the invariance rule proves the
+     safety part, and failure of the naive (non-strengthened) invariant
+     shows why invariants need strengthening.
+
+   Run with: dune exec examples/mutex.exe *)
+
+let show sys name r =
+  match r with
+  | Fts.Check.Holds -> Format.printf "  %-44s holds@." name
+  | Fts.Check.Fails tr ->
+      Format.printf "  %-44s FAILS@." name;
+      Format.printf "    counterexample:@.    %a@."
+        (Fts.Check.pp_trace sys) tr
+
+let () =
+  Format.printf "== The underspecification trap ==@.";
+  let spec =
+    [
+      ("mutual-exclusion", "[] !(pc1=2 & pc2=2)");
+      ("flag-discipline", "[] (pc1=2 -> flag1=1)");
+    ]
+  in
+  Format.printf "%a@.@."
+    Hierarchy.Lint.pp_verdict
+    (Hierarchy.Lint.lint_strings spec);
+
+  Format.printf "== A do-nothing protocol satisfies the safety part ==@.";
+  let naive = Fts.Models.mutex_do_nothing () in
+  show naive "[] !(pc1=2 & pc2=2)"
+    (Fts.Check.holds_s naive "[] !(pc1=2 & pc2=2)");
+  show naive "[] (pc1=1 -> <> pc1=2)   (accessibility)"
+    (Fts.Check.holds_s naive "[] (pc1=1 -> <> pc1=2)");
+
+  Format.printf "@.== Peterson's algorithm ==@.";
+  let pet = Fts.Models.peterson () in
+  Format.printf "  reachable states: %d@." (Fts.System.n_reachable pet);
+  show pet "[] !(pc1=2 & pc2=2)" (Fts.Check.holds_s pet "[] !(pc1=2 & pc2=2)");
+  show pet "[] (pc1=1 -> <> pc1=2)" (Fts.Check.holds_s pet "[] (pc1=1 -> <> pc1=2)");
+  show pet "[] (pc2=1 -> <> pc2=2)" (Fts.Check.holds_s pet "[] (pc2=1 -> <> pc2=2)");
+  (* Precedence (a past-based safety property): process 1 enters only
+     after having requested. *)
+  show pet "[] (pc1=2 -> O pc1=1)" (Fts.Check.holds_s pet "[] (pc1=2 -> O pc1=1)");
+
+  Format.printf "@.== The invariance proof principle ==@.";
+  (* The bare mutual-exclusion assertion is not inductive... *)
+  let bare s = not (s.(0) = 2 && s.(1) = 2) in
+  let r = Fts.Proof.check_invariance pet bare in
+  Format.printf "  bare assertion inductive? %b@."
+    (Fts.Proof.invariance_valid r);
+  (match r.preserved with
+  | Fts.Proof.Refuted (s, tn, s') ->
+      Format.printf "    counterexample to preservation: %a --%s--> %a@."
+        (Fts.System.pp_state pet) s tn (Fts.System.pp_state pet) s'
+  | Fts.Proof.Proved -> ());
+  (* ... the strengthened invariant is. *)
+  let strengthened s =
+    let pc1 = s.(0) and pc2 = s.(1) and f1 = s.(2) and f2 = s.(3) and turn = s.(4) in
+    (pc1 >= 1) = (f1 = 1)
+    && (pc2 >= 1) = (f2 = 1)
+    && (not (pc1 = 2 && pc2 = 2))
+    && (not (pc1 = 2 && pc2 >= 1) || turn = 1)
+    && (not (pc2 = 2 && pc1 >= 1) || turn = 2)
+  in
+  Format.printf "  strengthened invariant inductive? %b@."
+    (Fts.Proof.invariance_valid (Fts.Proof.check_invariance pet strengthened));
+
+  Format.printf "@.== Termination needs the well-founded principle ==@.";
+  let cd = Fts.Models.countdown ~n:5 () in
+  show cd "<> (done_=1 & x=0)   (total correctness)"
+    (Fts.Check.holds_s cd "<> (done_=1 & x=0)");
+  let rr =
+    Fts.Proof.check_response cd
+      ~p:(fun _ -> true)
+      ~q:(fun s -> s.(1) = 1)
+      ~phi:(fun s -> s.(1) = 0)
+      ~rank:(fun s -> s.(0) + 1)
+      ~helpful:(fun s -> if s.(0) > 0 then "dec" else "finish")
+  in
+  Format.printf "  response rule premises all proved? %b@."
+    (Fts.Proof.response_valid rr)

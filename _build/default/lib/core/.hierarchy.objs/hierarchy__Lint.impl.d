@@ -1,0 +1,1 @@
+lib/core/lint.ml: Finitary Fmt Kappa List Logic Omega Printf

@@ -1,0 +1,1 @@
+lib/core/property.ml: Fmt Kappa List Logic Omega Option Printf String

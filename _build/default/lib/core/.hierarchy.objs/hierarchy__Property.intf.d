@@ -1,0 +1,1 @@
+lib/core/property.mli: Finitary Fmt Kappa Logic Omega

@@ -1,0 +1,1 @@
+lib/core/topology.ml: Array Finitary Fun List Omega

@@ -1,0 +1,93 @@
+type item = {
+  iname : string;
+  formula : Logic.Formula.t;
+  klass : Kappa.t option;
+  satisfiable : bool;
+  valid : bool;
+}
+
+type verdict = {
+  items : item list;
+  warnings : string list;
+  conjunction_class : Kappa.t option;
+}
+
+let lint specs =
+  let atoms =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, f) -> Logic.Formula.atoms f) specs)
+  in
+  if atoms = [] then invalid_arg "Lint.lint: no atoms in specification";
+  if List.length atoms > 14 then
+    invalid_arg "Lint.lint: too many distinct atoms";
+  let alpha = Finitary.Alphabet.of_props atoms in
+  let items =
+    List.map
+      (fun (iname, formula) ->
+        {
+          iname;
+          formula;
+          klass = Omega.Of_formula.classify alpha formula;
+          satisfiable = Logic.Tableau.satisfiable alpha formula;
+          valid = Logic.Tableau.valid alpha formula;
+        })
+      specs
+  in
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  List.iter
+    (fun it ->
+      if not it.satisfiable then
+        warn "requirement %S is unsatisfiable: no implementation can exist"
+          it.iname
+      else if it.valid then
+        warn "requirement %S is valid: it constrains nothing" it.iname;
+      if it.klass = None then
+        warn "requirement %S is outside the canonical fragment" it.iname)
+    items;
+  let all_safety =
+    items <> []
+    && List.for_all
+         (fun it ->
+           match it.klass with
+           | Some k -> Kappa.leq k Kappa.Safety
+           | None -> false)
+         items
+  in
+  if all_safety then
+    warn
+      "every requirement is a safety property: the specification admits \
+       do-nothing implementations (the paper's underspecification trap); \
+       consider adding a guarantee, recurrence or reactivity requirement";
+  let conjunction_class =
+    let conj = Logic.Formula.conj (List.map (fun (_, f) -> f) specs) in
+    Omega.Of_formula.classify alpha conj
+  in
+  (match conjunction_class with
+  | Some k ->
+      if (not all_safety) && Kappa.leq k Kappa.Safety then
+        warn
+          "the conjunction of all requirements collapses to a safety \
+           property"
+  | None -> ());
+  { items; warnings = List.rev !warnings; conjunction_class }
+
+let lint_strings specs =
+  lint (List.map (fun (n, s) -> (n, Logic.Parser.parse s)) specs)
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun it ->
+      Fmt.pf ppf "%-24s %-18s %s@," it.iname
+        (match it.klass with Some k -> Kappa.name k | None -> "(unclassified)")
+        (Logic.Formula.to_string it.formula))
+    v.items;
+  (match v.conjunction_class with
+  | Some k -> Fmt.pf ppf "conjunction: %s@," (Kappa.name k)
+  | None -> ());
+  if v.warnings = [] then Fmt.pf ppf "no warnings@]"
+  else begin
+    List.iter (fun w -> Fmt.pf ppf "warning: %s@," w) v.warnings;
+    Fmt.pf ppf "@]"
+  end

@@ -1,0 +1,35 @@
+(** A specification linter built on the hierarchy — the paper's
+    methodological payoff (section 1).
+
+    A property-list specification is prone to {e underspecification}:
+    the canonical bug is a mutual-exclusion spec that states the safety
+    requirement but forgets accessibility, and is then satisfied by an
+    implementation that never lets anyone in.  Classifying each
+    requirement in the hierarchy yields the checklist the paper
+    proposes: does the specification contain any progress
+    (non-safety) requirement at all?  Is some requirement vacuous or
+    inconsistent? *)
+
+type item = {
+  iname : string;
+  formula : Logic.Formula.t;
+  klass : Kappa.t option;  (** semantic class, when translatable *)
+  satisfiable : bool;
+  valid : bool;
+}
+
+type verdict = {
+  items : item list;
+  warnings : string list;
+  conjunction_class : Kappa.t option;
+      (** class of the whole specification *)
+}
+
+(** [lint specs]: classify each named requirement; the alphabet is the
+    set of propositions mentioned across the specification. *)
+val lint : (string * Logic.Formula.t) list -> verdict
+
+(** Parse each requirement, then lint. *)
+val lint_strings : (string * string) list -> verdict
+
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,41 @@
+(** The topological view (section 3): the Borel reading of the
+    hierarchy over the metric space [Sigma^omega]. *)
+
+(** The paper's metric: [2^-j] for words first differing at position
+    [j] (on ultimately-periodic words, where equality is decidable). *)
+val distance : Finitary.Word.lasso -> Finitary.Word.lasso -> float
+
+(** Topological closure [cl(Pi)]; coincides with the safety closure
+    [A(Pref(Pi))] (the section's central identity). *)
+val closure : Omega.Automaton.t -> Omega.Automaton.t
+
+(** Topological interior: dual of closure. *)
+val interior : Omega.Automaton.t -> Omega.Automaton.t
+
+(** The class correspondences: closed = safety, open = guarantee,
+    G_delta = recurrence, F_sigma = persistence, dense = liveness. *)
+val is_closed : Omega.Automaton.t -> bool
+
+val is_open : Omega.Automaton.t -> bool
+
+val is_g_delta : Omega.Automaton.t -> bool
+
+val is_f_sigma : Omega.Automaton.t -> bool
+
+val is_dense : Omega.Automaton.t -> bool
+
+(** [is_limit_of a lasso]: is the word a limit point of the language —
+    i.e. in the closure? *)
+val is_limit_of : Omega.Automaton.t -> Finitary.Word.lasso -> bool
+
+(** For a recurrence property [Pi], the paper's explicit witnesses that
+    it is G_delta: open sets [G_1 >= G_2 >= ...] with
+    [Pi = /\_k G_k]; [g_delta_witnesses a k] returns [G_1 ... G_k]
+    ([G_j] = "some prefix reaches the [j]-th accepting visit").
+    Raises [Omega.Convert.Not_in_class] if [a] is not a recurrence
+    property. *)
+val g_delta_witnesses : Omega.Automaton.t -> int -> Omega.Automaton.t list
+
+(** Dual witnesses for a persistence property: closed sets with
+    [Pi = \/_k F_k]. *)
+val f_sigma_witnesses : Omega.Automaton.t -> int -> Omega.Automaton.t list

@@ -1,0 +1,1 @@
+lib/finitary/alphabet.ml: Array Fmt Fun Hashtbl List Printf String

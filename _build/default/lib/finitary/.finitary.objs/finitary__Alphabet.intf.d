@@ -1,0 +1,1 @@
+lib/finitary/alphabet.mli: Fmt

@@ -1,0 +1,1 @@
+lib/finitary/dfa.ml: Alphabet Array Fmt Hashtbl List Queue Word

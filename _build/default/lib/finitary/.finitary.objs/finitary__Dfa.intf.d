@@ -1,0 +1,1 @@
+lib/finitary/dfa.mli: Alphabet Fmt Word

@@ -1,0 +1,1 @@
+lib/finitary/lang_ops.ml: Alphabet Array Dfa List

@@ -1,0 +1,1 @@
+lib/finitary/lang_ops.mli: Dfa

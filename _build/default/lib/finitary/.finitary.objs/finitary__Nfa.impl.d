@@ -1,0 +1,1 @@
+lib/finitary/nfa.ml: Alphabet Array Dfa Hashtbl Int List Queue Set

@@ -1,0 +1,1 @@
+lib/finitary/nfa.mli: Alphabet Dfa Set Word

@@ -1,0 +1,1 @@
+lib/finitary/regex.ml: Alphabet Dfa Fmt List Nfa Printf String

@@ -1,0 +1,1 @@
+lib/finitary/regex.mli: Alphabet Dfa Fmt Nfa

@@ -1,0 +1,1 @@
+lib/finitary/word.ml: Alphabet Array Fmt List String

@@ -1,0 +1,1 @@
+lib/finitary/word.mli: Alphabet Fmt

@@ -1,0 +1,78 @@
+(* A_f: as soon as the run visits a non-accepting state (after at least one
+   letter), no extension can have all its prefixes in Phi: redirect to a
+   dead sink. *)
+let a_f (d : Dfa.t) =
+  let k = Alphabet.size d.alpha in
+  let dead = d.n in
+  let n = d.n + 1 in
+  let delta =
+    Array.init n (fun q ->
+        if q = dead then Array.make k dead
+        else
+          Array.init k (fun a ->
+              let q' = d.delta.(q).(a) in
+              if d.accept.(q') then q' else dead))
+  in
+  let accept = Array.init n (fun q -> q <> dead && d.accept.(q)) in
+  Dfa.minimize (Dfa.make ~alpha:d.alpha ~n ~start:d.start ~delta ~accept)
+
+(* E_f: once some prefix is accepted, everything is: redirect transitions
+   into accepting states to an accepting sink. *)
+let e_f (d : Dfa.t) =
+  let k = Alphabet.size d.alpha in
+  let sink = d.n in
+  let n = d.n + 1 in
+  let delta =
+    Array.init n (fun q ->
+        if q = sink then Array.make k sink
+        else
+          Array.init k (fun a ->
+              let q' = d.delta.(q).(a) in
+              if d.accept.(q') then sink else q'))
+  in
+  let accept = Array.init n (fun q -> q = sink) in
+  Dfa.minimize (Dfa.make ~alpha:d.alpha ~n ~start:d.start ~delta ~accept)
+
+(* minex realizes the past formula  q /\ prev((not q) S p)  with
+   p = "current prefix in Phi1" and q = "current prefix in Phi2".
+   The state carries, besides the two component states, the value r of
+   (not q) S p at the current position and the value m of the whole
+   formula, updated by
+     m' = q' /\ r      and      r' = p' \/ (not q' /\ r). *)
+let minex (d1 : Dfa.t) (d2 : Dfa.t) =
+  if not (Alphabet.equal d1.Dfa.alpha d2.Dfa.alpha) then
+    invalid_arg "Lang_ops.minex: alphabet mismatch";
+  let alpha = d1.Dfa.alpha in
+  let k = Alphabet.size alpha in
+  let code s1 s2 r m =
+    (((s1 * d2.n) + s2) * 4) + (if r then 2 else 0) + if m then 1 else 0
+  in
+  let n = d1.n * d2.n * 4 in
+  let delta = Array.make n [||] in
+  let accept = Array.make n false in
+  for s1 = 0 to d1.n - 1 do
+    for s2 = 0 to d2.n - 1 do
+      List.iter
+        (fun (r, m) ->
+          let q = code s1 s2 r m in
+          accept.(q) <- m;
+          delta.(q) <-
+            Array.init k (fun a ->
+                let s1' = d1.delta.(s1).(a) and s2' = d2.delta.(s2).(a) in
+                let p' = d1.accept.(s1') and q' = d2.accept.(s2') in
+                code s1' s2' (p' || ((not q') && r)) (q' && r)))
+        [ (false, false); (false, true); (true, false); (true, true) ]
+    done
+  done;
+  let start = code d1.start d2.start false false in
+  Dfa.minimize (Dfa.make ~alpha ~n ~start ~delta ~accept)
+
+let prefixes (d : Dfa.t) =
+  let live = Dfa.live_states d in
+  Dfa.minimize
+    (Dfa.make ~alpha:d.alpha ~n:d.n ~start:d.start ~delta:d.delta ~accept:live)
+
+let is_prefix_closed (d : Dfa.t) =
+  (* prefix-closed iff every member's prefixes are members, i.e.
+     Phi (as a subset of Sigma+) is included in A_f(Phi). *)
+  Dfa.included_nonepsilon d (a_f d)

@@ -1,0 +1,30 @@
+(** The paper's operators on finitary properties (section 2).
+
+    A finitary property [Phi] is a language of non-empty finite words,
+    represented by a complete {!Dfa.t}; the empty word's membership is
+    ignored by all operators here. *)
+
+(** [a_f phi] is the paper's [A_f(Phi)]: the finite words all of whose
+    non-empty prefixes (including the word itself) belong to [Phi]. *)
+val a_f : Dfa.t -> Dfa.t
+
+(** [e_f phi] is the paper's [E_f(Phi) = Phi . Sigma{^*}]: the finite words
+    having some non-empty prefix in [Phi]. *)
+val e_f : Dfa.t -> Dfa.t
+
+(** [minex phi1 phi2] is the paper's minimal extension of [phi2] over
+    [phi1]: the words [s2 in Phi2] such that some [s1 in Phi1] is a proper
+    prefix of [s2] and no word of [Phi2] lies properly between [s1] and
+    [s2].  Realizes the past formula [q /\ prev((not q) S p)] of section 4.
+
+    Key law (closure of recurrence under intersection):
+    [R(Phi1) inter R(Phi2) = R(minex Phi1 Phi2)]. *)
+val minex : Dfa.t -> Dfa.t -> Dfa.t
+
+(** [prefixes phi]: the non-empty words that are a (non-strict) prefix of
+    some word of [phi] — the finitary prefix-closure. *)
+val prefixes : Dfa.t -> Dfa.t
+
+(** Is [phi] prefix-closed as a subset of [Sigma{^+}] (every non-empty
+    prefix of a member is a member)? *)
+val is_prefix_closed : Dfa.t -> bool

@@ -1,0 +1,122 @@
+module ISet = Set.Make (Int)
+
+type t = {
+  alpha : Alphabet.t;
+  n : int;
+  starts : ISet.t;
+  delta : ISet.t array array;
+  eps : ISet.t array;
+  accept : bool array;
+}
+
+let make ~alpha ~n ~starts ~delta ~eps ~accept =
+  if n <= 0 then invalid_arg "Nfa.make: need at least one state";
+  let k = Alphabet.size alpha in
+  let check q = if q < 0 || q >= n then invalid_arg "Nfa.make: bad state" in
+  let dtab = Array.init n (fun _ -> Array.make k ISet.empty) in
+  List.iter
+    (fun (q, a, q') ->
+      check q;
+      check q';
+      if a < 0 || a >= k then invalid_arg "Nfa.make: bad letter";
+      dtab.(q).(a) <- ISet.add q' dtab.(q).(a))
+    delta;
+  let etab = Array.make n ISet.empty in
+  List.iter
+    (fun (q, q') ->
+      check q;
+      check q';
+      etab.(q) <- ISet.add q' etab.(q))
+    eps;
+  let acc = Array.make n false in
+  List.iter
+    (fun q ->
+      check q;
+      acc.(q) <- true)
+    accept;
+  List.iter check starts;
+  { alpha; n; starts = ISet.of_list starts; delta = dtab; eps = etab; accept = acc }
+
+let eps_closure nfa set =
+  let rec grow frontier acc =
+    if ISet.is_empty frontier then acc
+    else
+      let next =
+        ISet.fold
+          (fun q next -> ISet.union next (ISet.diff nfa.eps.(q) acc))
+          frontier ISet.empty
+      in
+      grow next (ISet.union acc next)
+  in
+  grow set set
+
+let step_set nfa set a =
+  let image =
+    ISet.fold (fun q img -> ISet.union img nfa.delta.(q).(a)) set ISet.empty
+  in
+  eps_closure nfa image
+
+let accepts nfa w =
+  let final =
+    Array.fold_left (step_set nfa) (eps_closure nfa nfa.starts) w
+  in
+  ISet.exists (fun q -> nfa.accept.(q)) final
+
+let determinize nfa =
+  let k = Alphabet.size nfa.alpha in
+  let index = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern set =
+    match Hashtbl.find_opt index set with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        Hashtbl.add index set i;
+        states := set :: !states;
+        incr count;
+        i
+  in
+  let start_set = eps_closure nfa nfa.starts in
+  let start = intern start_set in
+  let rows = ref [] in
+  let queue = Queue.create () in
+  Queue.add (start, start_set) queue;
+  let processed = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let i, set = Queue.pop queue in
+    if not (Hashtbl.mem processed i) then begin
+      Hashtbl.add processed i ();
+      let row =
+        Array.init k (fun a ->
+            let set' = step_set nfa set a in
+            let existed = Hashtbl.mem index set' in
+            let j = intern set' in
+            if not existed then Queue.add (j, set') queue;
+            j)
+      in
+      rows := (i, set, row) :: !rows
+    end
+  done;
+  let n = !count in
+  let delta = Array.make n [||] in
+  let accept = Array.make n false in
+  List.iter
+    (fun (i, set, row) ->
+      delta.(i) <- row;
+      accept.(i) <- ISet.exists (fun q -> nfa.accept.(q)) set)
+    !rows;
+  Dfa.make ~alpha:nfa.alpha ~n ~start ~delta ~accept
+
+let of_dfa (d : Dfa.t) =
+  let k = Alphabet.size d.Dfa.alpha in
+  {
+    alpha = d.Dfa.alpha;
+    n = d.Dfa.n;
+    starts = ISet.singleton d.Dfa.start;
+    delta =
+      Array.init d.Dfa.n (fun q ->
+          Array.init k (fun a -> ISet.singleton d.Dfa.delta.(q).(a)));
+    eps = Array.make d.Dfa.n ISet.empty;
+    accept = Array.copy d.Dfa.accept;
+  }

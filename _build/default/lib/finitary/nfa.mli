@@ -1,0 +1,35 @@
+(** Nondeterministic finite automata with epsilon transitions.
+
+    Used as the compilation target for regular expressions; the subset
+    construction ({!determinize}) turns them into the complete DFAs on
+    which the rest of the library operates. *)
+
+module ISet : Set.S with type elt = int
+
+type t = {
+  alpha : Alphabet.t;
+  n : int;
+  starts : ISet.t;
+  delta : ISet.t array array;  (** [delta.(q).(a)] *)
+  eps : ISet.t array;  (** epsilon successors *)
+  accept : bool array;
+}
+
+val make :
+  alpha:Alphabet.t ->
+  n:int ->
+  starts:int list ->
+  delta:(int * Alphabet.letter * int) list ->
+  eps:(int * int) list ->
+  accept:int list ->
+  t
+
+val eps_closure : t -> ISet.t -> ISet.t
+
+val accepts : t -> Word.t -> bool
+
+(** Subset construction; the result is complete and trimmed. *)
+val determinize : t -> Dfa.t
+
+(** View a DFA as an NFA. *)
+val of_dfa : Dfa.t -> t

@@ -1,0 +1,202 @@
+type t =
+  | Empty
+  | Eps
+  | Letter of Alphabet.letter
+  | Any
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+  | Plus of t
+  | Pow of t * int
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int; alpha : Alphabet.t }
+
+let fail st msg =
+  invalid_arg (Printf.sprintf "Regex.parse: %s at position %d in %S" msg st.pos st.src)
+
+let rec skip_ws st =
+  if st.pos < String.length st.src && st.src.[st.pos] = ' ' then begin
+    st.pos <- st.pos + 1;
+    skip_ws st
+  end
+
+let peek st =
+  skip_ws st;
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let parse_int st =
+  let start = st.pos in
+  while
+    st.pos < String.length st.src
+    && st.src.[st.pos] >= '0'
+    && st.src.[st.pos] <= '9'
+  do
+    advance st
+  done;
+  if st.pos = start then fail st "expected integer";
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let rec parse_expr st =
+  let t = parse_term st in
+  match peek st with
+  | Some '+' ->
+      advance st;
+      Alt (t, parse_expr st)
+  | Some _ | None -> t
+
+and parse_term st =
+  let f = parse_factor st in
+  match peek st with
+  | Some c when c <> '+' && c <> ')' -> Seq (f, parse_term st)
+  | Some _ | None -> f
+
+and parse_factor st =
+  let base = parse_base st in
+  parse_postfix st base
+
+and parse_postfix st base =
+  match peek st with
+  | Some '*' ->
+      advance st;
+      parse_postfix st (Star base)
+  | Some '^' ->
+      advance st;
+      let wrapped =
+        match peek st with
+        | Some '*' ->
+            advance st;
+            Star base
+        | Some '+' ->
+            advance st;
+            Plus base
+        | Some c when c >= '0' && c <= '9' -> Pow (base, parse_int st)
+        | Some _ | None -> fail st "expected *, + or integer after ^"
+      in
+      parse_postfix st wrapped
+  | Some _ | None -> base
+
+and parse_base st =
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '(' ->
+      advance st;
+      if peek st = Some ')' then begin
+        advance st;
+        Eps
+      end
+      else begin
+        let e = parse_expr st in
+        (match peek st with
+        | Some ')' -> advance st
+        | Some _ | None -> fail st "expected )");
+        e
+      end
+  | Some '.' ->
+      advance st;
+      Any
+  | Some c -> (
+      match Alphabet.letter_of_name st.alpha (String.make 1 c) with
+      | l ->
+          advance st;
+          Letter l
+      | exception Not_found ->
+          fail st (Printf.sprintf "unknown letter %c" c))
+
+let parse alpha src =
+  let st = { src; pos = 0; alpha } in
+  let e = parse_expr st in
+  skip_ws st;
+  if st.pos <> String.length src then fail st "trailing input";
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Compilation (Thompson construction)                                *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable next : int;
+  mutable trans : (int * Alphabet.letter * int) list;
+  mutable epsilons : (int * int) list;
+}
+
+let fresh b =
+  let q = b.next in
+  b.next <- q + 1;
+  q
+
+(* Returns (entry, exit) fragment with a single entry and a single exit. *)
+let rec fragment alpha b = function
+  | Empty ->
+      let i = fresh b and f = fresh b in
+      (i, f)
+  | Eps ->
+      let i = fresh b and f = fresh b in
+      b.epsilons <- (i, f) :: b.epsilons;
+      (i, f)
+  | Letter l ->
+      let i = fresh b and f = fresh b in
+      b.trans <- (i, l, f) :: b.trans;
+      (i, f)
+  | Any ->
+      let i = fresh b and f = fresh b in
+      List.iter
+        (fun l -> b.trans <- (i, l, f) :: b.trans)
+        (Alphabet.letters alpha);
+      (i, f)
+  | Alt (e1, e2) ->
+      let i = fresh b and f = fresh b in
+      let i1, f1 = fragment alpha b e1 in
+      let i2, f2 = fragment alpha b e2 in
+      b.epsilons <- (i, i1) :: (i, i2) :: (f1, f) :: (f2, f) :: b.epsilons;
+      (i, f)
+  | Seq (e1, e2) ->
+      let i1, f1 = fragment alpha b e1 in
+      let i2, f2 = fragment alpha b e2 in
+      b.epsilons <- (f1, i2) :: b.epsilons;
+      (i1, f2)
+  | Star e ->
+      let i = fresh b and f = fresh b in
+      let i1, f1 = fragment alpha b e in
+      b.epsilons <- (i, i1) :: (i, f) :: (f1, i1) :: (f1, f) :: b.epsilons;
+      (i, f)
+  | Plus e -> fragment alpha b (Seq (e, Star e))
+  | Pow (e, k) ->
+      if k < 0 then invalid_arg "Regex: negative power";
+      let rec expand k = if k = 0 then Eps else Seq (e, expand (k - 1)) in
+      fragment alpha b (expand k)
+
+let to_nfa alpha e =
+  let b = { next = 0; trans = []; epsilons = [] } in
+  let i, f = fragment alpha b e in
+  Nfa.make ~alpha ~n:b.next ~starts:[ i ] ~delta:b.trans ~eps:b.epsilons
+    ~accept:[ f ]
+
+let to_dfa alpha e = Dfa.minimize (Nfa.determinize (to_nfa alpha e))
+
+let compile alpha s = to_dfa alpha (parse alpha s)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp alpha ppf = function
+  | Empty -> Fmt.string ppf "∅"
+  | Eps -> Fmt.string ppf "()"
+  | Letter l -> Fmt.string ppf (Alphabet.letter_name alpha l)
+  | Any -> Fmt.string ppf "."
+  | Alt (e1, e2) -> Fmt.pf ppf "%a + %a" (pp alpha) e1 (pp alpha) e2
+  | Seq (e1, e2) -> Fmt.pf ppf "%a%a" (pp_atom alpha) e1 (pp_atom alpha) e2
+  | Star e -> Fmt.pf ppf "%a*" (pp_atom alpha) e
+  | Plus e -> Fmt.pf ppf "%a^+" (pp_atom alpha) e
+  | Pow (e, k) -> Fmt.pf ppf "%a^%d" (pp_atom alpha) e k
+
+and pp_atom alpha ppf = function
+  | (Empty | Eps | Letter _ | Any) as e -> pp alpha ppf e
+  | (Alt _ | Seq _ | Star _ | Plus _ | Pow _) as e ->
+      Fmt.pf ppf "(%a)" (pp alpha) e

@@ -1,0 +1,120 @@
+type t = Alphabet.letter array
+
+type lasso = { prefix : t; cycle : t }
+
+let lasso ~prefix ~cycle =
+  if Array.length cycle = 0 then invalid_arg "Word.lasso: empty cycle";
+  { prefix; cycle }
+
+let empty : t = [||]
+
+let of_string a s =
+  Array.init (String.length s) (fun i ->
+      Alphabet.letter_of_name a (String.make 1 s.[i]))
+
+let lasso_of_string a s =
+  match (String.index_opt s '(', String.index_opt s ')') with
+  | Some i, Some j when j = String.length s - 1 && i < j ->
+      let prefix = of_string a (String.sub s 0 i) in
+      let cycle = of_string a (String.sub s (i + 1) (j - i - 1)) in
+      lasso ~prefix ~cycle
+  | _ -> invalid_arg "Word.lasso_of_string: expected \"uv...(cyc)\""
+
+let length = Array.length
+
+let append = Array.append
+
+let at { prefix; cycle } i =
+  let p = Array.length prefix in
+  if i < p then prefix.(i) else cycle.((i - p) mod Array.length cycle)
+
+let prefix_of_lasso l n = Array.init n (at l)
+
+let is_proper_prefix u v =
+  let n = Array.length u and m = Array.length v in
+  n < m
+  &&
+  let rec check i = i >= n || (u.(i) = v.(i) && check (i + 1)) in
+  check 0
+
+let is_prefix u v = u = v || is_proper_prefix u v
+
+let enumerate a ~max_len =
+  let k = Alphabet.size a in
+  let rec words_of_len n =
+    if n = 0 then [ empty ]
+    else
+      let shorter = words_of_len (n - 1) in
+      List.concat_map
+        (fun w -> List.init k (fun c -> Array.append w [| c |]))
+        shorter
+  in
+  List.concat_map
+    (fun n -> words_of_len n)
+    (List.init max_len (fun i -> i + 1))
+
+let enumerate_lassos a ~max_prefix ~max_cycle =
+  let prefixes = empty :: enumerate a ~max_len:max_prefix in
+  let cycles = enumerate a ~max_len:max_cycle in
+  List.concat_map
+    (fun prefix -> List.map (fun cycle -> { prefix; cycle }) cycles)
+    prefixes
+
+(* Reduce a cycle to its primitive root: the shortest w with cycle = w^k. *)
+let primitive_cycle c =
+  let n = Array.length c in
+  let divides d = n mod d = 0 in
+  let is_period d =
+    let rec check i = i >= n || (c.(i) = c.(i mod d) && check (i + 1)) in
+    check 0
+  in
+  let rec find d = if divides d && is_period d then d else find (d + 1) in
+  let d = find 1 in
+  Array.sub c 0 d
+
+(* Fold the prefix into the cycle: while the last prefix letter equals the
+   last cycle letter, the lasso  u.a (c1..cn)^w  equals
+   u (cn c1..c_{n-1})^w, a strictly shorter representation.  With a
+   primitive cycle and maximal folding the representation is unique. *)
+let canonical { prefix; cycle } =
+  let cycle = primitive_cycle cycle in
+  let n = Array.length cycle in
+  let rec fold prefix cycle =
+    let p = Array.length prefix in
+    if p > 0 && prefix.(p - 1) = cycle.(n - 1) then
+      let cycle' =
+        Array.init n (fun i -> if i = 0 then cycle.(n - 1) else cycle.(i - 1))
+      in
+      fold (Array.sub prefix 0 (p - 1)) cycle'
+    else { prefix; cycle }
+  in
+  fold prefix cycle
+
+let equal_lasso l1 l2 =
+  let c1 = canonical l1 and c2 = canonical l2 in
+  c1.prefix = c2.prefix && c1.cycle = c2.cycle
+
+let distance l1 l2 =
+  if equal_lasso l1 l2 then 0.
+  else
+    let bound =
+      Array.length l1.prefix + Array.length l2.prefix
+      + (Array.length l1.cycle * Array.length l2.cycle)
+      + 2
+    in
+    let rec scan j =
+      if j >= bound then assert false
+      else if at l1 j <> at l2 j then j
+      else scan (j + 1)
+    in
+    2. ** float_of_int (-scan 0)
+
+let pp a ppf w =
+  if Array.length w = 0 then Fmt.string ppf "ε"
+  else Array.iter (fun l -> Fmt.string ppf (Alphabet.letter_name a l)) w
+
+let pp_lasso a ppf { prefix; cycle } =
+  Array.iter (fun l -> Fmt.string ppf (Alphabet.letter_name a l)) prefix;
+  Fmt.string ppf "(";
+  Array.iter (fun l -> Fmt.string ppf (Alphabet.letter_name a l)) cycle;
+  Fmt.string ppf ")ω"

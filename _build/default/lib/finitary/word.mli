@@ -1,0 +1,64 @@
+(** Finite and ultimately-periodic infinite words.
+
+    A finite word is an array of letters.  An infinite word is represented
+    in its ultimately-periodic ("lasso") form [prefix . cycle^omega]; every
+    omega-regular language is determined by its lasso members, so lassos
+    suffice both for testing membership and for exhibiting witnesses. *)
+
+type t = Alphabet.letter array
+
+(** A lasso word [prefix . cycle{^omega}].  [cycle] is non-empty. *)
+type lasso = private { prefix : t; cycle : t }
+
+val lasso : prefix:t -> cycle:t -> lasso
+
+val empty : t
+
+(** [of_string a "abba"] reads one letter per character (symbolic
+    single-character alphabets only). *)
+val of_string : Alphabet.t -> string -> t
+
+(** [lasso_of_string a "ab(ba)"] parses a lasso: the parenthesised tail is
+    the cycle.  ["(ab)"] denotes [ (ab)^omega ]. *)
+val lasso_of_string : Alphabet.t -> string -> lasso
+
+val length : t -> int
+
+val append : t -> t -> t
+
+(** [at l i] is position [i] (0-based) of the infinite word denoted by a
+    lasso. *)
+val at : lasso -> int -> Alphabet.letter
+
+(** [prefix_of_lasso l n] is the length-[n] finite prefix. *)
+val prefix_of_lasso : lasso -> int -> t
+
+(** Strict prefix relation on finite words (the paper's [<]). *)
+val is_proper_prefix : t -> t -> bool
+
+(** Non-strict prefix relation on finite words (the paper's [<=]). *)
+val is_prefix : t -> t -> bool
+
+(** All non-empty finite words over the alphabet of length [1..n], in
+    length-lexicographic order. *)
+val enumerate : Alphabet.t -> max_len:int -> t list
+
+(** All lassos with [|prefix| <= p] and [1 <= |cycle| <= c]. *)
+val enumerate_lassos : Alphabet.t -> max_prefix:int -> max_cycle:int -> lasso list
+
+(** The paper's metric on infinite words: [mu s s' = 2{^-j}] where [j] is
+    the first position where they differ, and [0.] if equal (equality of
+    lassos is decidable). *)
+val distance : lasso -> lasso -> float
+
+(** A canonical form: two lassos are equal as infinite words iff their
+    canonical forms are structurally equal (cycle rotated to its least
+    rotation after removing cycle repetition and folding the cycle into the
+    prefix as far as possible). *)
+val canonical : lasso -> lasso
+
+val equal_lasso : lasso -> lasso -> bool
+
+val pp : Alphabet.t -> t Fmt.t
+
+val pp_lasso : Alphabet.t -> lasso Fmt.t

@@ -1,0 +1,1 @@
+lib/fts/check.ml: Array Finitary Fmt Fun Graph List Logic Omega String System

@@ -1,0 +1,1 @@
+lib/fts/check.mli: Fmt Logic System

@@ -1,0 +1,1 @@
+lib/fts/graph.ml: Array Hashtbl List Omega Queue

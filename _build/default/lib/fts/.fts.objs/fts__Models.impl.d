@@ -1,0 +1,1 @@
+lib/fts/models.ml: Array List Printf System

@@ -1,0 +1,1 @@
+lib/fts/models.mli: System

@@ -1,0 +1,1 @@
+lib/fts/proof.ml: Array List System

@@ -1,0 +1,1 @@
+lib/fts/proof.mli: System

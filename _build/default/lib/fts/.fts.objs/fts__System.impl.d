@@ -1,0 +1,1 @@
+lib/fts/system.ml: Array Fmt Hashtbl List Logic Printf Queue String

@@ -1,0 +1,1 @@
+lib/fts/system.mli: Fmt Logic

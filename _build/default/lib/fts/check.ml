@@ -1,0 +1,191 @@
+module Alphabet = Finitary.Alphabet
+module Acceptance = Omega.Acceptance
+module Iset = Omega.Iset
+
+type trace = {
+  prefix : (System.state * string) list;
+  cycle : (System.state * string) list;
+}
+
+type result = Holds | Fails of trace
+
+(* Edge-split graph: node (state id, entering label); label 0 means
+   "initial" (no position precedes), label l >= 1 means the system moved
+   by transition labels.(l) — labels.(1) is the idling transition.  Node
+   ids are dense: sid * n_labels + lab. *)
+
+let labels_of sys = Array.append [| "-" |] (System.internal_transition_names sys)
+
+let atom_at sys labels state lab atom =
+  if String.length atom > 6 && String.sub atom 0 6 = "taken_" then
+    let tn = String.sub atom 6 (String.length atom - 6) in
+    labels.(lab) = tn
+  else System.atom_holds sys state atom
+
+(* Fairness acceptance over split nodes. *)
+let fairness_acc sys labels n_labels =
+  let states = System.internal_states sys in
+  let n_states = Array.length states in
+  let node sid lab = (sid * n_labels) + lab in
+  let nodes_where pred =
+    let s = ref Iset.empty in
+    for sid = 0 to n_states - 1 do
+      for lab = 0 to n_labels - 1 do
+        if pred states.(sid) lab then s := Iset.add (node sid lab) !s
+      done
+    done;
+    !s
+  in
+  let conjuncts =
+    List.map
+      (fun f ->
+        match f with
+        | System.Weak tn ->
+            (* []<>(not enabled \/ taken) *)
+            Acceptance.Inf
+              (nodes_where (fun st lab ->
+                   (not (System.internal_guard sys tn st)) || labels.(lab) = tn))
+        | System.Strong tn ->
+            (* []<>enabled -> []<>taken *)
+            Acceptance.Or
+              [
+                Acceptance.Fin
+                  (nodes_where (fun st _ -> System.internal_guard sys tn st));
+                Acceptance.Inf (nodes_where (fun _ lab -> labels.(lab) = tn));
+              ])
+      (System.fairness sys)
+  in
+  Acceptance.And conjuncts
+
+let split_graph sys n_labels =
+  let states = System.internal_states sys in
+  let n_states = Array.length states in
+  let n = n_states * n_labels in
+  let succ = Array.make n [] in
+  List.iter
+    (fun (src, t, dst) ->
+      (* system edge with transition index t (0 = idle) enters node
+         (dst, t + 1) from every node at state src *)
+      for lab = 0 to n_labels - 1 do
+        let v = (src * n_labels) + lab in
+        succ.(v) <- ((dst * n_labels) + t + 1) :: succ.(v)
+      done)
+    (System.internal_edges sys);
+  { Graph.n; succ }
+
+let check_with_acc sys spec_formula =
+  let labels = labels_of sys in
+  let n_labels = Array.length labels in
+  let states = System.internal_states sys in
+  let graph = split_graph sys n_labels in
+  let starts =
+    List.map (fun sid -> sid * n_labels) (System.internal_init_ids sys)
+  in
+  let fair = fairness_acc sys labels n_labels in
+  match spec_formula with
+  | None -> (graph, starts, fair, fun v -> v)
+  | Some f ->
+      let atoms = Logic.Formula.atoms f in
+      let atoms = List.sort_uniq compare atoms in
+      if atoms = [] then invalid_arg "Check: specification mentions no atom";
+      if List.length atoms > 14 then
+        invalid_arg "Check: too many distinct atoms in the specification";
+      let alpha = Alphabet.of_props atoms in
+      let spec =
+        match Omega.Of_formula.translate alpha f with
+        | Some a -> a
+        | None ->
+            invalid_arg
+              ("Check: formula outside the canonical fragment: "
+              ^ Logic.Formula.to_string f)
+      in
+      let letter_of v =
+        let sid = v / n_labels and lab = v mod n_labels in
+        List.fold_left
+          (fun acc (i, atom) ->
+            if atom_at sys labels states.(sid) lab atom then acc lor (1 lsl i)
+            else acc)
+          0
+          (List.mapi (fun i a -> (i, a)) atoms)
+      in
+      (* product with the complement of the spec *)
+      let m = spec.Omega.Automaton.n in
+      let pn = graph.Graph.n * m in
+      let psucc = Array.make pn [] in
+      for v = 0 to graph.Graph.n - 1 do
+        List.iter
+          (fun w ->
+            let lw = letter_of w in
+            for q = 0 to m - 1 do
+              let q' = Omega.Automaton.step spec q lw in
+              psucc.((v * m) + q) <- ((w * m) + q') :: psucc.((v * m) + q)
+            done)
+          graph.Graph.succ.(v)
+      done;
+      let pstarts =
+        List.map
+          (fun v ->
+            let q = Omega.Automaton.step spec spec.Omega.Automaton.start (letter_of v) in
+            (v * m) + q)
+          starts
+      in
+      let lift_graph s =
+        Iset.fold
+          (fun v acc ->
+            List.fold_left (fun acc q -> Iset.add ((v * m) + q) acc) acc
+              (List.init m Fun.id))
+          s Iset.empty
+      in
+      let lift_spec s =
+        Iset.fold
+          (fun q acc ->
+            List.fold_left
+              (fun acc v -> Iset.add ((v * m) + q) acc)
+              acc
+              (List.init graph.Graph.n Fun.id))
+          s Iset.empty
+      in
+      let acc =
+        Acceptance.simplify
+          (Acceptance.And
+             [
+               Acceptance.map_sets lift_graph fair;
+               Acceptance.map_sets lift_spec
+                 (Acceptance.dual spec.Omega.Automaton.acc);
+             ])
+      in
+      ({ Graph.n = pn; succ = psucc }, pstarts, acc, fun v -> v / m)
+
+let trace_of sys n_labels project (s0, pre, cyc) =
+  let states = System.internal_states sys in
+  let labels = labels_of sys in
+  let node v =
+    let v = project v in
+    let sid = v / n_labels and lab = v mod n_labels in
+    (states.(sid), labels.(lab))
+  in
+  { prefix = List.map node (s0 :: pre); cycle = List.map node cyc }
+
+let holds sys f =
+  let labels = labels_of sys in
+  let n_labels = Array.length labels in
+  let graph, starts, acc, project = check_with_acc sys (Some f) in
+  match Graph.find_accepting_lasso graph ~starts acc with
+  | None -> Holds
+  | Some lasso -> Fails (trace_of sys n_labels project lasso)
+
+let holds_s sys s = holds sys (Logic.Parser.parse s)
+
+let has_fair_computation sys =
+  let graph, starts, acc, _ = check_with_acc sys None in
+  Graph.find_accepting_lasso graph ~starts acc <> None
+
+let pp_trace sys ppf { prefix; cycle } =
+  let pp_step ppf (st, lab) =
+    Fmt.pf ppf "%s %a" lab (System.pp_state sys) st
+  in
+  Fmt.pf ppf "@[<v>prefix:@,%a@,cycle (repeats forever):@,%a@]"
+    (Fmt.list ~sep:Fmt.cut pp_step)
+    prefix
+    (Fmt.list ~sep:Fmt.cut pp_step)
+    cycle

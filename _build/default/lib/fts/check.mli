@@ -1,0 +1,36 @@
+(** Model checking temporal specifications against fair transition
+    systems.
+
+    The specification is translated (via {!Omega.Of_formula}) to a
+    deterministic automaton over the valuations of the atoms it mentions;
+    the check searches the product of the system's edge-split reachable
+    graph with the {e complement} automaton for a computation satisfying
+    all fairness requirements — weak fairness contributes recurrence
+    ([Inf]) acceptance, strong fairness contributes Streett pairs,
+    exactly the classes the paper assigns to them (section 4).
+
+    Atoms: ["x"], ["x=3"], ["en_tau"], ["taken_tau"] (see
+    {!System.atom_holds}). *)
+
+type trace = {
+  prefix : (System.state * string) list;
+      (** states with the transition that entered them ("-" initially) *)
+  cycle : (System.state * string) list;
+}
+
+type result = Holds | Fails of trace
+
+(** [holds sys f]: do all fair computations of the system satisfy [f]?
+    Returns a fair counterexample computation otherwise.
+    Raises [Invalid_argument] if [f] is outside the canonical fragment
+    of {!Logic.Rewrite} or mentions unknown atoms. *)
+val holds : System.t -> Logic.Formula.t -> result
+
+(** Parse and check. *)
+val holds_s : System.t -> string -> result
+
+(** Is there any fair computation at all (sanity check: a system with no
+    fair computations satisfies everything vacuously)? *)
+val has_fair_computation : System.t -> bool
+
+val pp_trace : System.t -> trace Fmt.t

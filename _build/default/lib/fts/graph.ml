@@ -1,0 +1,175 @@
+(* Generic search for an accepting lasso in an explicit graph under an
+   Emerson-Lei acceptance condition over node sets (same algorithm as
+   Omega.Lang, node-based). *)
+
+module Iset = Omega.Iset
+module Acceptance = Omega.Acceptance
+
+type t = { n : int; succ : int list array }
+
+let sccs_within g allowed =
+  let ok q = Iset.mem q allowed in
+  let succs q = if ok q then List.filter ok g.succ.(q) else [] in
+  let index = Array.make g.n (-1) in
+  let low = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (succs v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if ok v && index.(v) = -1 then strong v
+  done;
+  !out
+
+let reachable g starts =
+  let seen = Array.make g.n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter visit g.succ.(v)
+    end
+  in
+  List.iter visit starts;
+  seen
+
+let path g ~ok src dst =
+  if dst src then Some []
+  else begin
+    let parent = Hashtbl.create 64 in
+    Hashtbl.add parent src None;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let v = Queue.pop queue in
+         List.iter
+           (fun w ->
+             if ok w && not (Hashtbl.mem parent w) then begin
+               Hashtbl.add parent w (Some v);
+               if dst w then begin
+                 found := Some w;
+                 raise Exit
+               end;
+               Queue.add w queue
+             end)
+           g.succ.(v)
+       done
+     with Exit -> ());
+    match !found with
+    | None -> None
+    | Some w ->
+        let rec build v acc =
+          match Hashtbl.find parent v with
+          | None -> acc
+          | Some p -> build p (v :: acc)
+        in
+        Some (build w [])
+  end
+
+(* Returns (prefix, cycle) as node lists: prefix leads from a start to
+   the cycle's anchor (anchor excluded), cycle starts after the anchor
+   and ends at the anchor. *)
+let find_accepting_lasso g ~starts acc =
+  let seen = reachable g starts in
+  let candidate =
+    List.find_map
+      (fun (fin, infs) ->
+        let allowed = ref Iset.empty in
+        Array.iteri
+          (fun v r -> if r && not (Iset.mem v fin) then allowed := Iset.add v !allowed)
+          seen;
+        List.find_map
+          (fun comp ->
+            let in_comp = Iset.of_list comp in
+            let nontrivial =
+              List.exists
+                (fun v -> List.exists (fun w -> Iset.mem w in_comp) g.succ.(v))
+                comp
+            in
+            if
+              nontrivial
+              && List.for_all
+                   (fun inf -> List.exists (fun v -> Iset.mem v inf) comp)
+                   infs
+            then Some (in_comp, infs, comp)
+            else None)
+          (sccs_within g !allowed))
+      (Acceptance.dnf acc)
+  in
+  match candidate with
+  | None -> None
+  | Some (in_comp, infs, comp) ->
+      let ok_all v = seen.(v) in
+      let ok_comp v = Iset.mem v in_comp in
+      let anchor = List.hd comp in
+      let start = List.hd starts in
+      let prefix =
+        (* try all starts for a path to the anchor *)
+        let rec try_starts = function
+          | [] -> assert false
+          | s :: rest -> (
+              match path g ~ok:ok_all s (fun v -> v = anchor) with
+              | Some p -> (s, p)
+              | None -> try_starts rest)
+        in
+        ignore start;
+        try_starts starts
+      in
+      let reps =
+        List.map
+          (fun inf ->
+            match List.find_opt (fun v -> Iset.mem v inf) comp with
+            | Some v -> v
+            | None -> assert false)
+          infs
+      in
+      let rec tour cur targets acc_path =
+        match targets with
+        | t :: rest -> (
+            match path g ~ok:ok_comp cur (fun v -> v = t) with
+            | Some p -> tour t rest (acc_path @ p)
+            | None -> assert false)
+        | [] -> (
+            let back =
+              List.find_map
+                (fun w ->
+                  if ok_comp w then
+                    match path g ~ok:ok_comp w (fun v -> v = anchor) with
+                    | Some p -> Some (w :: p)
+                    | None -> None
+                  else None)
+                g.succ.(cur)
+            in
+            match back with
+            | Some p -> acc_path @ p
+            | None -> assert false)
+      in
+      let s0, pre = prefix in
+      Some (s0, pre @ [], tour anchor reps [])

@@ -1,0 +1,207 @@
+open System
+
+(* Variable layout helpers: states are arrays in declaration order. *)
+
+let peterson () =
+  (* vars: pc1 pc2 flag1 flag2 turn *)
+  let pc1 = 0 and pc2 = 1 and flag1 = 2 and flag2 = 3 and turn = 4 in
+  let set s assignments =
+    let s' = Array.copy s in
+    List.iter (fun (i, v) -> s'.(i) <- v) assignments;
+    [ s' ]
+  in
+  let request i_pc i_flag other =
+    {
+      tname = Printf.sprintf "request%d" (i_pc + 1);
+      guard = (fun s -> s.(i_pc) = 0);
+      action = (fun s -> set s [ (i_pc, 1); (i_flag, 1); (turn, other) ]);
+    }
+  in
+  let enter i_pc o_flag me =
+    {
+      tname = Printf.sprintf "enter%d" (i_pc + 1);
+      guard = (fun s -> s.(i_pc) = 1 && (s.(o_flag) = 0 || s.(turn) = me));
+      action = (fun s -> set s [ (i_pc, 2) ]);
+    }
+  in
+  let exit i_pc i_flag =
+    {
+      tname = Printf.sprintf "exit%d" (i_pc + 1);
+      guard = (fun s -> s.(i_pc) = 2);
+      action = (fun s -> set s [ (i_pc, 0); (i_flag, 0) ]);
+    }
+  in
+  make
+    ~vars:
+      [
+        { name = "pc1"; lo = 0; hi = 2 };
+        { name = "pc2"; lo = 0; hi = 2 };
+        { name = "flag1"; lo = 0; hi = 1 };
+        { name = "flag2"; lo = 0; hi = 1 };
+        { name = "turn"; lo = 1; hi = 2 };
+      ]
+    ~init:[ [| 0; 0; 0; 0; 1 |] ]
+    ~transitions:
+      [
+        request pc1 flag1 2;
+        enter pc1 flag2 1;
+        exit pc1 flag1;
+        request pc2 flag2 1;
+        enter pc2 flag1 2;
+        exit pc2 flag2;
+      ]
+    ~fairness:[ Weak "enter1"; Weak "exit1"; Weak "enter2"; Weak "exit2" ]
+    ()
+
+let mutex_do_nothing () =
+  (* processes may request but nobody ever enters *)
+  let pc1 = 0 and pc2 = 1 in
+  let request i =
+    {
+      tname = Printf.sprintf "request%d" (i + 1);
+      guard = (fun s -> s.(i) = 0);
+      action =
+        (fun s ->
+          let s' = Array.copy s in
+          s'.(i) <- 1;
+          [ s' ]);
+    }
+  in
+  make
+    ~vars:[ { name = "pc1"; lo = 0; hi = 2 }; { name = "pc2"; lo = 0; hi = 2 } ]
+    ~init:[ [| 0; 0 |] ]
+    ~transitions:[ request pc1; request pc2 ]
+    ~fairness:[]
+    ()
+
+let allocator ~strong () =
+  (* vars: c1 c2 (0 idle, 1 waiting, 2 using), free *)
+  let c1 = 0 and c2 = 1 and free = 2 in
+  let set s assignments =
+    let s' = Array.copy s in
+    List.iter (fun (i, v) -> s'.(i) <- v) assignments;
+    [ s' ]
+  in
+  let client i =
+    [
+      {
+        tname = Printf.sprintf "request%d" (i + 1);
+        guard = (fun s -> s.(i) = 0);
+        action = (fun s -> set s [ (i, 1) ]);
+      };
+      {
+        tname = Printf.sprintf "grant%d" (i + 1);
+        guard = (fun s -> s.(i) = 1 && s.(free) = 1);
+        action = (fun s -> set s [ (i, 2); (free, 0) ]);
+      };
+      {
+        tname = Printf.sprintf "release%d" (i + 1);
+        guard = (fun s -> s.(i) = 2);
+        action = (fun s -> set s [ (i, 0); (free, 1) ]);
+      };
+    ]
+  in
+  let grant_fairness =
+    if strong then [ Strong "grant1"; Strong "grant2" ]
+    else [ Weak "grant1"; Weak "grant2" ]
+  in
+  make
+    ~vars:
+      [
+        { name = "c1"; lo = 0; hi = 2 };
+        { name = "c2"; lo = 0; hi = 2 };
+        { name = "free"; lo = 0; hi = 1 };
+      ]
+    ~init:[ [| 0; 0; 1 |] ]
+    ~transitions:(client c1 @ client c2)
+    ~fairness:
+      ([ Weak "release1"; Weak "release2"; Weak "request1"; Weak "request2" ]
+      @ grant_fairness)
+    ()
+
+let philosophers ~lefty () =
+  (* vars: pc0 pc1 pc2 (0..3), fork0 fork1 fork2 (0..1) *)
+  let pc i = i and fork i = 3 + i in
+  let set s assignments =
+    let s' = Array.copy s in
+    List.iter (fun (i, v) -> s'.(i) <- v) assignments;
+    [ s' ]
+  in
+  (* philosopher i's forks: left = i, right = (i+1) mod 3; philosopher 0
+     swaps the order when lefty *)
+  let first i = if lefty && i = 0 then (i + 1) mod 3 else i in
+  let second i = if lefty && i = 0 then i else (i + 1) mod 3 in
+  let phil i =
+    [
+      {
+        tname = Printf.sprintf "hungry_%d" i;
+        guard = (fun s -> s.(pc i) = 0);
+        action = (fun s -> set s [ (pc i, 1) ]);
+      };
+      {
+        tname = Printf.sprintf "take1_%d" i;
+        guard = (fun s -> s.(pc i) = 1 && s.(fork (first i)) = 1);
+        action = (fun s -> set s [ (pc i, 2); (fork (first i), 0) ]);
+      };
+      {
+        tname = Printf.sprintf "take2_%d" i;
+        guard = (fun s -> s.(pc i) = 2 && s.(fork (second i)) = 1);
+        action = (fun s -> set s [ (pc i, 3); (fork (second i), 0) ]);
+      };
+      {
+        tname = Printf.sprintf "release_%d" i;
+        guard = (fun s -> s.(pc i) = 3);
+        action =
+          (fun s ->
+            set s [ (pc i, 0); (fork (first i), 1); (fork (second i), 1) ]);
+      };
+    ]
+  in
+  make
+    ~vars:
+      [
+        { name = "pc0"; lo = 0; hi = 3 };
+        { name = "pc1"; lo = 0; hi = 3 };
+        { name = "pc2"; lo = 0; hi = 3 };
+        { name = "fork0"; lo = 0; hi = 1 };
+        { name = "fork1"; lo = 0; hi = 1 };
+        { name = "fork2"; lo = 0; hi = 1 };
+      ]
+    ~init:[ [| 0; 0; 0; 1; 1; 1 |] ]
+    ~transitions:(phil 0 @ phil 1 @ phil 2)
+    ~fairness:
+      (List.concat_map
+         (fun i ->
+           [ Weak (Printf.sprintf "take2_%d" i);
+             Weak (Printf.sprintf "release_%d" i) ])
+         [ 0; 1; 2 ])
+    ()
+
+let countdown ~n () =
+  let x = 0 and done_ = 1 in
+  make
+    ~vars:[ { name = "x"; lo = 0; hi = n }; { name = "done_"; lo = 0; hi = 1 } ]
+    ~init:[ [| n; 0 |] ]
+    ~transitions:
+      [
+        {
+          tname = "dec";
+          guard = (fun s -> s.(x) > 0 && s.(done_) = 0);
+          action =
+            (fun s ->
+              let s' = Array.copy s in
+              s'.(x) <- s.(x) - 1;
+              [ s' ]);
+        };
+        {
+          tname = "finish";
+          guard = (fun s -> s.(x) = 0 && s.(done_) = 0);
+          action =
+            (fun s ->
+              let s' = Array.copy s in
+              s'.(done_) <- 1;
+              [ s' ]);
+        };
+      ]
+    ~fairness:[ Weak "dec"; Weak "finish" ]
+    ()

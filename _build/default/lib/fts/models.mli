@@ -1,0 +1,49 @@
+(** Example reactive programs, modelled as fair transition systems.
+
+    These realize the paper's running examples: mutual exclusion (safety
+    + accessibility, section 1 and section 4) and fairness-dependent
+    responsiveness (weak vs. strong fairness, section 4). *)
+
+(** Peterson's mutual-exclusion algorithm for two processes.
+
+    Variables: [pc1, pc2] (0 = non-critical, 1 = trying, 2 = critical),
+    [flag1, flag2], [turn] (1 or 2).  Transitions [request_i] (sets flag
+    and yields turn, atomically), [enter_i] (guarded by Peterson's
+    condition), [exit_i].  Weak fairness on enter and exit; requesting is
+    unconstrained — a process may stay non-critical forever.
+
+    Satisfies [[] !(pc1=2 & pc2=2)] (mutual exclusion, safety) and
+    [[] (pc1=1 -> <> pc1=2)] (accessibility, a response/recurrence
+    property). *)
+val peterson : unit -> System.t
+
+(** A naive mutual-exclusion "solution" that never lets anyone in: it
+    satisfies the safety part of the specification but not accessibility
+    — the paper's canonical underspecification trap. *)
+val mutex_do_nothing : unit -> System.t
+
+(** A one-resource allocator with two clients.
+
+    Clients cycle idle -> waiting -> using -> idle; [grant_i] requires
+    the resource free.  With [strong] fairness on grants, accessibility
+    [[] (w1=1 -> <> u1=1)] holds; with only weak fairness it fails
+    (the grant is enabled only intermittently, so weak fairness is
+    vacuous — the paper's motivation for the strong-fairness class). *)
+val allocator : strong:bool -> unit -> System.t
+
+(** A terminating program: counts [x] down from [n] to 0 ([done_=1] at
+    the end).  Total correctness is the guarantee property
+    [<> (done_=1 & x=0)]; partial correctness is the safety property
+    [[] (done_=1 -> x=0)]. *)
+val countdown : n:int -> unit -> System.t
+
+(** Three dining philosophers.  [pc_i]: 0 thinking, 1 hungry, 2 holding
+    the first fork, 3 eating; [fork_i]: 1 when free.
+
+    With [lefty:false] all philosophers grab their left fork first and
+    the circular wait is reachable: the deadlock-freedom safety property
+    [[] (en_take1_0 | en_take2_0 | ... | en_release_2 | ...)]
+    fails, with the counterexample exhibiting the classic all-hold-left
+    state.  With [lefty:true] philosopher 0 grabs the right fork first,
+    which breaks the cycle: deadlock-freedom holds. *)
+val philosophers : lefty:bool -> unit -> System.t

@@ -1,0 +1,118 @@
+type 'w premise_result = Proved | Refuted of 'w
+
+type invariance_report = {
+  initially : System.state premise_result;
+  preserved : (System.state * string * System.state) premise_result;
+}
+
+type response_report = {
+  r1 : System.state premise_result;
+  r2 : (System.state * string * System.state) premise_result;
+  r3 : (System.state * System.state) premise_result;
+  r4 : System.state premise_result;
+}
+
+let full_space sys =
+  let vars = System.vars sys in
+  let space =
+    List.fold_left
+      (fun acc (v : System.var) ->
+        List.concat_map
+          (fun partial ->
+            List.init (v.hi - v.lo + 1) (fun i -> (v.lo + i) :: partial))
+          acc)
+      [ [] ] vars
+  in
+  (* values were accumulated in reverse variable order *)
+  List.map (fun l -> Array.of_list (List.rev l)) space
+
+(* Successors of a state by each declared transition (idling excluded:
+   it trivially preserves every assertion). *)
+let moves sys s =
+  List.concat_map
+    (fun (tr : System.transition) ->
+      if tr.guard s then List.map (fun s' -> (tr.tname, s')) (tr.action s)
+      else [])
+    (System.internal_transitions sys)
+
+let first_refutation find =
+  match find () with None -> Proved | Some w -> Refuted w
+
+let check_invariance sys phi =
+  let space = full_space sys in
+  let initially =
+    first_refutation (fun () ->
+        List.find_opt (fun s -> not (phi s)) (System.internal_init sys))
+  in
+  let preserved =
+    first_refutation (fun () ->
+        List.find_map
+          (fun s ->
+            if phi s then
+              List.find_map
+                (fun (tn, s') -> if phi s' then None else Some (s, tn, s'))
+                (moves sys s)
+            else None)
+          space)
+  in
+  { initially; preserved }
+
+let invariance_valid r = r.initially = Proved && r.preserved = Proved
+
+let check_response sys ~p ~q ~phi ~rank ~helpful =
+  let space = full_space sys in
+  List.iter
+    (fun s ->
+      if phi s && rank s < 0 then
+        invalid_arg "Proof.check_response: negative rank on a phi-state")
+    space;
+  let r1 =
+    first_refutation (fun () ->
+        List.find_opt (fun s -> p s && (not (q s)) && not (phi s)) space)
+  in
+  let r2 =
+    first_refutation (fun () ->
+        List.find_map
+          (fun s ->
+            if phi s && not (q s) then
+              List.find_map
+                (fun (tn, s') ->
+                  if q s' || (phi s' && rank s' <= rank s) then None
+                  else Some (s, tn, s'))
+                (moves sys s)
+            else None)
+          space)
+  in
+  let r3 =
+    first_refutation (fun () ->
+        List.find_map
+          (fun s ->
+            if phi s && not (q s) then
+              List.find_map
+                (fun (tn, s') ->
+                  if tn = helpful s then
+                    if q s' || (phi s' && rank s' < rank s) then None
+                    else Some (s, s')
+                  else if
+                    (* stability: the helpful transition may not change
+                       while the rank stays put *)
+                    phi s' && (not (q s')) && rank s' = rank s
+                    && helpful s' <> helpful s
+                  then Some (s, s')
+                  else None)
+                (moves sys s)
+            else None)
+          space)
+  in
+  let r4 =
+    first_refutation (fun () ->
+        List.find_opt
+          (fun s ->
+            phi s && (not (q s))
+            && not (System.internal_guard sys (helpful s) s))
+          space)
+  in
+  { r1; r2; r3; r4 }
+
+let response_valid r =
+  r.r1 = Proved && r.r2 = Proved && r.r3 = Proved && r.r4 = Proved

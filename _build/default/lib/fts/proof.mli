@@ -1,0 +1,61 @@
+(** The two proof principles the paper contrasts (section 1): the
+    invariance rule for safety properties (computational induction) and
+    the well-founded response rule for liveness (structural induction).
+
+    Both rules check their premises by enumeration over the full declared
+    state space (not just reachable states), exactly as the deductive
+    rules demand — the induction is in the justification of the rule, its
+    application only checks local conditions. *)
+
+type 'w premise_result = Proved | Refuted of 'w
+
+(** Premises of the invariance rule for [[] phi]:
+    - I1: every initial state satisfies [phi];
+    - I2: every transition from a [phi]-state leads to a [phi]-state.
+
+    [check_invariance sys phi] returns, for each failed premise, a
+    witness.  When both premises hold, [[] phi] holds over every
+    computation (the paper's implicit induction). *)
+type invariance_report = {
+  initially : System.state premise_result;
+  preserved : (System.state * string * System.state) premise_result;
+}
+
+val check_invariance :
+  System.t -> (System.state -> bool) -> invariance_report
+
+val invariance_valid : invariance_report -> bool
+
+(** Premises of the response rule for [p => <> q] under weak fairness,
+    with a helpful transition chosen per state:
+    - R1: [p] implies [q] or the intermediate assertion [phi];
+    - R2: every transition from a [phi]-state leads to a [q]-state or to
+      a [phi]-state with rank not increased;
+    - R3: the state's helpful transition leads from [phi] to [q], or
+      decreases the rank, and every same-rank [phi]-successor keeps the
+      same helpful transition;
+    - R4: [phi] implies the state's helpful transition is enabled.
+
+    Ranks must be non-negative.  When all premises hold and every
+    helpful transition is weakly fair, every [p]-position is followed by
+    a [q]-position. *)
+type response_report = {
+  r1 : System.state premise_result;
+  r2 : (System.state * string * System.state) premise_result;
+  r3 : (System.state * System.state) premise_result;
+  r4 : System.state premise_result;
+}
+
+val check_response :
+  System.t ->
+  p:(System.state -> bool) ->
+  q:(System.state -> bool) ->
+  phi:(System.state -> bool) ->
+  rank:(System.state -> int) ->
+  helpful:(System.state -> string) ->
+  response_report
+
+val response_valid : response_report -> bool
+
+(** All states in the declared variable ranges (the rule's domain). *)
+val full_space : System.t -> System.state list

@@ -1,0 +1,130 @@
+type t =
+  | Safety
+  | Guarantee
+  | Obligation of int
+  | Recurrence
+  | Persistence
+  | Reactivity of int
+
+let check = function
+  | Obligation k | Reactivity k ->
+      if k < 1 then invalid_arg "Kappa: index must be >= 1"
+  | Safety | Guarantee | Recurrence | Persistence -> ()
+
+let leq a b =
+  check a;
+  check b;
+  match (a, b) with
+  | Safety, Safety | Guarantee, Guarantee -> true
+  | (Safety | Guarantee), (Obligation _ | Recurrence | Persistence | Reactivity _)
+    ->
+      true
+  | Obligation j, Obligation k -> j <= k
+  | Obligation _, (Recurrence | Persistence | Reactivity _) -> true
+  | Recurrence, (Recurrence | Reactivity _) -> true
+  | Persistence, (Persistence | Reactivity _) -> true
+  | Reactivity j, Reactivity k -> j <= k
+  | (Safety | Guarantee | Obligation _ | Recurrence | Persistence | Reactivity _), _
+    ->
+      false
+
+let equal a b = leq a b && leq b a
+
+(* Conjunctive-normal-form index when the class sits inside obligation. *)
+let obligation_index = function
+  | Safety | Guarantee -> Some 1
+  | Obligation k -> Some k
+  | Recurrence | Persistence | Reactivity _ -> None
+
+let reactivity_index = function
+  | Safety | Guarantee | Obligation _ | Recurrence | Persistence -> 1
+  | Reactivity k -> k
+
+(* The four basic classes are closed under both positive boolean
+   operations; a positive combination of a subclass with one of them stays
+   inside it. *)
+let closed_basic = function
+  | Safety | Guarantee | Recurrence | Persistence -> true
+  | Obligation _ | Reactivity _ -> false
+
+let positive op_obl op_rea a b =
+  if leq a b && closed_basic b then b
+  else if leq b a && closed_basic a then a
+  else
+    match (obligation_index a, obligation_index b) with
+    | Some j, Some k -> Obligation (op_obl j k)
+    | (Some _ | None), (Some _ | None) ->
+        Reactivity (op_rea (reactivity_index a) (reactivity_index b))
+
+let and_ = positive ( + ) ( + )
+
+let or_ = positive ( * ) ( * )
+
+let pow2 k = if k >= 30 then max_int else 1 lsl k
+
+let not_ = function
+  | Safety -> Guarantee
+  | Guarantee -> Safety
+  | Recurrence -> Persistence
+  | Persistence -> Recurrence
+  | Obligation k -> Obligation (pow2 k)
+  | Reactivity k -> Reactivity (pow2 k)
+
+let join a b =
+  if leq a b then b
+  else if leq b a then a
+  else
+    match (a, b) with
+    | (Safety | Guarantee), (Safety | Guarantee) -> Obligation 1
+    | (Recurrence | Persistence), (Recurrence | Persistence) -> Reactivity 1
+    | (Safety | Guarantee | Obligation _), (Recurrence | Persistence)
+    | (Recurrence | Persistence), (Safety | Guarantee | Obligation _) ->
+        (* incomparable only when the first is not below the second, e.g.
+           Obligation k vs Recurrence never reaches here (leq holds);
+           Safety vs Recurrence likewise.  This arm is unreachable but
+           kept total. *)
+        Reactivity 1
+    | (Safety | Guarantee | Obligation _ | Recurrence | Persistence | Reactivity _), _
+      ->
+        Reactivity (max (reactivity_index a) (reactivity_index b))
+
+let basic =
+  [ Safety; Guarantee; Obligation 1; Recurrence; Persistence; Reactivity 1 ]
+
+let name = function
+  | Safety -> "safety"
+  | Guarantee -> "guarantee"
+  | Obligation 1 -> "simple obligation"
+  | Obligation k -> Printf.sprintf "obligation(%d)" k
+  | Recurrence -> "recurrence"
+  | Persistence -> "persistence"
+  | Reactivity 1 -> "simple reactivity"
+  | Reactivity k -> Printf.sprintf "reactivity(%d)" k
+
+let borel_name = function
+  | Safety -> "Π1"
+  | Guarantee -> "Σ1"
+  | Obligation _ -> "Δ2"
+  | Recurrence -> "Π2"
+  | Persistence -> "Σ2"
+  | Reactivity _ -> "Δ3"
+
+let topological_name = function
+  | Safety -> "closed (F)"
+  | Guarantee -> "open (G)"
+  | Obligation _ -> "boolean combination of closed sets"
+  | Recurrence -> "G_delta"
+  | Persistence -> "F_sigma"
+  | Reactivity _ -> "boolean combination of G_delta sets"
+
+let formula_shape = function
+  | Safety -> "[]p"
+  | Guarantee -> "<>p"
+  | Obligation k when k = 1 -> "[]p \\/ <>q"
+  | Obligation k -> Printf.sprintf "/\\_%d ([]p_i \\/ <>q_i)" k
+  | Recurrence -> "[]<>p"
+  | Persistence -> "<>[]p"
+  | Reactivity k when k = 1 -> "[]<>p \\/ <>[]q"
+  | Reactivity k -> Printf.sprintf "/\\_%d ([]<>p_i \\/ <>[]q_i)" k
+
+let pp ppf k = Fmt.string ppf (name k)

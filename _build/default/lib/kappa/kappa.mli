@@ -1,0 +1,73 @@
+(** The classes of the safety-progress hierarchy (Figure 1 of the paper).
+
+    The six classes form a lattice under inclusion of property classes:
+
+    {v
+                reactivity (Δ3)
+               /          \
+      recurrence (Π2)   persistence (Σ2)
+               \          /
+              obligation (Δ2)
+               /          \
+        safety (Π1)     guarantee (Σ1)
+    v}
+
+    Obligation and reactivity each carry a strictness index: [Obligation k]
+    is the paper's [Obl_k], the properties presentable as a conjunction of
+    [k] simple obligations [A(Phi_i) ∪ E(Psi_i)]; [Reactivity k] likewise
+    for conjunctions of [k] simple reactivity properties
+    [R(Phi_i) ∪ P(Psi_i)].  Both sub-hierarchies are strict (paper,
+    section 2). *)
+
+type t =
+  | Safety
+  | Guarantee
+  | Obligation of int  (** [Obl_k], [k >= 1]; [Obligation 1] is simple *)
+  | Recurrence
+  | Persistence
+  | Reactivity of int  (** [k >= 1]; [Reactivity 1] is simple reactivity *)
+
+(** Class inclusion as in Figure 1 (with [Obl_j <= Obl_k] and
+    [Reactivity j <= Reactivity k] for [j <= k], and
+    [Obligation _ <= Recurrence, Persistence]). *)
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Least class (per the lattice above) containing the intersection of a
+    property of class [a] with one of class [b], per the paper's closure
+    laws.  For obligation/reactivity this uses the conjunctive-normal-form
+    bound ([Obl_j /\ Obl_k <= Obl_{j+k}]); the bound is tight in general
+    but a particular property may of course lie lower. *)
+val and_ : t -> t -> t
+
+(** Likewise for union ([Obl_j \/ Obl_k <= Obl_{j*k}] by distributing the
+    conjunctive normal forms). *)
+val or_ : t -> t -> t
+
+(** Class of the complement: safety <-> guarantee, recurrence <->
+    persistence; obligation and reactivity are closed under complement
+    (with an exponential index bound from the normal-form argument). *)
+val not_ : t -> t
+
+(** Least upper bound in the class lattice. *)
+val join : t -> t -> t
+
+(** The six classes with index 1 where applicable, in hierarchy order. *)
+val basic : t list
+
+(** Hierarchy name as used in the paper: "safety", "guarantee", ... *)
+val name : t -> string
+
+(** Borel-style designation (section 2): safety = Π1, guarantee = Σ1,
+    recurrence = Π2, persistence = Σ2, obligation = Δ2, reactivity = Δ3. *)
+val borel_name : t -> string
+
+(** Topological family (section 3): closed (F), open (G), G_delta,
+    F_sigma, and boolean combinations for the compound classes. *)
+val topological_name : t -> string
+
+(** The canonical temporal-formula shape for the class (section 4). *)
+val formula_shape : t -> string
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Fmt Hashtbl List Stdlib

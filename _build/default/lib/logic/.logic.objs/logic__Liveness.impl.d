@@ -1,0 +1,1 @@
+lib/logic/liveness.ml: Formula List Option Printf Tableau

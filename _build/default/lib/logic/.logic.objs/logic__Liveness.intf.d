@@ -1,0 +1,1 @@
+lib/logic/liveness.mli: Finitary Formula

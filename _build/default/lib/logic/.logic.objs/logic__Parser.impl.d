@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Array Formula List Printf String

@@ -1,0 +1,1 @@
+lib/logic/past_tester.ml: Array Finitary Formula Hashtbl Int64 List Queue

@@ -1,0 +1,1 @@
+lib/logic/past_tester.mli: Finitary Formula

@@ -1,0 +1,1 @@
+lib/logic/rewrite.ml: Fmt Formula Kappa List Option

@@ -1,0 +1,1 @@
+lib/logic/rewrite.mli: Fmt Formula Kappa

@@ -1,0 +1,1 @@
+lib/logic/tableau.ml: Array Finitary Formula Fun Hashtbl Int List Past_tester Printf Queue Set Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/tableau.mli: Finitary Formula

@@ -1,0 +1,147 @@
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Next of t
+  | Until of t * t
+  | Wuntil of t * t
+  | Ev of t
+  | Alw of t
+  | Prev of t
+  | Wprev of t
+  | Since of t * t
+  | Wsince of t * t
+  | Once of t
+  | Hist of t
+
+let first = Wprev False
+
+let entails p q = Alw (Imp (p, q))
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let rec is_past = function
+  | True | False | Atom _ -> true
+  | Not f | Prev f | Wprev f | Once f | Hist f -> is_past f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) | Since (f, g)
+  | Wsince (f, g) ->
+      is_past f && is_past g
+  | Next _ | Until _ | Wuntil _ | Ev _ | Alw _ -> false
+
+let rec is_future = function
+  | True | False | Atom _ -> true
+  | Not f | Next f | Ev f | Alw f -> is_future f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) | Until (f, g)
+  | Wuntil (f, g) ->
+      is_future f && is_future g
+  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ -> false
+
+let is_state f = is_past f && is_future f
+
+let children = function
+  | True | False | Atom _ -> []
+  | Not f | Next f | Ev f | Alw f | Prev f | Wprev f | Once f | Hist f -> [ f ]
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) | Until (f, g)
+  | Wuntil (f, g) | Since (f, g) | Wsince (f, g) ->
+      [ f; g ]
+
+let subformulas f =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      List.iter visit (children f);
+      acc := f :: !acc
+    end
+  in
+  visit f;
+  List.rev !acc
+
+let rec size f = 1 + List.fold_left (fun n g -> n + size g) 0 (children f)
+
+let atoms f =
+  List.filter_map
+    (function Atom a -> Some a | _ -> None)
+    (subformulas f)
+
+let rec expand = function
+  | (True | Atom _) as f -> f
+  | False -> Not True
+  | Not f -> Not (expand f)
+  | And (f, g) -> And (expand f, expand g)
+  | Or (f, g) -> Or (expand f, expand g)
+  | Imp (f, g) -> Or (Not (expand f), expand g)
+  | Iff (f, g) ->
+      let f = expand f and g = expand g in
+      Or (And (f, g), And (Not f, Not g))
+  | Next f -> Next (expand f)
+  | Until (f, g) -> Until (expand f, expand g)
+  | Wuntil (f, g) ->
+      let f = expand f and g = expand g in
+      Or (Until (f, g), Not (Until (True, Not f)))
+  | Ev f -> Until (True, expand f)
+  | Alw f -> Not (Until (True, Not (expand f)))
+  | Prev f -> Prev (expand f)
+  | Wprev f -> Not (Prev (Not (expand f)))
+  | Since (f, g) -> Since (expand f, expand g)
+  | Wsince (f, g) ->
+      let f = expand f and g = expand g in
+      Or (Since (f, g), Not (Since (True, Not f)))
+  | Once f -> Since (True, expand f)
+  | Hist f -> Not (Since (True, Not (expand f)))
+
+let equal = ( = )
+
+let compare = Stdlib.compare
+
+(* Precedence levels, loosest first:
+   0: <->   1: ->   2: |   3: &   4: U W S B   5: unary *)
+let rec prec = function
+  | Iff _ -> 0
+  | Imp _ -> 1
+  | Or _ -> 2
+  | And _ -> 3
+  | Until _ | Wuntil _ | Since _ | Wsince _ -> 4
+  | Not _ | Next _ | Ev _ | Alw _ | Prev _ | Wprev _ | Once _ | Hist _ -> 5
+  | True | False | Atom _ -> 6
+
+and to_string f = pr 0 f
+
+and pr level f =
+  let s =
+    match f with
+    | True -> "true"
+    | False -> "false"
+    | Atom a -> a
+    | Not f -> "!" ^ pr 5 f
+    | And (f, g) -> pr 4 f ^ " & " ^ pr 3 g
+    | Or (f, g) -> pr 3 f ^ " | " ^ pr 2 g
+    | Imp (f, g) -> pr 2 f ^ " -> " ^ pr 1 g
+    | Iff (f, g) -> pr 1 f ^ " <-> " ^ pr 0 g
+    | Next f -> "X " ^ pr 5 f
+    | Until (f, g) -> pr 5 f ^ " U " ^ pr 4 g
+    | Wuntil (f, g) -> pr 5 f ^ " W " ^ pr 4 g
+    | Ev f -> "<> " ^ pr 5 f
+    | Alw f -> "[] " ^ pr 5 f
+    | Prev f -> "Y " ^ pr 5 f
+    | Wprev f -> "Z " ^ pr 5 f
+    | Since (f, g) -> pr 5 f ^ " S " ^ pr 4 g
+    | Wsince (f, g) -> pr 5 f ^ " B " ^ pr 4 g
+    | Once f -> "O " ^ pr 5 f
+    | Hist f -> "H " ^ pr 5 f
+  in
+  if prec f < level then "(" ^ s ^ ")" else s
+
+let pp ppf f = Fmt.string ppf (to_string f)

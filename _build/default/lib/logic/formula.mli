@@ -1,0 +1,78 @@
+(** Propositional linear temporal logic with past (section 4 of the paper).
+
+    Future operators: next, until, unless (weak until), eventually,
+    henceforth.  Past operators: previous, weak previous, since, weak
+    since (the paper's "back"), once ("sometimes in the past"),
+    historically ("always in the past").
+
+    Semantics is the anchored semantics of Manna-Pnueli: [until] is
+    non-strict in its second argument and does not require its first at
+    the witness position; [since] is its mirror; [previous] is strict
+    (false at position 0) and [wprev] is its weak dual.  [first], the
+    formula characterizing position 0, is [wprev false]. *)
+
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Next of t
+  | Until of t * t
+  | Wuntil of t * t  (** unless: [p W q = []p \/ (p U q)] *)
+  | Ev of t  (** eventually [<>] *)
+  | Alw of t  (** henceforth [[]] *)
+  | Prev of t  (** previous (strict) *)
+  | Wprev of t  (** weak previous *)
+  | Since of t * t
+  | Wsince of t * t  (** weak since: [p B q = [-]p \/ (p S q)] *)
+  | Once of t  (** sometimes in the past [<->] *)
+  | Hist of t  (** always in the past [[-]] *)
+
+(** [wprev false]: holds exactly at position 0. *)
+val first : t
+
+(** The entailment [p => q] of the paper: [[] (p -> q)]. *)
+val entails : t -> t -> t
+
+(** n-ary smart conjunction/disjunction (unit laws applied). *)
+val conj : t list -> t
+
+val disj : t list -> t
+
+(** No future operators below the root. *)
+val is_past : t -> bool
+
+(** No temporal operators at all. *)
+val is_state : t -> bool
+
+(** No past operators. *)
+val is_future : t -> bool
+
+(** All distinct subformulas, children before parents. *)
+val subformulas : t -> t list
+
+(** Syntactic size (number of connectives and atoms). *)
+val size : t -> int
+
+(** Atom names occurring in the formula. *)
+val atoms : t -> string list
+
+(** Rewrite derived operators into the core
+    [{true, atom, not, and, or, next, until, prev, since}]:
+    [p W q -> (p U q) \/ not (true U not p)], [<>, [], <->, [-], B] and
+    boolean sugar are expanded; [wprev p -> not (prev (not p))]. *)
+val expand : t -> t
+
+(** Structural equality. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Paper-style concrete syntax, re-parsable by {!Parser.parse}. *)
+val to_string : t -> string
+
+val pp : t Fmt.t

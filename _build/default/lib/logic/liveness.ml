@@ -1,0 +1,71 @@
+open Formula
+
+type t = { parts : (Formula.t * Formula.t) list }
+
+exception Ill_formed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let check_common alpha parts =
+  if parts = [] then fail "a liveness formula needs at least one disjunct";
+  List.iteri
+    (fun i (p, q) ->
+      if not (is_past p) then
+        fail "p_%d is not a past formula: %s" i (to_string p);
+      if not (is_future q) then
+        fail "q_%d is not a future formula: %s" i (to_string q);
+      if not (Tableau.satisfiable alpha q) then
+        fail "q_%d is unsatisfiable: %s" i (to_string q))
+    parts
+
+let make alpha parts =
+  check_common alpha parts;
+  let cover = Alw (disj (List.map fst parts)) in
+  if not (Tableau.valid alpha cover) then
+    fail "the past formulas do not cover every position: %s is not valid"
+      (to_string cover);
+  { parts }
+
+let to_formula { parts } =
+  Ev (disj (List.map (fun (p, q) -> And (p, Ev q)) parts))
+
+let make_conjunctive alpha parts =
+  check_common alpha parts;
+  List.iteri
+    (fun i (pi, _) ->
+      List.iteri
+        (fun j (pj, _) ->
+          if i < j && Tableau.satisfiable alpha (And (pi, pj)) then
+            fail "p_%d and p_%d are not disjoint" i j)
+        parts)
+    parts;
+  { parts }
+
+let to_conjunctive_formula { parts } =
+  Ev (conj (List.map (fun (p, q) -> Imp (p, Ev q)) parts))
+
+(* Shape matching for the disjunctive form. *)
+let is_liveness_formula alpha f =
+  match f with
+  | Ev body ->
+      let rec disjuncts = function
+        | Or (a, b) -> disjuncts a @ disjuncts b
+        | d -> [ d ]
+      in
+      let parts =
+        List.map
+          (function
+            | And (p, Ev q) -> Some (p, q)
+            | d when is_past d -> Some (d, True)
+            | _ -> None)
+          (disjuncts body)
+      in
+      if List.for_all Option.is_some parts then
+        match make alpha (List.map Option.get parts) with
+        | _ -> true
+        | exception Ill_formed _ -> false
+      else false
+  | True | False | Atom _ | Not _ | And _ | Or _ | Imp _ | Iff _ | Next _
+  | Until _ | Wuntil _ | Alw _ | Prev _ | Wprev _ | Since _ | Wsince _
+  | Once _ | Hist _ ->
+      false

@@ -1,0 +1,41 @@
+(** The syntactic characterization of liveness (end of section 4).
+
+    A {e liveness formula} is a formula of the form
+
+    [<>( \/_i (p_i /\ <> q_i) )]
+
+    where each [p_i] is a past formula, each [q_i] is a {e satisfiable}
+    future formula, and [[](\/_i p_i)] is valid.  Every property
+    specifiable by a liveness formula is a liveness property: any finite
+    word end-satisfies some [p_i], and appending a model of [q_i] yields
+    a word satisfying the formula.
+
+    The paper also gives an alternative shape
+    [<>( /\_i (p_i -> <> q_i) )] with pairwise-disjoint [p_i]
+    ([[] !(p_i /\ p_j)] valid for [i <> j]). *)
+
+(** A liveness formula given by its [(p_i, q_i)] components. *)
+type t = { parts : (Formula.t * Formula.t) list }
+
+(** Raised by {!make} when a side condition fails; carries a
+    human-readable reason. *)
+exception Ill_formed of string
+
+(** [make alpha parts] checks the side conditions (each [p_i] past, each
+    [q_i] a satisfiable future formula, [[](\/ p_i)] valid over [alpha])
+    and returns the witness structure. *)
+val make : Finitary.Alphabet.t -> (Formula.t * Formula.t) list -> t
+
+(** The disjunctive formula [<>( \/ (p_i /\ <> q_i) )]. *)
+val to_formula : t -> Formula.t
+
+(** The paper's alternative conjunctive shape
+    [<>( /\ (p_i -> <> q_i) )]; requires the [p_i] to be pairwise
+    disjoint, which {!make_conjunctive} additionally checks. *)
+val make_conjunctive : Finitary.Alphabet.t -> (Formula.t * Formula.t) list -> t
+
+val to_conjunctive_formula : t -> Formula.t
+
+(** Does a formula syntactically match the disjunctive liveness shape
+    (with the side conditions verified over the alphabet)? *)
+val is_liveness_formula : Finitary.Alphabet.t -> Formula.t -> bool

@@ -1,0 +1,245 @@
+open Formula
+
+type token =
+  | TTrue
+  | TFalse
+  | TFirst
+  | TAtom of string
+  | TNot
+  | TAnd
+  | TOr
+  | TImp
+  | TIff
+  | TNext
+  | TUntil
+  | TWuntil
+  | TEv
+  | TAlw
+  | TPrev
+  | TWprev
+  | TSince
+  | TWsince
+  | TOnce
+  | THist
+  | TLpar
+  | TRpar
+  | TEnd
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+let is_ident c =
+  is_ident_start c || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let fail msg =
+    invalid_arg (Printf.sprintf "Parser: %s at position %d in %S" msg !pos src)
+  in
+  let push t = toks := t :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' then incr pos
+    else if c = '(' then begin
+      push TLpar;
+      incr pos
+    end
+    else if c = ')' then begin
+      push TRpar;
+      incr pos
+    end
+    else if c = '!' then begin
+      push TNot;
+      incr pos
+    end
+    else if c = '&' then begin
+      push TAnd;
+      incr pos
+    end
+    else if c = '|' then begin
+      push TOr;
+      incr pos
+    end
+    else if c = '[' then
+      if !pos + 1 < n && src.[!pos + 1] = ']' then begin
+        push TAlw;
+        pos := !pos + 2
+      end
+      else fail "expected []"
+    else if c = '-' then
+      if !pos + 1 < n && src.[!pos + 1] = '>' then begin
+        push TImp;
+        pos := !pos + 2
+      end
+      else fail "expected ->"
+    else if c = '<' then
+      if !pos + 2 < n && src.[!pos + 1] = '-' && src.[!pos + 2] = '>' then begin
+        push TIff;
+        pos := !pos + 3
+      end
+      else if !pos + 1 < n && src.[!pos + 1] = '>' then begin
+        push TEv;
+        pos := !pos + 2
+      end
+      else fail "expected <> or <->"
+    else if c >= 'A' && c <= 'Z' then begin
+      (match c with
+      | 'X' -> push TNext
+      | 'U' -> push TUntil
+      | 'W' -> push TWuntil
+      | 'Y' -> push TPrev
+      | 'Z' -> push TWprev
+      | 'S' -> push TSince
+      | 'B' -> push TWsince
+      | 'O' -> push TOnce
+      | 'H' -> push THist
+      | _ -> fail (Printf.sprintf "unknown operator %c" c));
+      incr pos
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      (* an atom may carry a value test: "pc1=2" *)
+      if
+        !pos + 1 < n
+        && src.[!pos] = '='
+        && src.[!pos + 1] >= '0'
+        && src.[!pos + 1] <= '9'
+      then begin
+        incr pos;
+        while !pos < n && src.[!pos] >= '0' && src.[!pos] <= '9' do
+          incr pos
+        done
+      end;
+      match String.sub src start (!pos - start) with
+      | "true" -> push TTrue
+      | "false" -> push TFalse
+      | "first" -> push TFirst
+      | id -> push (TAtom id)
+    end
+    else fail (Printf.sprintf "unexpected character %c" c)
+  done;
+  Array.of_list (List.rev (TEnd :: !toks))
+
+type stream = { toks : token array; mutable i : int; src : string }
+
+let peek st = st.toks.(st.i)
+
+let advance st = st.i <- st.i + 1
+
+let fail st msg =
+  invalid_arg (Printf.sprintf "Parser: %s (token %d) in %S" msg st.i st.src)
+
+(* iff <- imp ('<->' iff)?        (right assoc)
+   imp <- or ('->' imp)?
+   or  <- and ('|' or)?
+   and <- tl ('&' and)?
+   tl  <- unary (('U'|'W'|'S'|'B') tl)?
+   unary <- ('!'|'X'|'<>'|'[]'|'Y'|'Z'|'O'|'H') unary | atom | '(' iff ')' *)
+let rec parse_iff st =
+  let f = parse_imp st in
+  if peek st = TIff then begin
+    advance st;
+    Iff (f, parse_iff st)
+  end
+  else f
+
+and parse_imp st =
+  let f = parse_or st in
+  if peek st = TImp then begin
+    advance st;
+    Imp (f, parse_imp st)
+  end
+  else f
+
+and parse_or st =
+  let f = parse_and st in
+  if peek st = TOr then begin
+    advance st;
+    Or (f, parse_or st)
+  end
+  else f
+
+and parse_and st =
+  let f = parse_tl st in
+  if peek st = TAnd then begin
+    advance st;
+    And (f, parse_and st)
+  end
+  else f
+
+and parse_tl st =
+  let f = parse_unary st in
+  match peek st with
+  | TUntil ->
+      advance st;
+      Until (f, parse_tl st)
+  | TWuntil ->
+      advance st;
+      Wuntil (f, parse_tl st)
+  | TSince ->
+      advance st;
+      Since (f, parse_tl st)
+  | TWsince ->
+      advance st;
+      Wsince (f, parse_tl st)
+  | TTrue | TFalse | TFirst | TAtom _ | TNot | TAnd | TOr | TImp | TIff | TNext
+  | TEv | TAlw | TPrev | TWprev | TOnce | THist | TLpar | TRpar | TEnd ->
+      f
+
+and parse_unary st =
+  match peek st with
+  | TNot ->
+      advance st;
+      Not (parse_unary st)
+  | TNext ->
+      advance st;
+      Next (parse_unary st)
+  | TEv ->
+      advance st;
+      Ev (parse_unary st)
+  | TAlw ->
+      advance st;
+      Alw (parse_unary st)
+  | TPrev ->
+      advance st;
+      Prev (parse_unary st)
+  | TWprev ->
+      advance st;
+      Wprev (parse_unary st)
+  | TOnce ->
+      advance st;
+      Once (parse_unary st)
+  | THist ->
+      advance st;
+      Hist (parse_unary st)
+  | TTrue ->
+      advance st;
+      True
+  | TFalse ->
+      advance st;
+      False
+  | TFirst ->
+      advance st;
+      first
+  | TAtom a ->
+      advance st;
+      Atom a
+  | TLpar ->
+      advance st;
+      let f = parse_iff st in
+      if peek st <> TRpar then fail st "expected )";
+      advance st;
+      f
+  | TUntil | TWuntil | TSince | TWsince | TAnd | TOr | TImp | TIff | TRpar
+  | TEnd ->
+      fail st "expected a formula"
+
+let parse src =
+  let st = { toks = tokenize src; i = 0; src } in
+  let f = parse_iff st in
+  if peek st <> TEnd then fail st "trailing input";
+  f

@@ -1,0 +1,18 @@
+(** Parser for the concrete LTL syntax produced by {!Formula.to_string}.
+
+    Tokens:
+    - atoms: lowercase identifiers ([p], [in_c1], ...); [true], [false]
+      and [first] are keywords;
+    - boolean: [!] [&] [|] [->] [<->];
+    - future: [X] (next), [U] (until), [W] (unless), [<>] (eventually),
+      [[]] (henceforth);
+    - past: [Y] (previous), [Z] (weak previous), [S] (since), [B] (weak
+      since), [O] (once), [H] (historically).
+
+    Precedence, loosest to tightest: [<->], [->] (right associative),
+    [|], [&], binary temporal ([U W S B], right associative), unary.
+
+    Example: ["[] (p -> <> q)"] is the paper's response formula. *)
+
+(** Raises [Invalid_argument] with a position message on syntax errors. *)
+val parse : string -> Formula.t

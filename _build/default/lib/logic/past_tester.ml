@@ -1,0 +1,135 @@
+module Alphabet = Finitary.Alphabet
+module Dfa = Finitary.Dfa
+
+type t = {
+  alpha : Alphabet.t;
+  subs : Formula.t array;  (** closure, children before parents *)
+  tracked : int array;  (** index into [subs] of each requested formula *)
+  n : int;
+  initial : int;
+  delta : int array array;
+  vectors : Int64.t array;  (** truth bitmask per non-initial state *)
+}
+
+let bit v i = Int64.logand (Int64.shift_right_logical v i) 1L = 1L
+
+(* Truth vector for all subformulae at the current position, given the
+   vector at the previous position ([None] at position 0) and the current
+   letter.  [subs] lists children before parents, so values can be
+   computed left to right. *)
+let step_vector alpha subs index prev letter =
+  let n = Array.length subs in
+  let cur = Array.make n false in
+  let get f = cur.(index f) in
+  let was f =
+    match prev with None -> None | Some v -> Some (bit v (index f))
+  in
+  for i = 0 to n - 1 do
+    cur.(i) <-
+      (match subs.(i) with
+      | Formula.True -> true
+      | Formula.False -> false
+      | Formula.Atom a -> Alphabet.holds alpha a letter
+      | Formula.Not f -> not (get f)
+      | Formula.And (f, g) -> get f && get g
+      | Formula.Or (f, g) -> get f || get g
+      | Formula.Imp (f, g) -> (not (get f)) || get g
+      | Formula.Iff (f, g) -> get f = get g
+      | Formula.Prev f -> ( match was f with None -> false | Some b -> b)
+      | Formula.Wprev f -> ( match was f with None -> true | Some b -> b)
+      | Formula.Since (f, g) -> (
+          get g
+          || get f
+             &&
+             match was subs.(i) with None -> false | Some b -> b)
+      | Formula.Wsince (f, g) -> (
+          get g
+          || get f
+             &&
+             match was subs.(i) with None -> true | Some b -> b)
+      | Formula.Once f -> (
+          get f || match was subs.(i) with None -> false | Some b -> b)
+      | Formula.Hist f -> (
+          get f && match was subs.(i) with None -> true | Some b -> b)
+      | Formula.Next _ | Formula.Until _ | Formula.Wuntil _ | Formula.Ev _
+      | Formula.Alw _ ->
+          assert false)
+  done;
+  let v = ref 0L in
+  for i = n - 1 downto 0 do
+    if cur.(i) then v := Int64.logor !v (Int64.shift_left 1L i)
+  done;
+  !v
+
+let make alpha ps =
+  List.iter
+    (fun p ->
+      if not (Formula.is_past p) then
+        invalid_arg "Past_tester.make: not a past formula")
+    ps;
+  let subs =
+    Array.of_list (Formula.subformulas (Formula.conj ps))
+  in
+  (* [conj ps] introduces And nodes; harmless, they are state-free. *)
+  if Array.length subs > 62 then
+    invalid_arg "Past_tester.make: formula too large (> 62 subformulae)";
+  let index_tbl = Hashtbl.create 16 in
+  Array.iteri (fun i f -> Hashtbl.replace index_tbl f i) subs;
+  let index f = Hashtbl.find index_tbl f in
+  let tracked = Array.of_list (List.map index ps) in
+  (* BFS over reachable vectors; state 0 is the initial (pre-read) state *)
+  let k = Alphabet.size alpha in
+  let states = Hashtbl.create 64 in
+  let vectors = ref [] in
+  let count = ref 1 in
+  let intern v =
+    match Hashtbl.find_opt states v with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add states v i;
+        vectors := (i, v) :: !vectors;
+        i
+  in
+  let rows = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let transition prev_vec =
+    Array.init k (fun a ->
+        let v = step_vector alpha subs index prev_vec a in
+        let existed = Hashtbl.mem states v in
+        let i = intern v in
+        if not existed then Queue.add (i, v) queue;
+        i)
+  in
+  Hashtbl.add rows 0 (transition None);
+  while not (Queue.is_empty queue) do
+    let i, v = Queue.pop queue in
+    if not (Hashtbl.mem rows i) then Hashtbl.add rows i (transition (Some v))
+  done;
+  let n = !count in
+  let delta = Array.init n (fun i -> Hashtbl.find rows i) in
+  let vec_arr = Array.make n 0L in
+  List.iter (fun (i, v) -> vec_arr.(i) <- v) !vectors;
+  { alpha; subs; tracked; n; initial = 0; delta; vectors = vec_arr }
+
+let alpha t = t.alpha
+
+let n_states t = t.n
+
+let initial t = t.initial
+
+let step t q a = t.delta.(q).(a)
+
+let value t q i =
+  if q = t.initial then
+    invalid_arg "Past_tester.value: initial state has no last position";
+  bit t.vectors.(q) t.tracked.(i)
+
+let to_dfa t i =
+  let accept =
+    Array.init t.n (fun q -> q <> t.initial && value t q i)
+  in
+  Dfa.make ~alpha:t.alpha ~n:t.n ~start:t.initial ~delta:t.delta ~accept
+
+let esat alpha p = Dfa.minimize (to_dfa (make alpha [ p ]) 0)

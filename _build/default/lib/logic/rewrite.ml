@@ -1,0 +1,324 @@
+open Formula
+
+type canon =
+  | CPast of Formula.t
+  | CAlw of Formula.t
+  | CEv of Formula.t
+  | CAlwEv of Formula.t
+  | CEvAlw of Formula.t
+  | CAnd of canon * canon
+  | COr of canon * canon
+
+let rec to_formula = function
+  | CPast p -> p
+  | CAlw p -> Alw p
+  | CEv p -> Ev p
+  | CAlwEv p -> Alw (Ev p)
+  | CEvAlw p -> Ev (Alw p)
+  | CAnd (c1, c2) -> And (to_formula c1, to_formula c2)
+  | COr (c1, c2) -> Or (to_formula c1, to_formula c2)
+
+let rec dual = function
+  | CPast p -> CPast (Not p)
+  | CAlw p -> CEv (Not p)
+  | CEv p -> CAlw (Not p)
+  | CAlwEv p -> CEvAlw (Not p)
+  | CEvAlw p -> CAlwEv (Not p)
+  | CAnd (c1, c2) -> COr (dual c1, dual c2)
+  | COr (c1, c2) -> CAnd (dual c1, dual c2)
+
+(* ------------------------------------------------------------------ *)
+(* Next-pushing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Push X through boolean and temporal operators ([X [] f = [] X f],
+   [X (f U g) = X f U X g], ...) until it rests on past formulae. *)
+let rec push_next f =
+  match f with
+  | True | False | Atom _ -> f
+  | f when is_past f -> f
+  | Not g -> Not (push_next g)
+  | And (g, h) -> And (push_next g, push_next h)
+  | Or (g, h) -> Or (push_next g, push_next h)
+  | Imp (g, h) -> Imp (push_next g, push_next h)
+  | Iff (g, h) -> Iff (push_next g, push_next h)
+  | Next g -> shift1 (push_next g)
+  | Until (g, h) -> Until (push_next g, push_next h)
+  | Wuntil (g, h) -> Wuntil (push_next g, push_next h)
+  | Ev g -> Ev (push_next g)
+  | Alw g -> Alw (push_next g)
+  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ -> f
+
+and shift1 g =
+  match g with
+  | g when is_past g -> Next g
+  | Not h -> Not (shift1 h)
+  | And (h, k) -> And (shift1 h, shift1 k)
+  | Or (h, k) -> Or (shift1 h, shift1 k)
+  | Imp (h, k) -> Imp (shift1 h, shift1 k)
+  | Iff (h, k) -> Iff (shift1 h, shift1 k)
+  | Alw h -> Alw (shift1 h)
+  | Ev h -> Ev (shift1 h)
+  | Until (h, k) -> Until (shift1 h, shift1 k)
+  | Wuntil (h, k) -> Wuntil (shift1 h, shift1 k)
+  | Next h -> Next (Next h)
+  | True | False | Atom _ | Prev _ | Wprev _ | Since _ | Wsince _ | Once _
+  | Hist _ ->
+      Next g
+
+(* Strip a tower of Next over a past formula: X^n p |-> (n, p). *)
+let rec strip_next = function
+  | Next g ->
+      let n, core = strip_next g in
+      (n + 1, core)
+  | g -> (0, g)
+
+let rec prev_tower n p = if n = 0 then p else Prev (prev_tower (n - 1) p)
+
+(* ------------------------------------------------------------------ *)
+(* Disjunct flattening with shallow negation pushing                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec disjuncts f =
+  match f with
+  | Or (g, h) -> disjuncts g @ disjuncts h
+  | Imp (g, h) -> disjuncts (Not g) @ disjuncts h
+  | Iff (g, h) -> [ And (g, h); And (Not g, Not h) ]
+  | False -> []
+  | Not g -> neg_disjuncts g
+  | True | Atom _ | And _ | Next _ | Until _ | Wuntil _ | Ev _ | Alw _
+  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ ->
+      [ f ]
+
+and neg_disjuncts g =
+  match g with
+  | Not h -> disjuncts h
+  | And (h, k) -> disjuncts (Not h) @ disjuncts (Not k)
+  | Or (h, k) -> [ And (Not h, Not k) ]
+  | Imp (h, k) -> [ And (h, Not k) ]
+  | Iff (h, k) -> [ And (h, Not k); And (Not h, k) ]
+  | True -> []
+  | False -> [ True ]
+  | Ev h -> [ Alw (Not h) ]
+  | Alw h -> [ Ev (Not h) ]
+  | Next h -> [ Next (Not h) ]
+  | Until (h, k) -> [ Wuntil (Not k, And (Not h, Not k)) ]
+  | Wuntil (h, k) -> [ Until (Not k, And (Not h, Not k)) ]
+  | (Atom _ | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _) as p ->
+      [ Not p ]
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail
+
+(* Is a canon built only from suffix-invariant shapes ([]<> / <>[])?
+   Such canons denote the same truth value at every position. *)
+let rec invariant = function
+  | CAlwEv _ | CEvAlw _ -> true
+  | CAnd (c1, c2) | COr (c1, c2) -> invariant c1 && invariant c2
+  | CPast _ | CAlw _ | CEv _ -> false
+
+(* Guarantee folding: at position 0, <>(a /\ <>e1 /\ ... /\ <>en) is
+   equivalent to <>(fold_guarantee a [e1; ...; en]): the e's can be found
+   in some order after an a (the closure of the guarantee class under
+   conjunction).  Anchored-only: the Once windows reach back to 0. *)
+let rec fold_guarantee a evs =
+  match evs with
+  | [] -> Once a
+  | _ ->
+      disj
+        (List.mapi
+           (fun i e ->
+             let rest = List.filteri (fun j _ -> j <> i) evs in
+             And (e, Once (fold_guarantee a rest)))
+           evs)
+
+(* --- Floating normalization: sound at every position ---------------- *)
+
+(* A floating canon c denotes, at each position j, the obvious reading of
+   its constructors at j ([CAlw p] = "p from j on", ...).  Only rewrites
+   valid at every position are used here; anything else fails. *)
+let rec norm_floating f =
+  if is_past f then CPast f
+  else
+    match f with
+    | And (g, h) -> CAnd (norm_floating g, norm_floating h)
+    | Or (g, h) -> COr (norm_floating g, norm_floating h)
+    | Not g -> dual (norm_floating g)
+    | Imp (g, h) -> norm_floating (Or (Not g, h))
+    | Iff (g, h) -> norm_floating (Or (And (g, h), And (Not g, Not h)))
+    | Alw body -> alw_canon (norm_floating body)
+    | Ev body -> dual (alw_canon (norm_floating (Not body)))
+    | True | False | Next _ | Until _ | Wuntil _ | Atom _ | Prev _ | Wprev _
+    | Since _ | Wsince _ | Once _ | Hist _ ->
+        raise Fail
+
+(* [] applied to a floating canon, staying floating:
+   [][]p = []p, []<>p is invariant, [] distributes over /\;
+   [] of an invariant is that invariant. *)
+and alw_canon = function
+  | CPast p -> CAlw p
+  | CAlw p -> CAlw p
+  | CEv e -> CAlwEv e
+  | c when invariant c -> c
+  | CAnd (c1, c2) -> CAnd (alw_canon c1, alw_canon c2)
+  | CAlwEv _ | CEvAlw _ | COr _ -> raise Fail
+
+(* --- Anchored normalization: sound at position 0 only --------------- *)
+
+(* Buckets for the body of a top-level Alw, viewed as a disjunction.
+   A past disjunct is a conjunction of next-shifted past formulae
+   [/\_j X^{n_j} p_j], kept as an association list. *)
+type buckets = {
+  pasts : (int * Formula.t) list list;
+  evs : Formula.t list;  (* <>e disjuncts, e past *)
+  alws : Formula.t list;  (* []b disjuncts, b past *)
+  invs : canon list;  (* suffix-invariant disjuncts, pulled out *)
+}
+
+let empty_buckets = { pasts = []; evs = []; alws = []; invs = [] }
+
+(* Decompose a disjunct as a conjunction of X^n-shifted past formulae. *)
+let rec xn_conjunction d =
+  match strip_next d with
+  | n, core when Formula.is_past core -> Some [ (n, core) ]
+  | 0, And (f, g) -> (
+      match (xn_conjunction f, xn_conjunction g) with
+      | Some l1, Some l2 -> Some (l1 @ l2)
+      | (Some _ | None), (Some _ | None) -> None)
+  | _, _ -> None
+
+(* [](d1 \/ d2 \/ ...) at position 0: sort the disjuncts into buckets,
+   distributing conjunctive disjuncts
+   ([](A \/ (c /\ c')) = [](A \/ c) /\ [](A \/ c')) and pulling
+   suffix-invariant disjuncts out ([](A \/ i) = i \/ []A). *)
+let rec norm_alw body = process_alw (disjuncts body) empty_buckets
+
+and process_alw pending b =
+  match pending with
+  | d :: rest -> (
+      match xn_conjunction d with
+      | Some conj -> process_alw rest { b with pasts = conj :: b.pasts }
+      | None ->
+          if fst (strip_next d) > 0 then raise Fail
+          else sort_canon (norm_floating d) rest b)
+  | [] -> finish_alw b
+
+and sort_canon c rest b =
+  match c with
+  | _ when invariant c -> process_alw rest { b with invs = c :: b.invs }
+  | CPast p -> process_alw rest { b with pasts = [ (0, p) ] :: b.pasts }
+  | CEv e -> process_alw rest { b with evs = e :: b.evs }
+  | CAlw a -> process_alw rest { b with alws = a :: b.alws }
+  | COr (c1, c2) -> sort_canon c1 (to_formula c2 :: rest) b
+  | CAnd (c1, c2) -> CAnd (sort_canon c1 rest b, sort_canon c2 rest b)
+  | CAlwEv _ | CEvAlw _ -> assert false (* covered by [invariant] *)
+
+and finish_alw { pasts; evs; alws; invs } =
+  let with_invs c = List.fold_left (fun acc i -> COr (i, acc)) c invs in
+  let top_shift =
+    List.fold_left
+      (fun m conj -> List.fold_left (fun m (n, _) -> max m n) m conj)
+      0 pasts
+  in
+  match (evs, alws) with
+  | [], [] -> with_invs (alw_of_pasts top_shift pasts)
+  | _ :: _, [] ->
+      (* [](A \/ <>e)  ~  []<>(A' B e), where A' realigns the
+         next-shifts of A to the largest offset; positions before that
+         offset carry no constraint and get an explicit escape disjunct *)
+      let shift (n, p) = prev_tower (top_shift - n) p in
+      let shifted =
+        List.map (fun conj -> Formula.conj (List.map shift conj)) pasts
+      in
+      let a =
+        if top_shift = 0 then disj shifted
+        else disj (Not (prev_tower top_shift True) :: shifted)
+      in
+      let e = disj evs in
+      (* the shift moves the constraint window N positions to the right
+         of each <>e witness, so widen the window anchor accordingly *)
+      let e_window =
+        disj (List.init (top_shift + 1) (fun m -> prev_tower m e))
+      in
+      with_invs (CAlwEv (Wsince (a, e_window)))
+  | [], _ :: _ when top_shift = 0 ->
+      (* [](A \/ []b1 \/ ... \/ []bn): violated iff
+         <>(!A /\ <>!b1 /\ ... /\ <>!bn), which guarantee-folds into a
+         single <>(past) *)
+      let a =
+        disj (List.map (fun conj -> Formula.conj (List.map snd conj)) pasts)
+      in
+      let violation =
+        fold_guarantee (Not a) (List.map (fun bf -> Not bf) alws)
+      in
+      with_invs (CAlw (Not violation))
+  | _, _ :: _ -> raise Fail
+
+(* [](\/_i /\_j X^{n_ij} p_ij) at position 0: shift everything to the
+   largest offset N; positions before N are unconstrained. *)
+and alw_of_pasts top_shift pasts =
+  match pasts with
+  | [] -> CAlw False
+  | _ ->
+      let shift (n, p) = prev_tower (top_shift - n) p in
+      let shifted =
+        List.map (fun conj -> Formula.conj (List.map shift conj)) pasts
+      in
+      if top_shift = 0 then CAlw (disj shifted)
+      else
+        let early = Not (prev_tower top_shift True) in
+        CAlw (disj (early :: shifted))
+
+(* Top-level normalization (position 0). *)
+let rec norm_top f =
+  if is_past f then CPast f
+  else
+    match f with
+    | And (g, h) -> CAnd (norm_top g, norm_top h)
+    | Or (g, h) -> COr (norm_top g, norm_top h)
+    | Imp (g, h) -> norm_top (Or (Not g, h))
+    | Iff (g, h) -> norm_top (Or (And (g, h), And (Not g, Not h)))
+    | Not g -> dual (norm_top g)
+    | Until (p, q) when is_past p && is_past q ->
+        (* p U q at position 0: q eventually, with p at all earlier
+           positions *)
+        CEv (And (q, Wprev (Hist p)))
+    | Wuntil (p, q) when is_past p && is_past q ->
+        COr (CAlw p, CEv (And (q, Wprev (Hist p))))
+    | Next _ -> (
+        let n, core = strip_next f in
+        if n > 0 && is_past core then
+          (* X^n p at position 0 = p at position n *)
+          CEv (And (core, prev_tower n (Wprev False)))
+        else raise Fail)
+    | Alw body -> norm_alw body
+    | Ev body -> dual (norm_alw (Not body))
+    | True | False | Until _ | Wuntil _ | Atom _ | Prev _ | Wprev _ | Since _
+    | Wsince _ | Once _ | Hist _ ->
+        raise Fail
+
+let to_canon f =
+  match norm_top (push_next f) with c -> Some c | exception Fail -> None
+
+let rec syntactic_class = function
+  | CPast _ -> Kappa.Safety
+  | CAlw _ -> Kappa.Safety
+  | CEv _ -> Kappa.Guarantee
+  | CAlwEv _ -> Kappa.Recurrence
+  | CEvAlw _ -> Kappa.Persistence
+  | CAnd (c1, c2) -> Kappa.and_ (syntactic_class c1) (syntactic_class c2)
+  | COr (c1, c2) -> Kappa.or_ (syntactic_class c1) (syntactic_class c2)
+
+let classify f = Option.map syntactic_class (to_canon f)
+
+let rec pp ppf = function
+  | CPast p -> Fmt.pf ppf "init[%s]" (Formula.to_string p)
+  | CAlw p -> Fmt.pf ppf "[][%s]" (Formula.to_string p)
+  | CEv p -> Fmt.pf ppf "<>[%s]" (Formula.to_string p)
+  | CAlwEv p -> Fmt.pf ppf "[]<>[%s]" (Formula.to_string p)
+  | CEvAlw p -> Fmt.pf ppf "<>[][%s]" (Formula.to_string p)
+  | CAnd (c1, c2) -> Fmt.pf ppf "(%a /\\ %a)" pp c1 pp c2
+  | COr (c1, c2) -> Fmt.pf ppf "(%a \\/ %a)" pp c1 pp c2

@@ -1,0 +1,57 @@
+(** Normalization of temporal formulae into the canonical forms of the
+    hierarchy (section 4 of the paper).
+
+    A {e canonical form} is a positive boolean combination of the five
+    modal shapes over {e past} formulae:
+
+    - [CPast p] — [p] holds at the evaluation position (at top level:
+      initially);
+    - [CAlw p] — [[]p], a safety formula;
+    - [CEv p] — [<>p], a guarantee formula;
+    - [CAlwEv p] — [[]<>p], a recurrence formula;
+    - [CEvAlw p] — [<>[]p], a persistence formula.
+
+    {!to_canon} rewrites a rich fragment of the logic into this form using
+    the paper's equivalences (and mild generalizations of them):
+    conditional safety/guarantee/persistence, response formulae,
+    until/unless at the top level, next-operator elimination, extraction
+    of suffix-invariant disjuncts, and the permutation folding of
+    guarantee conjunctions.  Every rewrite is verified mechanically in the
+    test suite with {!Tableau.equiv}.
+
+    Formulas outside the fragment (e.g. [[]<>(p U q)] with a genuinely
+    future [q]) yield [None]; section-5 automata techniques still apply to
+    them through the tableau. *)
+
+type canon =
+  | CPast of Formula.t
+  | CAlw of Formula.t
+  | CEv of Formula.t
+  | CAlwEv of Formula.t
+  | CEvAlw of Formula.t
+  | CAnd of canon * canon
+  | COr of canon * canon
+
+(** All payload formulae of a canon are pure past. *)
+val to_canon : Formula.t -> canon option
+
+(** The canonical formula denoted by a canon (equivalent to the original
+    formula when [to_canon] succeeded). *)
+val to_formula : canon -> Formula.t
+
+(** Complement (negation), staying in canonical form. *)
+val dual : canon -> canon
+
+(** The syntactic class of a canon, by the paper's closure laws: the modal
+    shapes map to safety/guarantee/recurrence/persistence ([CPast] to
+    safety), conjunction and disjunction combine classes with
+    {!Kappa.and_}/{!Kappa.or_}. *)
+val syntactic_class : canon -> Kappa.t
+
+(** [classify f]: syntactic class of [f] if it normalizes.  This is the
+    paper's "kappa-formula" classification; it is an upper bound on the
+    semantic class (exact classification of the denoted property is done
+    on the automaton side). *)
+val classify : Formula.t -> Kappa.t option
+
+val pp : canon Fmt.t

@@ -1,0 +1,137 @@
+module Alphabet = Finitary.Alphabet
+module Word = Finitary.Word
+
+type up = { pre : bool array; cyc : bool array }
+
+let up_get u j =
+  let p = Array.length u.pre in
+  if j < p then u.pre.(j) else u.cyc.((j - p) mod Array.length u.cyc)
+
+(* All sequences produced below share the cycle length of the lasso; the
+   invariant lets binary operators combine cycles pointwise. *)
+
+let sequence alpha f lasso =
+  let cyc_len = Array.length lasso.Word.cycle in
+  let const v = { pre = [||]; cyc = Array.make cyc_len v } in
+  let atom_up a =
+    let eval j = Alphabet.holds alpha a (Word.at lasso j) in
+    {
+      pre = Array.init (Array.length lasso.Word.prefix) eval;
+      cyc =
+        Array.init cyc_len (fun i ->
+            eval (Array.length lasso.Word.prefix + i));
+    }
+  in
+  let map1 f u = { pre = Array.map f u.pre; cyc = Array.map f u.cyc } in
+  let map2 f u1 u2 =
+    let p = max (Array.length u1.pre) (Array.length u2.pre) in
+    {
+      pre = Array.init p (fun j -> f (up_get u1 j) (up_get u2 j));
+      cyc = Array.init cyc_len (fun i -> f (up_get u1 (p + i)) (up_get u2 (p + i)));
+    }
+  in
+  let shift u =
+    (* value at j is the operand's value at j+1 *)
+    let p = max (Array.length u.pre - 1) 0 in
+    {
+      pre = Array.init p (fun j -> up_get u (j + 1));
+      cyc = Array.init cyc_len (fun i -> up_get u (p + i + 1));
+    }
+  in
+  let prev_op ~weak u =
+    let p = Array.length u.pre in
+    {
+      pre =
+        Array.init (p + 1) (fun j -> if j = 0 then weak else up_get u (j - 1));
+      cyc = Array.init cyc_len (fun i -> up_get u (p + i));
+    }
+  in
+  (* r(j) = g(j) \/ (f(j) /\ r(j-1)): forward propagation; over a full
+     period the update of the carried bit is monotone and idempotent, so
+     the result is periodic after one extra cycle. *)
+  let since_op ~weak uf ug =
+    let p = max (Array.length uf.pre) (Array.length ug.pre) in
+    let total = p + (3 * cyc_len) in
+    let vals = Array.make total false in
+    let r = ref weak in
+    for j = 0 to total - 1 do
+      r := up_get ug j || (up_get uf j && !r);
+      vals.(j) <- !r
+    done;
+    for i = 0 to cyc_len - 1 do
+      assert (vals.(p + cyc_len + i) = vals.(p + (2 * cyc_len) + i))
+    done;
+    {
+      pre = Array.sub vals 0 (p + cyc_len);
+      cyc = Array.sub vals (p + cyc_len) cyc_len;
+    }
+  in
+  let until_op uf ug =
+    let p = max (Array.length uf.pre) (Array.length ug.pre) in
+    let f_all =
+      let rec check i = i >= cyc_len || (up_get uf (p + i) && check (i + 1)) in
+      check 0
+    in
+    let cyc =
+      Array.init cyc_len (fun c ->
+          if f_all then
+            let rec anyg i = i < cyc_len && (up_get ug (p + i) || anyg (i + 1)) in
+            anyg 0
+          else
+            (* some cycle position falsifies f, so a witness lies within
+               the next 2 periods *)
+            let rec search k =
+              if k >= 2 * cyc_len then false
+              else if up_get ug (p + c + k) then true
+              else if up_get uf (p + c + k) then search (k + 1)
+              else false
+            in
+            search 0)
+    in
+    let pre = Array.make p false in
+    let next = ref cyc.(0) in
+    for j = p - 1 downto 0 do
+      next := up_get ug j || (up_get uf j && !next);
+      pre.(j) <- !next
+    done;
+    (* the backward pass computed pre.(j) into next at each step *)
+    { pre; cyc }
+  in
+  let rec ev : Formula.t -> up = function
+    | True -> const true
+    | False -> const false
+    | Atom a -> atom_up a
+    | Not f -> map1 not (ev f)
+    | And (f, g) -> map2 ( && ) (ev f) (ev g)
+    | Or (f, g) -> map2 ( || ) (ev f) (ev g)
+    | Imp (f, g) -> map2 (fun a b -> (not a) || b) (ev f) (ev g)
+    | Iff (f, g) -> map2 ( = ) (ev f) (ev g)
+    | Next f -> shift (ev f)
+    | Until (f, g) -> until_op (ev f) (ev g)
+    | Wuntil (f, g) ->
+        let uf = ev f and ug = ev g in
+        let until = until_op uf ug in
+        let alw = map1 not (until_op (const true) (map1 not uf)) in
+        map2 ( || ) until alw
+    | Ev f -> until_op (const true) (ev f)
+    | Alw f -> map1 not (until_op (const true) (map1 not (ev f)))
+    | Prev f -> prev_op ~weak:false (ev f)
+    | Wprev f -> prev_op ~weak:true (ev f)
+    | Since (f, g) -> since_op ~weak:false (ev f) (ev g)
+    | Wsince (f, g) -> since_op ~weak:true (ev f) (ev g)
+    | Once f -> since_op ~weak:false (const true) (ev f)
+    | Hist f -> map1 not (since_op ~weak:false (const true) (map1 not (ev f)))
+  in
+  ev f
+
+let holds_at alpha f lasso j = up_get (sequence alpha f lasso) j
+
+let holds alpha f lasso = holds_at alpha f lasso 0
+
+let end_satisfies alpha p w =
+  if not (Formula.is_past p) then
+    invalid_arg "Semantics.end_satisfies: not a past formula";
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Semantics.end_satisfies: empty word";
+  let lasso = Word.lasso ~prefix:w ~cycle:[| w.(n - 1) |] in
+  holds_at alpha p lasso (n - 1)

@@ -1,0 +1,38 @@
+(** Exact semantics of LTL with past over ultimately-periodic words.
+
+    Every omega-regular property is determined by its ultimately-periodic
+    ("lasso") members, so evaluating formulae on lassos suffices to test
+    membership, cross-check automata translations, and exhibit
+    counterexamples.
+
+    The evaluation is exact: the truth value of every subformula along a
+    lasso [u . v{^omega}] is itself an ultimately-periodic boolean
+    sequence with the same period [|v|]; the evaluator computes these
+    sequences bottom-up (future operators by a periodic fixpoint on the
+    cycle, past operators by forward propagation, which stabilizes after
+    one extra cycle because the update of each carried bit is monotone and
+    idempotent over a full period). *)
+
+(** Truth of an ultimately-periodic boolean sequence, [pre] then [cyc]
+    repeated forever. *)
+type up = { pre : bool array; cyc : bool array }
+
+val up_get : up -> int -> bool
+
+(** [sequence alpha f lasso] is the truth sequence of [f] along the
+    lasso.  Atoms are evaluated with {!Finitary.Alphabet.holds}.
+    Raises [Invalid_argument] on atoms unknown to the alphabet. *)
+val sequence : Finitary.Alphabet.t -> Formula.t -> Finitary.Word.lasso -> up
+
+(** [holds_at alpha f lasso j]: does [f] hold at position [j]? *)
+val holds_at : Finitary.Alphabet.t -> Formula.t -> Finitary.Word.lasso -> int -> bool
+
+(** [holds alpha f lasso]: does [f] hold at position 0 (the paper's
+    [sigma |= f])? *)
+val holds : Finitary.Alphabet.t -> Formula.t -> Finitary.Word.lasso -> bool
+
+(** [end_satisfies alpha p w]: the paper's end-satisfaction of a past
+    formula by a non-empty finite word ([w ||= p]): [p] holds at the last
+    position of [w].  Raises [Invalid_argument] if [p] is not a past
+    formula or [w] is empty. *)
+val end_satisfies : Finitary.Alphabet.t -> Formula.t -> Finitary.Word.t -> bool

@@ -1,0 +1,544 @@
+module Alphabet = Finitary.Alphabet
+module Word = Finitary.Word
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Negation normal form over the future skeleton                       *)
+(* ------------------------------------------------------------------ *)
+
+type lit =
+  | LAtom of string * bool  (* name, polarity *)
+  | LPast of int * bool  (* index into the past table, polarity *)
+
+type nnf =
+  | NTrue
+  | NFalse
+  | NLit of lit
+  | NAnd of nnf * nnf
+  | NOr of nnf * nnf
+  | NNext of nnf
+  | NUntil of nnf * nnf
+  | NRelease of nnf * nnf
+
+(* Replace every maximal past-rooted subformula by a table index. *)
+let extract_pasts f =
+  let table = Hashtbl.create 16 in
+  let pasts = ref [] in
+  let count = ref 0 in
+  let intern p =
+    match Hashtbl.find_opt table p with
+    | Some i -> i
+    | None ->
+        if not (Formula.is_past p) then
+          raise
+            (Unsupported
+               ("past operator applied to a future formula: "
+               ^ Formula.to_string p));
+        let i = !count in
+        incr count;
+        Hashtbl.add table p i;
+        pasts := p :: !pasts;
+        i
+  in
+  let rec go (f : Formula.t) : Formula.t =
+    match f with
+    | True | False | Atom _ -> f
+    | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ ->
+        Atom (Printf.sprintf "'%d" (intern f))
+    | Not f -> Not (go f)
+    | And (f, g) -> And (go f, go g)
+    | Or (f, g) -> Or (go f, go g)
+    | Imp (f, g) -> Imp (go f, go g)
+    | Iff (f, g) -> Iff (go f, go g)
+    | Next f -> Next (go f)
+    | Until (f, g) -> Until (go f, go g)
+    | Wuntil (f, g) -> Wuntil (go f, go g)
+    | Ev f -> Ev (go f)
+    | Alw f -> Alw (go f)
+  in
+  let skeleton = go f in
+  (skeleton, Array.of_list (List.rev !pasts))
+
+let lit_of_atom a pos =
+  if String.length a > 0 && a.[0] = '\'' then
+    LPast (int_of_string (String.sub a 1 (String.length a - 1)), pos)
+  else LAtom (a, pos)
+
+(* NNF of a future formula (past subformulae already extracted). *)
+let rec nnf (f : Formula.t) : nnf =
+  match f with
+  | True -> NTrue
+  | False -> NFalse
+  | Atom a -> NLit (lit_of_atom a true)
+  | Not f -> neg f
+  | And (f, g) -> NAnd (nnf f, nnf g)
+  | Or (f, g) -> NOr (nnf f, nnf g)
+  | Imp (f, g) -> NOr (neg f, nnf g)
+  | Iff (f, g) -> NOr (NAnd (nnf f, nnf g), NAnd (neg f, neg g))
+  | Next f -> NNext (nnf f)
+  | Until (f, g) -> NUntil (nnf f, nnf g)
+  | Wuntil (f, g) ->
+      (* p W q  =  q R (q \/ p) *)
+      NRelease (nnf g, NOr (nnf g, nnf f))
+  | Ev f -> NUntil (NTrue, nnf f)
+  | Alw f -> NRelease (NFalse, nnf f)
+  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ -> assert false
+
+and neg (f : Formula.t) : nnf =
+  match f with
+  | True -> NFalse
+  | False -> NTrue
+  | Atom a -> NLit (lit_of_atom a false)
+  | Not f -> nnf f
+  | And (f, g) -> NOr (neg f, neg g)
+  | Or (f, g) -> NAnd (neg f, neg g)
+  | Imp (f, g) -> NAnd (nnf f, neg g)
+  | Iff (f, g) -> NOr (NAnd (nnf f, neg g), NAnd (neg f, nnf g))
+  | Next f -> NNext (neg f)
+  | Until (f, g) -> NRelease (neg f, neg g)
+  | Wuntil (f, g) ->
+      (* not (q R (q \/ p)) = (not q) U (not q /\ not p) *)
+      NUntil (neg g, NAnd (neg g, neg f))
+  | Ev f -> NRelease (NFalse, neg f)
+  | Alw f -> NUntil (NTrue, neg f)
+  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* GPVW node graph                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module NSet = Set.Make (struct
+  type t = nnf
+
+  let compare = Stdlib.compare
+end)
+
+module ISet = Set.Make (Int)
+
+type node = {
+  id : int;
+  mutable incoming : ISet.t;  (* 0 is the virtual initial node *)
+  old : NSet.t;
+  next : NSet.t;
+}
+
+type graph = { mutable nodes : node list; mutable fresh : int }
+
+let negated_lit = function
+  | NLit (LAtom (a, b)) -> Some (NLit (LAtom (a, not b)))
+  | NLit (LPast (i, b)) -> Some (NLit (LPast (i, not b)))
+  | NTrue | NFalse | NAnd _ | NOr _ | NNext _ | NUntil _ | NRelease _ -> None
+
+let rec expand g ~incoming ~new_ ~old ~next =
+  match NSet.choose_opt new_ with
+  | None -> (
+      match
+        List.find_opt
+          (fun r -> NSet.equal r.old old && NSet.equal r.next next)
+          g.nodes
+      with
+      | Some r -> r.incoming <- ISet.union r.incoming incoming
+      | None ->
+          g.fresh <- g.fresh + 1;
+          let id = g.fresh in
+          g.nodes <- { id; incoming; old; next } :: g.nodes;
+          expand g ~incoming:(ISet.singleton id) ~new_:next ~old:NSet.empty
+            ~next:NSet.empty)
+  | Some eta -> (
+      let new_ = NSet.remove eta new_ in
+      if NSet.mem eta old then expand g ~incoming ~new_ ~old ~next
+      else
+        match eta with
+        | NFalse -> ()
+        | NTrue -> expand g ~incoming ~new_ ~old:(NSet.add eta old) ~next
+        | NLit _ -> (
+            match negated_lit eta with
+            | Some contra when NSet.mem contra old -> ()
+            | Some _ | None ->
+                expand g ~incoming ~new_ ~old:(NSet.add eta old) ~next)
+        | NAnd (f1, f2) ->
+            expand g ~incoming
+              ~new_:(NSet.add f1 (NSet.add f2 new_))
+              ~old:(NSet.add eta old) ~next
+        | NOr (f1, f2) ->
+            expand g ~incoming ~new_:(NSet.add f1 new_)
+              ~old:(NSet.add eta old) ~next;
+            expand g ~incoming ~new_:(NSet.add f2 new_)
+              ~old:(NSet.add eta old) ~next
+        | NNext f ->
+            expand g ~incoming ~new_ ~old:(NSet.add eta old)
+              ~next:(NSet.add f next)
+        | NUntil (f1, f2) ->
+            expand g ~incoming ~new_:(NSet.add f1 new_)
+              ~old:(NSet.add eta old) ~next:(NSet.add eta next);
+            expand g ~incoming ~new_:(NSet.add f2 new_)
+              ~old:(NSet.add eta old) ~next
+        | NRelease (f1, f2) ->
+            expand g ~incoming ~new_:(NSet.add f2 new_)
+              ~old:(NSet.add eta old) ~next:(NSet.add eta next);
+            expand g ~incoming
+              ~new_:(NSet.add f1 (NSet.add f2 new_))
+              ~old:(NSet.add eta old) ~next)
+
+let build_graph phi =
+  let g = { nodes = []; fresh = 0 } in
+  expand g ~incoming:(ISet.singleton 0) ~new_:(NSet.singleton phi)
+    ~old:NSet.empty ~next:NSet.empty;
+  g.nodes
+
+let rec untils_of = function
+  | NTrue | NFalse | NLit _ -> []
+  | NAnd (f, g) | NOr (f, g) | NRelease (f, g) -> untils_of f @ untils_of g
+  | NNext f -> untils_of f
+  | NUntil (f, g) as u -> (u :: untils_of f) @ untils_of g
+
+(* ------------------------------------------------------------------ *)
+(* Concrete automaton: tableau x past tester                           *)
+(* ------------------------------------------------------------------ *)
+
+type nba = {
+  alpha : Alphabet.t;
+  n : int;  (* concrete states; 0 is the pre-initial state *)
+  succ : (Alphabet.letter * int) list array;
+  acc_sets : ISet.t array;  (* generalized Buechi condition *)
+}
+
+let size a = a.n
+
+let translate alpha f =
+  let skeleton, pasts = extract_pasts f in
+  let phi = nnf skeleton in
+  let nodes = build_graph phi in
+  let tester = Past_tester.make alpha (Array.to_list pasts) in
+  let untils = List.sort_uniq Stdlib.compare (untils_of phi) in
+  (* concrete states: (node id, tester state), interned; 0 = pre-initial *)
+  let index = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 1 in
+  let intern key =
+    match Hashtbl.find_opt index key with
+    | Some i -> (i, true)
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add index key i;
+        states := (i, key) :: !states;
+        (i, false)
+  in
+  let node_tbl = Hashtbl.create 64 in
+  List.iter (fun nd -> Hashtbl.add node_tbl nd.id nd) nodes;
+  let consistent old letter ts =
+    NSet.for_all
+      (fun f ->
+        match f with
+        | NLit (LAtom (a, pos)) -> Alphabet.holds alpha a letter = pos
+        | NLit (LPast (i, pos)) -> Past_tester.value tester ts i = pos
+        | NTrue | NFalse | NAnd _ | NOr _ | NNext _ | NUntil _ | NRelease _ ->
+            true)
+      old
+  in
+  let succ_assoc = Hashtbl.create 64 in
+  (* successors of a concrete state: nodes whose incoming contains the
+     source node id, consistent with (letter, stepped tester state) *)
+  let compute_succs src_node_id ts =
+    List.concat_map
+      (fun letter ->
+        let ts' =
+          Past_tester.step tester
+            (match ts with Some t -> t | None -> Past_tester.initial tester)
+            letter
+        in
+        List.filter_map
+          (fun nd ->
+            if
+              ISet.mem src_node_id nd.incoming
+              && consistent nd.old letter ts'
+            then Some (letter, (nd.id, ts'))
+            else None)
+          nodes)
+      (Alphabet.letters alpha)
+  in
+  let queue = Queue.create () in
+  let init_succs =
+    List.map
+      (fun (letter, key) ->
+        let i, existed = intern key in
+        if not existed then Queue.add (i, key) queue;
+        (letter, i))
+      (compute_succs 0 None)
+  in
+  Hashtbl.add succ_assoc 0 init_succs;
+  while not (Queue.is_empty queue) do
+    let i, (node_id, ts) = Queue.pop queue in
+    if not (Hashtbl.mem succ_assoc i) then begin
+      let sucs =
+        List.map
+          (fun (letter, key) ->
+            let j, existed = intern key in
+            if not existed then Queue.add (j, key) queue;
+            (letter, j))
+          (compute_succs node_id (Some ts))
+      in
+      Hashtbl.add succ_assoc i sucs
+    end
+  done;
+  let n = !count in
+  let succ = Array.make n [] in
+  Hashtbl.iter (fun i sucs -> succ.(i) <- sucs) succ_assoc;
+  let acc_sets =
+    Array.of_list
+      (List.map
+         (fun u ->
+           let rhs = match u with NUntil (_, g) -> g | _ -> assert false in
+           List.fold_left
+             (fun set (i, (node_id, _)) ->
+               let nd = Hashtbl.find node_tbl node_id in
+               if (not (NSet.mem u nd.old)) || NSet.mem rhs nd.old then
+                 ISet.add i set
+               else set)
+             ISet.empty !states)
+         untils)
+  in
+  { alpha; n; succ; acc_sets }
+
+(* ------------------------------------------------------------------ *)
+(* Emptiness and membership                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Tarjan SCC over an explicit successor function on 0..n-1. *)
+let sccs n succs =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (succs v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strong v
+  done;
+  !out
+
+(* A good SCC: non-trivial (contains an edge) and intersecting every
+   acceptance set. *)
+let has_accepting_scc n succs acc_sets reachable =
+  let comps = sccs n (fun v -> if reachable v then succs v else []) in
+  List.exists
+    (fun comp ->
+      match comp with
+      | [] -> false
+      | v :: _ when not (reachable v) -> false
+      | _ ->
+          let in_comp = ISet.of_list comp in
+          let nontrivial =
+            List.exists
+              (fun v -> List.exists (fun w -> ISet.mem w in_comp) (succs v))
+              comp
+          in
+          nontrivial
+          && Array.for_all
+               (fun acc -> List.exists (fun v -> ISet.mem v acc) comp)
+               acc_sets)
+    comps
+
+let reachable_from a start =
+  let seen = Array.make a.n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun (_, w) -> visit w) a.succ.(v)
+    end
+  in
+  visit start;
+  seen
+
+let nonempty a =
+  let seen = reachable_from a 0 in
+  has_accepting_scc a.n
+    (fun v -> List.map snd a.succ.(v))
+    (Array.map (fun s -> ISet.filter (fun v -> seen.(v)) s) a.acc_sets)
+    (fun v -> seen.(v))
+
+let satisfiable alpha f = nonempty (translate alpha f)
+
+let valid alpha f = not (satisfiable alpha (Formula.Not f))
+
+let equiv alpha f g = valid alpha (Formula.Iff (f, g))
+
+let implies alpha f g = valid alpha (Formula.Imp (f, g))
+
+(* ------------------------------------------------------------------ *)
+(* Witness extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let shortest_path succs src dsts =
+  (* BFS; returns the letter-labelled path (possibly empty if src is a
+     destination) *)
+  if dsts src then Some []
+  else begin
+    let parent = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Queue.add src queue;
+    Hashtbl.add parent src None;
+    let found = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let v = Queue.pop queue in
+         List.iter
+           (fun (letter, w) ->
+             if not (Hashtbl.mem parent w) then begin
+               Hashtbl.add parent w (Some (v, letter));
+               if dsts w then begin
+                 found := Some w;
+                 raise Exit
+               end;
+               Queue.add w queue
+             end)
+           (succs v)
+       done
+     with Exit -> ());
+    match !found with
+    | None -> None
+    | Some dst ->
+        let rec build v acc =
+          match Hashtbl.find parent v with
+          | None -> acc
+          | Some (p, letter) -> build p ((letter, v) :: acc)
+        in
+        Some (build dst [])
+  end
+
+let witness alpha f =
+  let a = translate alpha f in
+  let seen = reachable_from a 0 in
+  let succs v = if seen.(v) then a.succ.(v) else [] in
+  let comps = sccs a.n (fun v -> List.map snd (succs v)) in
+  let good =
+    List.find_opt
+      (fun comp ->
+        match comp with
+        | [] -> false
+        | v :: _ when not seen.(v) -> false
+        | _ ->
+            let in_comp = ISet.of_list comp in
+            List.exists
+              (fun v -> List.exists (fun (_, w) -> ISet.mem w in_comp) (succs v))
+              comp
+            && Array.for_all
+                 (fun acc -> List.exists (fun v -> ISet.mem v acc) comp)
+                 a.acc_sets)
+      comps
+  in
+  match good with
+  | None -> None
+  | Some comp ->
+      let in_comp = ISet.of_list comp in
+      let comp_succs v =
+        List.filter (fun (_, w) -> ISet.mem w in_comp) (succs v)
+      in
+      let anchor = List.hd comp in
+      let prefix_path =
+        match shortest_path succs 0 (fun v -> v = anchor) with
+        | Some p -> p
+        | None -> assert false
+      in
+      (* closed walk from anchor visiting a representative of each
+         acceptance set *)
+      let reps =
+        Array.to_list
+          (Array.map
+             (fun acc ->
+               match List.find_opt (fun v -> ISet.mem v acc) comp with
+               | Some v -> v
+               | None -> assert false)
+             a.acc_sets)
+      in
+      let rec tour v targets acc =
+        match targets with
+        | [] -> (
+            (* close the loop back to the anchor, with at least one step *)
+            match
+              List.concat_map
+                (fun (letter, w) ->
+                  match
+                    shortest_path comp_succs w (fun x -> x = anchor)
+                  with
+                  | Some p -> [ (letter, w) :: p ]
+                  | None -> [])
+                (comp_succs v)
+            with
+            | p :: _ -> acc @ p
+            | [] -> assert false)
+        | t :: rest -> (
+            match shortest_path comp_succs v (fun x -> x = t) with
+            | Some p -> tour t rest (acc @ p)
+            | None -> assert false)
+      in
+      let cycle_path = tour anchor reps [] in
+      let letters path = Array.of_list (List.map fst path) in
+      Some
+        (Word.lasso ~prefix:(letters prefix_path) ~cycle:(letters cycle_path))
+
+let accepts_lasso a lasso =
+  let p = Array.length lasso.Word.prefix in
+  let l = Array.length lasso.Word.cycle in
+  let total = p + l in
+  let next_pos j = if j + 1 < total then j + 1 else p in
+  (* product state: q * total + j  means "in state q, about to read
+     position j" *)
+  let n = a.n * total in
+  let succs v =
+    let q = v / total and j = v mod total in
+    List.filter_map
+      (fun (letter, q') ->
+        if letter = Word.at lasso j then Some ((q' * total) + next_pos j)
+        else None)
+      a.succ.(q)
+  in
+  let seen = Array.make n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter visit (succs v)
+    end
+  in
+  visit 0;
+  (* state 0 * total + 0 = product start since automaton state 0 is the
+     pre-initial state *)
+  has_accepting_scc n succs
+    (Array.map
+       (fun acc ->
+         ISet.of_list
+           (List.concat_map
+              (fun q ->
+                if ISet.mem q acc then List.init total (fun j -> (q * total) + j)
+                else [])
+              (List.init a.n Fun.id)))
+       a.acc_sets)
+    (fun v -> seen.(v))

@@ -1,0 +1,48 @@
+(** Tableau translation of LTL (with pure-past subformulae) to
+    nondeterministic generalized Buechi automata, and the decision
+    procedures built on it: satisfiability, validity and equivalence.
+
+    The translation is the classical GPVW construction on the future
+    skeleton of the formula, where every maximal past-rooted subformula is
+    compiled to a fresh atom whose value is supplied, letter by letter, by
+    a deterministic {!Past_tester}; the automaton built is the
+    synchronous product of the tableau with the tester.
+
+    This gives a complete decision procedure for the full logic of
+    section 4, which the test suite uses to verify every temporal
+    equivalence stated in the paper.
+
+    @raise Unsupported if a past operator is applied to a formula
+    containing a future operator (the paper never nests in that
+    direction). *)
+
+exception Unsupported of string
+
+type nba
+
+(** [translate alpha f]: automaton accepting exactly the infinite words
+    over [alpha] satisfying [f]. *)
+val translate : Finitary.Alphabet.t -> Formula.t -> nba
+
+(** Number of concrete automaton states. *)
+val size : nba -> int
+
+(** Does some infinite word satisfy the formula? *)
+val satisfiable : Finitary.Alphabet.t -> Formula.t -> bool
+
+(** Do all infinite words satisfy it? *)
+val valid : Finitary.Alphabet.t -> Formula.t -> bool
+
+(** [equiv alpha f g]: the paper's [f ~ g] — [f <-> g] is valid (over the
+    given alphabet). *)
+val equiv : Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
+
+(** [implies alpha f g]: [f -> g] is valid. *)
+val implies : Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
+
+(** A lasso word satisfying the formula, if any. *)
+val witness : Finitary.Alphabet.t -> Formula.t -> Finitary.Word.lasso option
+
+(** Does the automaton accept the lasso?  (Exact; used to cross-check the
+    translation against {!Semantics}.) *)
+val accepts_lasso : nba -> Finitary.Word.lasso -> bool

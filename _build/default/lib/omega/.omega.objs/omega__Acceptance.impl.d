@@ -1,0 +1,1 @@
+lib/omega/acceptance.ml: Fmt Fun Iset List Stdlib

@@ -1,0 +1,1 @@
+lib/omega/acceptance.mli: Fmt Iset

@@ -1,0 +1,1 @@
+lib/omega/automaton.ml: Acceptance Array Finitary Fmt Fun Hashtbl Iset List Stdlib

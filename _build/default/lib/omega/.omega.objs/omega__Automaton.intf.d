@@ -1,0 +1,1 @@
+lib/omega/automaton.mli: Acceptance Finitary Fmt Iset

@@ -1,0 +1,1 @@
+lib/omega/build.ml: Acceptance Array Automaton Finitary Iset

@@ -1,0 +1,1 @@
+lib/omega/build.mli: Automaton Finitary

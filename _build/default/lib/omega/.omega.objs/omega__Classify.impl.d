@@ -1,0 +1,1 @@
+lib/omega/classify.ml: Acceptance Array Automaton Cycles Hashtbl Iset Kappa Lang List Option

@@ -1,0 +1,1 @@
+lib/omega/classify.mli: Automaton Kappa

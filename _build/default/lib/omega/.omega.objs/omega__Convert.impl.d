@@ -1,0 +1,1 @@
+lib/omega/convert.ml: Acceptance Array Automaton Classify Cycles Finitary Hashtbl Iset Kappa Lang List Queue

@@ -1,0 +1,1 @@
+lib/omega/convert.mli: Automaton Kappa

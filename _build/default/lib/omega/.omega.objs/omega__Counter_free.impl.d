@@ -1,0 +1,1 @@
+lib/omega/counter_free.ml: Array Automaton Finitary Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/omega/counter_free.mli: Automaton

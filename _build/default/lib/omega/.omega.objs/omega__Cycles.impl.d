@@ -1,0 +1,1 @@
+lib/omega/cycles.ml: Acceptance Array Automaton Hashtbl Iset List

@@ -1,0 +1,1 @@
+lib/omega/cycles.mli: Automaton Iset

@@ -1,0 +1,1 @@
+lib/omega/iset.ml: Fmt Int List Set String

@@ -1,0 +1,1 @@
+lib/omega/lang.ml: Acceptance Array Automaton Finitary Fun Hashtbl Iset List Queue Stdlib

@@ -1,0 +1,1 @@
+lib/omega/lang.mli: Automaton Finitary

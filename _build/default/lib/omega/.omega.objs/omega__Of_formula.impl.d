@@ -1,0 +1,1 @@
+lib/omega/of_formula.ml: Automaton Build Classify Finitary Logic Option Printf

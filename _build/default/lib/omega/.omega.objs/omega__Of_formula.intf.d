@@ -1,0 +1,1 @@
+lib/omega/of_formula.mli: Automaton Finitary Kappa Logic

@@ -1,0 +1,71 @@
+(** Complete deterministic omega-automata over a finite alphabet
+    (the paper's predicate automata, section 5).
+
+    States are [0 .. n-1]; the transition function is total
+    ("complete deterministic automata" in the paper), so every infinite
+    word has exactly one run, and acceptance — an {!Acceptance.t}
+    evaluated on the run's infinity set — is a property of the word.
+    Boolean operations are synchronous products with the acceptance
+    conditions combined, and complement just dualizes the condition. *)
+
+type t = private {
+  alpha : Finitary.Alphabet.t;
+  n : int;
+  start : int;
+  delta : int array array;  (** [delta.(q).(a)] *)
+  acc : Acceptance.t;
+}
+
+val make :
+  alpha:Finitary.Alphabet.t ->
+  n:int ->
+  start:int ->
+  delta:int array array ->
+  acc:Acceptance.t ->
+  t
+
+(** The empty and universal omega-languages. *)
+val empty_lang : Finitary.Alphabet.t -> t
+
+val full : Finitary.Alphabet.t -> t
+
+val step : t -> int -> Finitary.Alphabet.letter -> int
+
+(** State reached from [start] on a finite word. *)
+val run : t -> Finitary.Word.t -> int
+
+(** The infinity set of the unique run over a lasso word. *)
+val infinity_set : t -> Finitary.Word.lasso -> Iset.t
+
+(** Membership of a lasso word. *)
+val accepts : t -> Finitary.Word.lasso -> bool
+
+(** Complement: same structure, dual acceptance. *)
+val complement : t -> t
+
+(** Synchronous product; the acceptance conditions of both factors are
+    lifted and combined with the given constructor. *)
+val product :
+  (Acceptance.t -> Acceptance.t -> Acceptance.t) -> t -> t -> t
+
+val inter : t -> t -> t
+
+val union : t -> t -> t
+
+val diff : t -> t -> t
+
+(** Restrict to reachable states (renumbering; acceptance atoms are
+    intersected with the kept set). *)
+val trim : t -> t
+
+(** Successor lists (unlabelled) for graph algorithms. *)
+val successors : t -> int -> int list
+
+(** Strongly connected components (Tarjan), in reverse topological
+    order. *)
+val sccs : t -> int list list
+
+(** States reachable from the start. *)
+val reachable : t -> bool array
+
+val pp : t Fmt.t

@@ -1,0 +1,68 @@
+module Dfa = Finitary.Dfa
+module Alphabet = Finitary.Alphabet
+
+let accepting_set (d : Dfa.t) =
+  let s = ref Iset.empty in
+  Array.iteri (fun q acc -> if acc then s := Iset.add q !s) d.accept;
+  !s
+
+(* A(Phi): as soon as some non-empty prefix leaves Phi, reject forever:
+   redirect transitions into non-accepting states to a dead sink, and
+   require the sink to be avoided (a safety automaton: no transition from
+   the bad state back to the good ones). *)
+let a (d : Dfa.t) =
+  let k = Alphabet.size d.alpha in
+  let dead = d.n in
+  let delta =
+    Array.init (d.n + 1) (fun q ->
+        if q = dead then Array.make k dead
+        else
+          Array.init k (fun l ->
+              let q' = d.delta.(q).(l) in
+              if d.accept.(q') then q' else dead))
+  in
+  Automaton.make ~alpha:d.alpha ~n:(d.n + 1) ~start:d.start ~delta
+    ~acc:(Acceptance.Fin (Iset.singleton dead))
+  |> Automaton.trim
+
+(* E(Phi): once some non-empty prefix is in Phi, accept forever: redirect
+   transitions into accepting states to an accepting sink (a guarantee
+   automaton: no transition from the good state back to the bad ones). *)
+let e (d : Dfa.t) =
+  let k = Alphabet.size d.alpha in
+  let sink = d.n in
+  let delta =
+    Array.init (d.n + 1) (fun q ->
+        if q = sink then Array.make k sink
+        else
+          Array.init k (fun l ->
+              let q' = d.delta.(q).(l) in
+              if d.accept.(q') then sink else q'))
+  in
+  Automaton.make ~alpha:d.alpha ~n:(d.n + 1) ~start:d.start ~delta
+    ~acc:(Acceptance.Inf (Iset.singleton sink))
+  |> Automaton.trim
+
+(* R(Phi): Buechi acceptance on Phi's accepting states. *)
+let r (d : Dfa.t) =
+  Automaton.make ~alpha:d.alpha ~n:d.n ~start:d.start ~delta:d.delta
+    ~acc:(Acceptance.buchi (accepting_set d))
+  |> Automaton.trim
+
+(* P(Phi): co-Buechi — eventually only accepting states are visited. *)
+let p (d : Dfa.t) =
+  Automaton.make ~alpha:d.alpha ~n:d.n ~start:d.start ~delta:d.delta
+    ~acc:(Acceptance.co_buchi ~n:d.n (accepting_set d))
+  |> Automaton.trim
+
+let a_re alpha s = a (Finitary.Regex.compile alpha s)
+
+let e_re alpha s = e (Finitary.Regex.compile alpha s)
+
+let r_re alpha s = r (Finitary.Regex.compile alpha s)
+
+let p_re alpha s = p (Finitary.Regex.compile alpha s)
+
+type op = A | E | R | P
+
+let of_op = function A -> a | E -> e | R -> r | P -> p

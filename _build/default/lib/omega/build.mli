@@ -1,0 +1,38 @@
+(** The paper's four operators from finitary to infinitary properties
+    (section 2), realized on automata.
+
+    Given a complete DFA for a finitary property [Phi], the four
+    constructions produce deterministic omega-automata for:
+
+    - [A(Phi)] — all non-empty prefixes in [Phi] (safety shape);
+    - [E(Phi)] — some non-empty prefix in [Phi] (guarantee shape);
+    - [R(Phi)] — infinitely many prefixes in [Phi] (Buechi / recurrence);
+    - [P(Phi)] — all but finitely many prefixes in [Phi] (co-Buechi /
+      persistence).
+
+    [R] and [P] reuse the DFA structure directly with Buechi/co-Buechi
+    acceptance on its accepting states — exactly the paper's
+    correspondence between operators and acceptance types. *)
+
+val a : Finitary.Dfa.t -> Automaton.t
+
+val e : Finitary.Dfa.t -> Automaton.t
+
+val r : Finitary.Dfa.t -> Automaton.t
+
+val p : Finitary.Dfa.t -> Automaton.t
+
+(** Convenience: operator applied to a regular expression in the
+    notation of {!Finitary.Regex}. *)
+val a_re : Finitary.Alphabet.t -> string -> Automaton.t
+
+val e_re : Finitary.Alphabet.t -> string -> Automaton.t
+
+val r_re : Finitary.Alphabet.t -> string -> Automaton.t
+
+val p_re : Finitary.Alphabet.t -> string -> Automaton.t
+
+(** [of_op o phi] dispatches on the paper's operator name. *)
+type op = A | E | R | P
+
+val of_op : op -> Finitary.Dfa.t -> Automaton.t

@@ -1,0 +1,296 @@
+let is_safety a = Lang.equal a (Lang.safety_closure a)
+
+let is_guarantee a = is_safety (Automaton.complement a)
+
+(* ------------------------------------------------------------------ *)
+(* Polynomial cycle-structure checks (Wagner / Landweber, section 5.1)  *)
+(* ------------------------------------------------------------------ *)
+
+(* SCCs of the subgraph induced on [allowed] (reachable part only),
+   as state lists. *)
+let sccs_within (a : Automaton.t) allowed =
+  let ok q = Iset.mem q allowed in
+  let succs q =
+    if ok q then List.filter ok (Automaton.successors a q) else []
+  in
+  let index = Array.make a.n (-1) in
+  let low = Array.make a.n 0 in
+  let on_stack = Array.make a.n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (succs v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to a.n - 1 do
+    if ok v && index.(v) = -1 then strong v
+  done;
+  !out
+
+let nontrivial (a : Automaton.t) within comp =
+  let in_comp = Iset.of_list comp in
+  List.exists
+    (fun q ->
+      List.exists
+        (fun q' -> Iset.mem q' in_comp && Iset.mem q' within)
+        (Automaton.successors a q))
+    comp
+
+(* Does [region] contain a cycle satisfying [acc]?  Polynomial:
+   disjunctive normal form plus SCC restriction. *)
+let exists_cycle_satisfying (a : Automaton.t) acc region =
+  List.exists
+    (fun (fin, infs) ->
+      let allowed = Iset.diff region fin in
+      List.exists
+        (fun comp ->
+          nontrivial a allowed comp
+          && List.for_all
+               (fun inf -> List.exists (fun q -> Iset.mem q inf) comp)
+               infs)
+        (sccs_within a allowed))
+    (Acceptance.dnf acc)
+
+let reachable_set (a : Automaton.t) =
+  let reach = Automaton.reachable a in
+  let s = ref Iset.empty in
+  Array.iteri (fun q r -> if r then s := Iset.add q !s) reach;
+  !s
+
+(* Recurrence (Wagner): no rejecting cycle contains an accepting cycle.
+   A cycle is rejecting iff it fits some dual clause (x, ys): it avoids
+   x and meets every y in ys.  If any such rejecting cycle A contains an
+   accepting one, so does the whole SCC S of (graph minus x) around A:
+   S avoids x, still meets every y, and is itself a (rejecting) cycle
+   containing the accepting witness.  So scanning those SCCs is exact. *)
+let is_recurrence (a : Automaton.t) =
+  let reach = reachable_set a in
+  List.for_all
+    (fun (x, ys) ->
+      let allowed = Iset.diff reach x in
+      List.for_all
+        (fun comp ->
+          let s = Iset.of_list comp in
+          (not (nontrivial a allowed comp))
+          || List.exists (fun y -> Iset.disjoint s y) ys
+          || not (exists_cycle_satisfying a a.acc s))
+        (sccs_within a allowed))
+    (Acceptance.cnf a.acc)
+
+let is_persistence a = is_recurrence (Automaton.complement a)
+
+(* Obligation: no reachable SCC carries both an accepting and a rejecting
+   cycle. *)
+let scc_flags (a : Automaton.t) =
+  let reach = reachable_set a in
+  List.filter_map
+    (fun comp ->
+      if not (nontrivial a reach comp) then None
+      else
+        let s = Iset.of_list comp in
+        let acc = exists_cycle_satisfying a a.acc s in
+        let rej = exists_cycle_satisfying a (Acceptance.dual a.acc) s in
+        Some (s, acc, rej))
+    (sccs_within a reach)
+
+let is_obligation a =
+  List.for_all (fun (_, acc, rej) -> not (acc && rej)) (scc_flags a)
+
+(* Obligation degree: with pure SCC flags, the separating pattern for the
+   k-th conjunctive level is a flag-alternating reachability chain
+   notF (F notF)^k; the degree is one more than the best accepting count
+   of a chain starting and ending with rejecting SCCs. *)
+let obligation_degree (a : Automaton.t) =
+  let flags = scc_flags a in
+  if List.exists (fun (_, acc, rej) -> acc && rej) flags then None
+  else begin
+    let flagged =
+      List.filter_map
+        (fun (s, acc, rej) ->
+          if acc then Some (s, true)
+          else if rej then Some (s, false)
+          else None)
+        flags
+    in
+    let reach_from states =
+      let seen = Hashtbl.create 16 in
+      let rec visit q =
+        if not (Hashtbl.mem seen q) then begin
+          Hashtbl.add seen q ();
+          List.iter visit (Automaton.successors a q)
+        end
+      in
+      Iset.iter visit states;
+      seen
+    in
+    let arr =
+      Array.of_list (List.map (fun (s, f) -> (s, f, reach_from s)) flagged)
+    in
+    let m = Array.length arr in
+    let reaches i j =
+      let _, _, r = arr.(i) in
+      let sj, _, _ = arr.(j) in
+      i <> j && Iset.exists (fun q -> Hashtbl.mem r q) sj
+    in
+    (* best accepting-count of an alternating chain from i to a rejecting
+       SCC *)
+    let memo = Array.make m min_int in
+    let rec chain i =
+      if memo.(i) > min_int then memo.(i)
+      else begin
+        let _, fi, _ = arr.(i) in
+        let best = ref (if fi then min_int else 0) in
+        for j = 0 to m - 1 do
+          if reaches i j then begin
+            let _, fj, _ = arr.(j) in
+            if fj <> fi then
+              let cj = chain j in
+              if cj > min_int then
+                best := max !best (cj + if fi then 1 else 0)
+          end
+        done;
+        memo.(i) <- !best;
+        !best
+      end
+    in
+    let deg_raw = ref 0 in
+    for i = 0 to m - 1 do
+      let _, fi, _ = arr.(i) in
+      if not fi then deg_raw := max !deg_raw (chain i)
+    done;
+    let any_accepting = List.exists (fun (_, f) -> f) flagged in
+    Some (if any_accepting then !deg_raw + 1 else 0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reactivity rank (inclusion chains; inherently cycle-based)           *)
+(* ------------------------------------------------------------------ *)
+
+exception Rank_too_hard of int
+
+(* Longest alternating inclusion chain B1 < J1 < ... < Jn within an SCC.
+   Exponential in general: pairwise dynamic programming over the
+   enumerated cycles when their number is moderate; a fast exact path
+   handles the dense case where every subset of the SCC's cycle support
+   is itself a cycle (then single-element refinement steps are always
+   available). *)
+let reactivity_rank_raw ?(max_cycles = 4000) (a : Automaton.t) =
+  let best = ref 0 in
+  List.iter
+    (fun group ->
+      let cycles = Array.of_list group in
+      let m = Array.length cycles in
+      let support =
+        Array.fold_left (fun s (c, _) -> Iset.union s c) Iset.empty cycles
+      in
+      let full_lattice =
+        m = (1 lsl Iset.cardinal support) - 1 && Iset.cardinal support <= 22
+      in
+      if full_lattice then begin
+        (* index cycles by bitmask over the support *)
+        let elems = Array.of_list (Iset.elements support) in
+        let pos = Hashtbl.create 16 in
+        Array.iteri (fun i q -> Hashtbl.add pos q i) elems;
+        let size = Array.length elems in
+        let flag = Array.make (1 lsl size) false in
+        Array.iter
+          (fun (c, f) ->
+            let mask =
+              Iset.fold (fun q acc -> acc lor (1 lsl Hashtbl.find pos q)) c 0
+            in
+            flag.(mask) <- f)
+          cycles;
+        (* aR.(mask): length of the longest alternating chain ending at
+           mask that starts with a rejecting cycle; -1 if none *)
+        let ar = Array.make (1 lsl size) (-1) in
+        (* masks in popcount order: iterate masks increasingly; a submask
+           obtained by clearing a bit is smaller, so plain order works *)
+        for mask = 1 to (1 lsl size) - 1 do
+          let here = ref (if flag.(mask) then -1 else 1) in
+          let bits = ref mask in
+          while !bits <> 0 do
+            let b = !bits land - !bits in
+            bits := !bits land lnot b;
+            let sub = mask land lnot b in
+            if sub <> 0 && ar.(sub) >= 1 then begin
+              let inc = if flag.(sub) <> flag.(mask) then 1 else 0 in
+              here := max !here (ar.(sub) + inc)
+            end
+          done;
+          ar.(mask) <- !here;
+          if flag.(mask) && !here >= 1 then best := max !best (!here / 2)
+        done
+      end
+      else begin
+        if m > max_cycles then raise (Rank_too_hard m);
+        Array.sort
+          (fun (c1, _) (c2, _) ->
+            compare (Iset.cardinal c1) (Iset.cardinal c2))
+          cycles;
+        let d = Array.make m 0 in
+        for i = 0 to m - 1 do
+          let ci, fi = cycles.(i) in
+          d.(i) <- (if fi then 0 else 1);
+          for j = 0 to i - 1 do
+            let cj, fj = cycles.(j) in
+            if
+              d.(j) > 0 && fj <> fi
+              && Iset.cardinal cj < Iset.cardinal ci
+              && Iset.subset cj ci
+            then d.(i) <- max d.(i) (d.(j) + 1)
+          done;
+          if fi then best := max !best (d.(i) / 2)
+        done
+      end)
+    (Cycles.enumerate a);
+  !best
+
+let reactivity_rank a =
+  let n = reactivity_rank_raw a in
+  if n > 0 then n
+  else if Lang.is_universal a then 0
+  else 1
+
+let classify a =
+  if is_safety a then Kappa.Safety
+  else if is_guarantee a then Kappa.Guarantee
+  else if is_obligation a then
+    Kappa.Obligation (max 1 (Option.value ~default:1 (obligation_degree a)))
+  else if is_recurrence a then Kappa.Recurrence
+  else if is_persistence a then Kappa.Persistence
+  else Kappa.Reactivity (max 1 (reactivity_rank a))
+
+let memberships a =
+  [
+    (Kappa.Safety, is_safety a);
+    (Kappa.Guarantee, is_guarantee a);
+    ( Kappa.Obligation 1,
+      is_obligation a
+      && match obligation_degree a with Some d -> d <= 1 | None -> false );
+    (Kappa.Recurrence, is_recurrence a);
+    (Kappa.Persistence, is_persistence a);
+    (Kappa.Reactivity 1, reactivity_rank_raw a <= 1);
+  ]

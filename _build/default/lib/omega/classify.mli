@@ -1,0 +1,54 @@
+(** Deciding the class of a property given by a deterministic automaton —
+    the decision procedures of section 5.1.
+
+    Safety and guarantee are decided semantically through the safety
+    closure characterization ([Pi] is safety iff [Pi = A(Pref(Pi))],
+    section 2); the syntactic closure-based check of section 5.1 is also
+    provided for Streett-shaped automata.  Recurrence, persistence,
+    obligation and the two sub-hierarchies are decided by Wagner's cycle
+    conditions, quoted in section 5.1:
+
+    - recurrence iff every accessible cycle containing an accepting cycle
+      is accepting;
+    - persistence iff every accessible cycle contained in an accepting
+      cycle is accepting;
+    - obligation iff both (equivalently, no SCC carries both accepting
+      and rejecting cycles);
+    - the reactivity rank is the longest alternating inclusion chain
+      [B1 < J1 < ... < Jn] with [Bi] rejecting and [Ji] accepting;
+    - the obligation degree counts accepting members of alternating
+      {e reachability} chains of cycles starting with a rejecting one. *)
+
+(** Raised by {!reactivity_rank} when the cycle family is too large for
+    the exact chain computation (and not of the dense shape that admits
+    the fast path). *)
+exception Rank_too_hard of int
+
+val is_safety : Automaton.t -> bool
+
+val is_guarantee : Automaton.t -> bool
+
+val is_recurrence : Automaton.t -> bool
+
+val is_persistence : Automaton.t -> bool
+
+val is_obligation : Automaton.t -> bool
+
+(** Minimal [k] with the property in [Obl_k]; [None] if not an
+    obligation property.  [Some 0] means the empty property. *)
+val obligation_degree : Automaton.t -> int option
+
+(** Minimal number of Streett pairs ([Some 0] iff universal); every
+    omega-regular property has a finite rank (the reactivity normal-form
+    theorem). *)
+val reactivity_rank : Automaton.t -> int
+
+(** The most precise class in the hierarchy: safety and guarantee first,
+    then obligation (with its degree), then recurrence/persistence, then
+    reactivity (with its rank).  A property that is both safety and
+    guarantee is reported as safety. *)
+val classify : Automaton.t -> Kappa.t
+
+(** All six basic classes ([index 1] for the compound ones) that contain
+    the property — one row of Figure 1's membership matrix. *)
+val memberships : Automaton.t -> (Kappa.t * bool) list

@@ -1,0 +1,39 @@
+(** The constructions of Proposition 5.1: a property of class kappa,
+    given by an arbitrary (Streett) automaton, is specifiable by a
+    kappa-{e shaped} automaton.
+
+    Each conversion checks the semantic precondition and raises
+    [Not_in_class] if the automaton's language is not in the class.
+    Every construction is validated by the test suite with a language
+    equality check against the input. *)
+
+exception Not_in_class of string
+
+(** Safety shape: rejecting states are absorbing ("no transition from a
+    bad state to a good state").  Same structure, acceptance
+    [Fin dead]. *)
+val to_safety : Automaton.t -> Automaton.t
+
+(** Guarantee shape: accepting states absorbing. *)
+val to_guarantee : Automaton.t -> Automaton.t
+
+(** Recurrence shape: deterministic Buechi ([P = empty]).  Implements the
+    paper's two steps: per-Streett-pair saturation with the states of
+    persistent cycles ([R' = R union A1, P' = empty]), then the
+    minex-style product collapsing the generalized Buechi condition to a
+    single [Inf]. *)
+val to_buchi : Automaton.t -> Automaton.t
+
+(** Persistence shape: deterministic co-Buechi ([R = empty]); by duality
+    from {!to_buchi}. *)
+val to_cobuchi : Automaton.t -> Automaton.t
+
+(** Simple-reactivity shape: a single Streett pair, via the paper's
+    anticipation construction ([Q' = Q x Q^m x 2 x n x 2]): the product
+    anticipates, for each superset-closed accepting cycle [A_i], the next
+    [A_i]-state to be visited, and tracks whether the run stays inside
+    some subset-closed accepting cycle [B_j]. *)
+val to_simple_reactivity : Automaton.t -> Automaton.t
+
+(** Convert to the shape canonical for the given class. *)
+val to_shape : Kappa.t -> Automaton.t -> Automaton.t

@@ -1,0 +1,28 @@
+(** Accessible cycles of a deterministic automaton (section 5.1).
+
+    A {e cycle} is a set of states [C] such that some cyclic path passes
+    exactly through the states of [C]; equivalently, [C] is non-empty and
+    the subgraph induced on [C] is strongly connected with at least one
+    edge.  A cycle is {e accessible} if reachable from the start state.
+    Cycles are exactly the possible infinity sets of runs, so the family
+    [F] of {e accepting} cycles determines the property's position in the
+    hierarchy (Wagner 1979; section 5.1 of the paper).
+
+    Enumeration is exponential in the size of the largest SCC (the
+    decision problems are inherently about the cycle structure); automata
+    produced by this library's constructions keep SCCs small.
+    [Too_large] is raised beyond [max_scc] states in one SCC. *)
+
+exception Too_large of int
+
+(** All accessible cycles, each paired with its acceptance flag
+    ([true] iff the cycle satisfies the automaton's condition), grouped
+    by SCC.  [max_scc] defaults to 22. *)
+val enumerate : ?max_scc:int -> Automaton.t -> (Iset.t * bool) list list
+
+(** The family [F] of accessible accepting cycles (flattened). *)
+val accepting_family : ?max_scc:int -> Automaton.t -> Iset.t list
+
+(** Is the state set a cycle of the automaton (induced subgraph strongly
+    connected, with at least one edge)? *)
+val is_cycle : Automaton.t -> Iset.t -> bool

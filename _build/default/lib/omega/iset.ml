@@ -1,0 +1,6 @@
+(** Integer sets (automaton state sets). *)
+
+include Set.Make (Int)
+
+let pp ppf s =
+  Fmt.pf ppf "{%s}" (String.concat "," (List.map string_of_int (elements s)))

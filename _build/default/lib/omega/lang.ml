@@ -1,0 +1,340 @@
+module Word = Finitary.Word
+module Dfa = Finitary.Dfa
+module Alphabet = Finitary.Alphabet
+
+(* ------------------------------------------------------------------ *)
+(* Emptiness                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* SCCs of the automaton graph restricted to states outside [fin]. *)
+let restricted_sccs (a : Automaton.t) fin =
+  let blocked q = Iset.mem q fin in
+  let succs q =
+    if blocked q then []
+    else List.filter (fun q' -> not (blocked q')) (Automaton.successors a q)
+  in
+  let index = Array.make a.n (-1) in
+  let low = Array.make a.n 0 in
+  let on_stack = Array.make a.n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (succs v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to a.n - 1 do
+    if (not (blocked v)) && index.(v) = -1 then strong v
+  done;
+  !out
+
+let scc_nontrivial (a : Automaton.t) fin comp =
+  let in_comp = Iset.of_list comp in
+  List.exists
+    (fun q ->
+      List.exists
+        (fun q' -> Iset.mem q' in_comp && not (Iset.mem q' fin))
+        (Automaton.successors a q))
+    comp
+
+(* All states q such that a run entering q can be continued into an
+   accepting run: q can reach (in the full graph) an SCC qualifying for
+   some DNF conjunct of the acceptance condition. *)
+let good_scc_states (a : Automaton.t) =
+  let conjuncts = Acceptance.dnf a.acc in
+  List.fold_left
+    (fun acc (fin, infs) ->
+      List.fold_left
+        (fun acc comp ->
+          if
+            scc_nontrivial a fin comp
+            && List.for_all
+                 (fun inf ->
+                   List.exists (fun q -> Iset.mem q inf) comp)
+                 infs
+          then Iset.union acc (Iset.of_list comp)
+          else acc)
+        acc (restricted_sccs a fin))
+    Iset.empty conjuncts
+
+let live_states (a : Automaton.t) =
+  let good = good_scc_states a in
+  (* backward reachability to [good] in the full graph *)
+  let preds = Array.make a.n [] in
+  Array.iteri
+    (fun q row -> Array.iter (fun q' -> preds.(q') <- q :: preds.(q')) row)
+    a.delta;
+  let live = Array.make a.n false in
+  let queue = Queue.create () in
+  Iset.iter
+    (fun q ->
+      live.(q) <- true;
+      Queue.add q queue)
+    good;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not live.(p) then begin
+          live.(p) <- true;
+          Queue.add p queue
+        end)
+      preds.(q)
+  done;
+  live
+
+let nonempty (a : Automaton.t) = (live_states a).(a.start)
+
+let is_empty a = not (nonempty a)
+
+(* ------------------------------------------------------------------ *)
+(* Witness extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* BFS shortest letter-path from [src] to a state satisfying [dst],
+   moving only through states allowed by [ok]. *)
+let letter_path (a : Automaton.t) ~ok src dst =
+  if dst src then Some []
+  else begin
+    let parent = Hashtbl.create 16 in
+    Hashtbl.add parent src None;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let q = Queue.pop queue in
+         Array.iteri
+           (fun l q' ->
+             if ok q' && not (Hashtbl.mem parent q') then begin
+               Hashtbl.add parent q' (Some (q, l));
+               if dst q' then begin
+                 found := Some q';
+                 raise Exit
+               end;
+               Queue.add q' queue
+             end)
+           a.delta.(q)
+       done
+     with Exit -> ());
+    match !found with
+    | None -> None
+    | Some q ->
+        let rec build q acc =
+          match Hashtbl.find parent q with
+          | None -> acc
+          | Some (p, l) -> build p (l :: acc)
+        in
+        Some (build q [])
+  end
+
+let witness (a : Automaton.t) =
+  let reach = Automaton.reachable a in
+  let conjuncts = Acceptance.dnf a.acc in
+  let candidate =
+    List.find_map
+      (fun (fin, infs) ->
+        List.find_map
+          (fun comp ->
+            if
+              reach.(List.hd comp)
+              && scc_nontrivial a fin comp
+              && List.for_all
+                   (fun inf -> List.exists (fun q -> Iset.mem q inf) comp)
+                   infs
+            then Some (fin, infs, comp)
+            else None)
+          (restricted_sccs a fin))
+      conjuncts
+  in
+  match candidate with
+  | None -> None
+  | Some (fin, infs, comp) ->
+      let in_comp = Iset.of_list comp in
+      let ok_comp q = Iset.mem q in_comp && not (Iset.mem q fin) in
+      let anchor = List.hd comp in
+      let prefix =
+        match letter_path a ~ok:(fun _ -> true) a.start (fun q -> q = anchor) with
+        | Some p -> p
+        | None -> assert false
+      in
+      (* closed walk inside the component visiting a representative of
+         every Inf set, then back to the anchor, with at least one step *)
+      let reps =
+        List.map
+          (fun inf ->
+            match List.find_opt (fun q -> Iset.mem q inf) comp with
+            | Some q -> q
+            | None -> assert false)
+          infs
+      in
+      let rec tour cur targets acc =
+        match targets with
+        | t :: rest -> (
+            match letter_path a ~ok:ok_comp cur (fun q -> q = t) with
+            | Some p ->
+                tour t rest (acc @ p)
+            | None -> assert false)
+        | [] ->
+            (* close the loop with at least one step *)
+            let step_back =
+              List.find_map
+                (fun l ->
+                  let q' = a.delta.(cur).(l) in
+                  if ok_comp q' then
+                    match
+                      letter_path a ~ok:ok_comp q' (fun q -> q = anchor)
+                    with
+                    | Some p -> Some (l :: p)
+                    | None -> None
+                  else None)
+                (List.init (Array.length a.delta.(cur)) Fun.id)
+            in
+            (match step_back with
+            | Some p -> acc @ p
+            | None -> assert false)
+      in
+      let cycle = tour anchor reps [] in
+      Some
+        (Word.lasso ~prefix:(Array.of_list prefix)
+           ~cycle:(Array.of_list cycle))
+
+(* ------------------------------------------------------------------ *)
+(* Inclusion and equality                                              *)
+(* ------------------------------------------------------------------ *)
+
+let is_universal a = is_empty (Automaton.complement a)
+
+let included a b = is_empty (Automaton.diff a b)
+
+let equal a b = included a b && included b a
+
+let distinguishing_witness a b =
+  match witness (Automaton.diff a b) with
+  | Some w -> Some w
+  | None -> witness (Automaton.diff b a)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix language, safety closure, liveness                           *)
+(* ------------------------------------------------------------------ *)
+
+let pref (a : Automaton.t) =
+  let live = live_states a in
+  Dfa.minimize
+    (Dfa.make ~alpha:a.alpha ~n:a.n ~start:a.start ~delta:a.delta ~accept:live)
+
+(* The non-live states form an absorbing set, so "some prefix outside
+   Pref(Pi)" = "the run eventually stays among non-live states". *)
+let dead_set (a : Automaton.t) =
+  let live = live_states a in
+  let s = ref Iset.empty in
+  Array.iteri (fun q l -> if not l then s := Iset.add q !s) live;
+  !s
+
+let safety_closure (a : Automaton.t) =
+  let dead = dead_set a in
+  Automaton.make ~alpha:a.alpha ~n:a.n ~start:a.start ~delta:a.delta
+    ~acc:(Acceptance.simplify (Acceptance.Fin dead))
+
+let liveness_extension (a : Automaton.t) =
+  let dead = dead_set a in
+  Automaton.make ~alpha:a.alpha ~n:a.n ~start:a.start ~delta:a.delta
+    ~acc:(Acceptance.simplify (Acceptance.Or [ a.acc; Acceptance.Inf dead ]))
+
+let is_liveness (a : Automaton.t) =
+  let live = live_states a in
+  let reach = Automaton.reachable a in
+  Array.for_all2 (fun r l -> (not r) || l) reach live
+
+let safety_liveness_decomposition a = (safety_closure a, liveness_extension a)
+
+(* ------------------------------------------------------------------ *)
+(* Uniform liveness                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Pi is uniformly live iff one word is accepted from every state
+   reachable in >= 1 step: run the automaton from all those states
+   simultaneously and ask for a word accepted by every component. *)
+let is_uniform_liveness (a : Automaton.t) =
+  let reach = Automaton.reachable a in
+  let starts =
+    List.sort_uniq Stdlib.compare
+      (List.concat_map
+         (fun q ->
+           if reach.(q) then Array.to_list a.delta.(q) else [])
+         (List.init a.n Fun.id))
+  in
+  let k = Alphabet.size a.alpha in
+  let m = List.length starts in
+  let index = Hashtbl.create 64 in
+  let vectors = ref [] in
+  let count = ref 0 in
+  let intern v =
+    match Hashtbl.find_opt index v with
+    | Some i -> (i, true)
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add index v i;
+        vectors := (i, v) :: !vectors;
+        (i, false)
+  in
+  let v0 = starts in
+  let i0, _ = intern v0 in
+  let rows = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (i0, v0) queue;
+  while not (Queue.is_empty queue) do
+    let i, v = Queue.pop queue in
+    if not (Hashtbl.mem rows i) then begin
+      let row =
+        Array.init k (fun l ->
+            let v' = List.map (fun q -> a.delta.(q).(l)) v in
+            let j, existed = intern v' in
+            if not existed then Queue.add (j, v') queue;
+            j)
+      in
+      Hashtbl.add rows i row
+    end
+  done;
+  let n' = !count in
+  let delta = Array.init n' (fun i -> Hashtbl.find rows i) in
+  (* component c of vector-state i *)
+  let component = Array.make n' [||] in
+  List.iter (fun (i, v) -> component.(i) <- Array.of_list v) !vectors;
+  let lift c s =
+    let out = ref Iset.empty in
+    for i = 0 to n' - 1 do
+      if Iset.mem component.(i).(c) s then out := Iset.add i !out
+    done;
+    !out
+  in
+  let acc =
+    Acceptance.simplify
+      (Acceptance.And
+         (List.init m (fun c -> Acceptance.map_sets (lift c) a.acc)))
+  in
+  let joint = Automaton.make ~alpha:a.alpha ~n:n' ~start:i0 ~delta ~acc in
+  nonempty joint

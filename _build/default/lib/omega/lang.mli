@@ -1,0 +1,56 @@
+(** Language-level operations on deterministic omega-automata: emptiness
+    and inclusion, prefix languages, the safety closure, and the
+    safety-liveness machinery of section 2 (with its topological reading,
+    section 3). *)
+
+(** Is the accepted language non-empty?  Exact for every acceptance
+    condition (disjunctive-normal-form + SCC restriction). *)
+val nonempty : Automaton.t -> bool
+
+val is_empty : Automaton.t -> bool
+
+(** A lasso word accepted by the automaton, if any. *)
+val witness : Automaton.t -> Finitary.Word.lasso option
+
+(** Does the automaton accept every infinite word? *)
+val is_universal : Automaton.t -> bool
+
+(** Language inclusion / equality (via product with the complement;
+    deterministic automata complement for free). *)
+val included : Automaton.t -> Automaton.t -> bool
+
+val equal : Automaton.t -> Automaton.t -> bool
+
+(** A lasso in the symmetric difference, if the languages differ. *)
+val distinguishing_witness :
+  Automaton.t -> Automaton.t -> Finitary.Word.lasso option
+
+(** [live_states a]: per-state flag, true iff the language of the
+    automaton started at that state is non-empty. *)
+val live_states : Automaton.t -> bool array
+
+(** [pref a]: the paper's [Pref(Pi)] as a DFA — the non-empty finite
+    words extendable to an accepted infinite word. *)
+val pref : Automaton.t -> Finitary.Dfa.t
+
+(** The safety closure [A(Pref(Pi))] — topologically, the closure
+    [cl(Pi)] (section 3 proves these coincide; we implement the left side
+    and the test suite checks closure axioms). *)
+val safety_closure : Automaton.t -> Automaton.t
+
+(** The liveness extension [L(Pi) = Pi union E(not Pref(Pi))] used in the
+    decomposition theorem. *)
+val liveness_extension : Automaton.t -> Automaton.t
+
+(** Is the property a liveness property ([Pref(Pi) = Sigma+];
+    topologically: is the set dense)? *)
+val is_liveness : Automaton.t -> bool
+
+(** The decomposition [Pi = Pi_S inter Pi_L] of the paper's claim:
+    returns (safety closure, liveness extension). *)
+val safety_liveness_decomposition : Automaton.t -> Automaton.t * Automaton.t
+
+(** Is the property a {e uniform} liveness property: is there a single
+    infinite word [w] with [Sigma+ . w <= Pi]?  Decided exactly by a
+    product over all states reachable in at least one step. *)
+val is_uniform_liveness : Automaton.t -> bool

@@ -1,0 +1,35 @@
+module Rewrite = Logic.Rewrite
+module Past_tester = Logic.Past_tester
+module Dfa = Finitary.Dfa
+
+(* init p: the word's first letter (position 0) decides; esat(p)
+   restricted to words of length exactly 1, then E(.). *)
+let init_automaton alpha p =
+  let esat = Past_tester.esat alpha p in
+  let len1 =
+    Finitary.Regex.compile alpha "."
+  in
+  Build.e (Dfa.inter esat len1)
+
+let rec of_canon alpha = function
+  | Rewrite.CPast p -> init_automaton alpha p
+  | Rewrite.CAlw p -> Build.a (Past_tester.esat alpha p)
+  | Rewrite.CEv p -> Build.e (Past_tester.esat alpha p)
+  | Rewrite.CAlwEv p -> Build.r (Past_tester.esat alpha p)
+  | Rewrite.CEvAlw p -> Build.p (Past_tester.esat alpha p)
+  | Rewrite.CAnd (c1, c2) ->
+      Automaton.trim (Automaton.inter (of_canon alpha c1) (of_canon alpha c2))
+  | Rewrite.COr (c1, c2) ->
+      Automaton.trim (Automaton.union (of_canon alpha c1) (of_canon alpha c2))
+
+let translate alpha f =
+  Option.map (of_canon alpha) (Rewrite.to_canon f)
+
+let of_string alpha s =
+  match translate alpha (Logic.Parser.parse s) with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Of_formula.of_string: %S is outside the canonical fragment" s)
+
+let classify alpha f = Option.map Classify.classify (translate alpha f)

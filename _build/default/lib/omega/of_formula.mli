@@ -1,0 +1,26 @@
+(** Translation of canonical temporal formulae to deterministic automata
+    (Proposition 5.3 of the paper).
+
+    A canonical formula — a positive boolean combination of
+    [init p], [[]p], [<>p], [[]<>p], [<>[]p] over past formulae [p] — is
+    compiled by building one deterministic {!Logic.Past_tester} per modal
+    atom (the paper's construction: a deterministic automaton whose state
+    knows which past subformulae hold now) and combining the resulting
+    automata with products; the acceptance shapes are exactly the
+    kappa-automaton shapes of section 5. *)
+
+(** Compile a canonical form. *)
+val of_canon : Finitary.Alphabet.t -> Logic.Rewrite.canon -> Automaton.t
+
+(** Normalize with {!Logic.Rewrite.to_canon}, then compile.  [None] if
+    the formula is outside the canonical fragment. *)
+val translate : Finitary.Alphabet.t -> Logic.Formula.t -> Automaton.t option
+
+(** Parse, normalize and compile.  Raises [Invalid_argument] on syntax
+    errors or non-canonical formulas. *)
+val of_string : Finitary.Alphabet.t -> string -> Automaton.t
+
+(** Semantic classification of a formula: translate and classify the
+    automaton (exact for the denoted property, unlike the syntactic
+    class, which is only an upper bound). *)
+val classify : Finitary.Alphabet.t -> Logic.Formula.t -> Kappa.t option

@@ -1,0 +1,1 @@
+test/test_characterization.ml: Alcotest Automaton Build Classify Finitary Lang List Omega

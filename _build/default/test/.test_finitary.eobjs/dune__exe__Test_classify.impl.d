@@ -1,0 +1,1 @@
+test/test_classify.ml: Acceptance Alcotest Array Automaton Build Classify Finitary Fmt Format Fun Iset Kappa Lang List Of_formula Omega Printf QCheck QCheck_alcotest

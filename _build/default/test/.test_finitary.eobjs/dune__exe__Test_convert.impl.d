@@ -1,0 +1,1 @@
+test/test_convert.ml: Acceptance Alcotest Automaton Build Classify Convert Finitary Fun Iset Lang List Of_formula Omega

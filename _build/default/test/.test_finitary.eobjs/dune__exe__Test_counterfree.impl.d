@@ -1,0 +1,1 @@
+test/test_counterfree.ml: Alcotest Automaton Build Counter_free Finitary List Of_formula Omega

@@ -1,0 +1,1 @@
+test/test_equivalences.ml: Alcotest Finitary List Logic Omega Parser Rewrite Tableau

@@ -1,0 +1,1 @@
+test/test_finitary.ml: Alcotest Alphabet Array Dfa Finitary Format Fun Gen List Nfa QCheck QCheck_alcotest Regex Word

@@ -1,0 +1,1 @@
+test/test_fts.ml: Alcotest Array Check Fts List Logic Models Proof System

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Automaton Build Classify Finitary Hierarchy Kappa Lang List Of_formula Omega String

@@ -1,0 +1,1 @@
+test/test_liveformula.ml: Alcotest Finitary Formula List Liveness Logic Omega Parser Tableau

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Automaton Build Classify Finitary Kappa Lang List Omega

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Finitary Formula List Logic Parser Past_tester Semantics Tableau

@@ -1,0 +1,1 @@
+test/test_minex.ml: Alcotest Alphabet Array Dfa Finitary Formula Lang_ops List Logic Parser Past_tester Printf Regex Word

@@ -1,0 +1,1 @@
+test/test_obligation.ml: Acceptance Alcotest Array Automaton Build Classify Finitary Iset Kappa Lang List Of_formula Omega Printf

@@ -1,0 +1,1 @@
+test/test_operators.ml: Alcotest Array Automaton Build Classify Finitary Format Fun Lang List Omega Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Finitary Format Formula List Logic Parser QCheck QCheck_alcotest Semantics Tableau

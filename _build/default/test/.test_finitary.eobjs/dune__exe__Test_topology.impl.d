@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Automaton Build Convert Finitary Hierarchy Lang List Omega

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Array Automaton Build Classify Finitary Format Kappa Lang List Logic Of_formula Omega Option QCheck QCheck_alcotest

@@ -1,0 +1,127 @@
+(* Characterization claims of section 2: a property is safety iff it
+   equals its safety closure A(Pref(Pi)); the guarantee dual; and the
+   paper's non-membership computations. *)
+
+open Omega
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let check = Alcotest.(check bool)
+
+let safety_closure_tests =
+  [
+    Alcotest.test_case "safety iff equal to closure" `Quick (fun () ->
+        let saf = Build.a_re ab "a^+ b*" in
+        check "safety fixed point" true (Lang.equal saf (Lang.safety_closure saf));
+        let rec_ = Build.r_re ab ".* b" in
+        check "recurrence not fixed" false
+          (Lang.equal rec_ (Lang.safety_closure rec_)));
+    Alcotest.test_case "paper: closure of infinitely-many-b is everything"
+      `Quick (fun () ->
+        (* Pref((a^* b)^w) = (a+b)^+, so A(Pref) = (a+b)^w *)
+        let rec_ = Build.r_re ab ".* b" in
+        check "pref is sigma+" true
+          (Finitary.Dfa.equal_nonepsilon (Lang.pref rec_)
+             (Finitary.Dfa.sigma_plus ab));
+        check "closure universal" true
+          (Lang.is_universal (Lang.safety_closure rec_)));
+    Alcotest.test_case "closure is monotone, extensive, idempotent" `Quick
+      (fun () ->
+        let xs =
+          [ Build.a_re ab "a^+ b*"; Build.e_re ab ".* b a"; Build.r_re ab ".* b";
+            Build.p_re ab ".* a"; Automaton.union (Build.a_re ab "a^*") (Build.e_re ab ".* b b") ]
+        in
+        List.iter
+          (fun x ->
+            check "extensive" true (Lang.included x (Lang.safety_closure x));
+            check "idempotent" true
+              (Lang.equal
+                 (Lang.safety_closure x)
+                 (Lang.safety_closure (Lang.safety_closure x))))
+          xs;
+        List.iter
+          (fun x ->
+            List.iter
+              (fun y ->
+                if Lang.included x y then
+                  check "monotone" true
+                    (Lang.included (Lang.safety_closure x) (Lang.safety_closure y)))
+              xs)
+          xs);
+    Alcotest.test_case "guarantee characterization by duality" `Quick
+      (fun () ->
+        (* Pi guarantee iff complement Pi = its closure *)
+        let g = Build.e_re ab ".* b a" in
+        check "guarantee" true
+          (Lang.equal (Automaton.complement g)
+             (Lang.safety_closure (Automaton.complement g)));
+        check "is_guarantee agrees" true (Classify.is_guarantee g);
+        (* and the paper's computation: infinitely-many-b is not
+           guarantee *)
+        check "recurrence not guarantee" false
+          (Classify.is_guarantee (Build.r_re ab ".* b")));
+    Alcotest.test_case "pref of product lasso witness" `Quick (fun () ->
+        (* every prefix of an accepted word is in Pref *)
+        let x = Build.r_re ab ".* b" in
+        match Lang.witness x with
+        | None -> Alcotest.fail "recurrence property should be nonempty"
+        | Some w ->
+            let pref = Lang.pref x in
+            List.iter
+              (fun i ->
+                check "prefix in Pref" true
+                  (Finitary.Dfa.accepts pref (Finitary.Word.prefix_of_lasso w i)))
+              [ 1; 2; 3; 5; 8 ]);
+  ]
+
+(* The obligation class (section 2): normal forms and containments. *)
+let obligation_tests =
+  [
+    Alcotest.test_case "typical obligation property" `Quick (fun () ->
+        (* a^* b^w + S^* c S^w over {a,b,c}: union of safety and
+           guarantee, neither alone *)
+        let abc = Finitary.Alphabet.of_chars "abc" in
+        let saf = Build.a (Finitary.Regex.compile abc "a^* b^*") in
+        let gua = Build.e (Finitary.Regex.compile abc ".* c") in
+        let obl = Automaton.union saf gua in
+        check "is obligation" true (Classify.is_obligation obl);
+        check "not safety" false (Classify.is_safety obl);
+        check "not guarantee" false (Classify.is_guarantee obl);
+        check "degree 1" true (Classify.obligation_degree obl = Some 1));
+    Alcotest.test_case "obligation = recurrence inter persistence" `Quick
+      (fun () ->
+        let cases =
+          [
+            Build.a_re ab "a^+ b*";
+            Build.e_re ab ".* b a";
+            Automaton.union (Build.a_re ab "a^*") (Build.e_re ab ".* b b");
+            Build.r_re ab ".* b";
+            Build.p_re ab ".* a";
+            Automaton.union (Build.r_re ab ".* b") (Build.p_re ab ".* a");
+          ]
+        in
+        List.iter
+          (fun x ->
+            check "iff" (Classify.is_obligation x)
+              (Classify.is_recurrence x && Classify.is_persistence x))
+          cases);
+    Alcotest.test_case "obligation closed under boolean ops" `Quick (fun () ->
+        let abc = Finitary.Alphabet.of_chars "abc" in
+        let o1 =
+          Automaton.union
+            (Build.a (Finitary.Regex.compile abc "a^*"))
+            (Build.e (Finitary.Regex.compile abc ".* b"))
+        in
+        let o2 =
+          Automaton.union
+            (Build.a (Finitary.Regex.compile abc "(a + b)^*"))
+            (Build.e (Finitary.Regex.compile abc ".* c"))
+        in
+        check "union" true (Classify.is_obligation (Automaton.union o1 o2));
+        check "inter" true (Classify.is_obligation (Automaton.inter o1 o2));
+        check "complement" true
+          (Classify.is_obligation (Automaton.complement o1)));
+  ]
+
+let () =
+  Alcotest.run "characterization"
+    [ ("safety-closure", safety_closure_tests); ("obligation", obligation_tests) ]

@@ -1,0 +1,50 @@
+(* Counter-freedom (section 5): only counter-free automata denote
+   LTL-expressible properties. *)
+
+open Omega
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+let check = Alcotest.(check bool)
+
+let tests =
+  [
+    Alcotest.test_case "LTL-derived automata are counter-free" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            check s true
+              (Counter_free.is_counter_free (Of_formula.of_string pq s)))
+          [
+            "[] p"; "<> p"; "[]<> p"; "<>[] p"; "[] (p -> <> q)"; "p U q";
+            "[] p & <> q"; "[]<> p | <>[] q";
+          ]);
+    Alcotest.test_case "modulo counting detected" `Quick (fun () ->
+        check "even a-blocks" false
+          (Counter_free.is_counter_free (Build.r_re ab "(a a)^+"));
+        check "every third letter" false
+          (Counter_free.is_counter_free (Build.a_re ab "(. . a)^* + (. . a)^* . + (. . a)^* . .")));
+    Alcotest.test_case "counter-free operator images" `Quick (fun () ->
+        check "A of counter-free regex" true
+          (Counter_free.is_counter_free (Build.a_re ab "a^+ b*"));
+        check "R of counter-free" true
+          (Counter_free.is_counter_free (Build.r_re ab ".* b")));
+    Alcotest.test_case "monoid size grows but stays finite" `Quick (fun () ->
+        let m1 = Counter_free.monoid_size (Build.a_re ab "a^+ b*") in
+        check "positive" true (m1 > 0));
+    Alcotest.test_case "counter-free closed under product" `Quick (fun () ->
+        let x = Of_formula.of_string pq "[]<> p" in
+        let y = Of_formula.of_string pq "<>[] q" in
+        check "union" true
+          (Counter_free.is_counter_free (Automaton.union x y));
+        check "inter" true
+          (Counter_free.is_counter_free (Automaton.inter x y)));
+    Alcotest.test_case "counting product is not counter-free" `Quick
+      (fun () ->
+        let c = Build.r_re ab "(a a)^+" in
+        check "product keeps the counter" false
+          (Counter_free.is_counter_free
+             (Automaton.union c (Of_formula.of_string ab "[]<> b"))));
+  ]
+
+let () = Alcotest.run "counterfree" [ ("counterfree", tests) ]

@@ -1,0 +1,224 @@
+(* Finitary substrate: alphabets, words, DFAs, NFAs, regular
+   expressions. *)
+
+open Finitary
+
+let ab = Alphabet.of_chars "ab"
+let abc = Alphabet.of_chars "abc"
+let pq = Alphabet.of_props [ "p"; "q" ]
+let w = Word.of_string ab
+let check = Alcotest.(check bool)
+
+let alphabet_tests =
+  [
+    Alcotest.test_case "sizes" `Quick (fun () ->
+        Alcotest.(check int) "ab" 2 (Alphabet.size ab);
+        Alcotest.(check int) "abc" 3 (Alphabet.size abc);
+        Alcotest.(check int) "props" 4 (Alphabet.size pq));
+    Alcotest.test_case "letter names roundtrip" `Quick (fun () ->
+        List.iter
+          (fun l ->
+            Alcotest.(check int)
+              "roundtrip" l
+              (Alphabet.letter_of_name ab (Alphabet.letter_name ab l)))
+          (Alphabet.letters ab));
+    Alcotest.test_case "propositional atoms" `Quick (fun () ->
+        let l = Alphabet.letter_of_name pq "{p}" in
+        check "p holds" true (Alphabet.holds pq "p" l);
+        check "q fails" false (Alphabet.holds pq "q" l);
+        let l2 = Alphabet.letter_of_name pq "{p,q}" in
+        check "both" true (Alphabet.holds pq "p" l2 && Alphabet.holds pq "q" l2));
+    Alcotest.test_case "symbolic atoms" `Quick (fun () ->
+        check "a is a" true (Alphabet.holds ab "a" (Alphabet.letter_of_name ab "a"));
+        check "a is not b" false (Alphabet.holds ab "a" (Alphabet.letter_of_name ab "b")));
+    Alcotest.test_case "bad inputs rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Alphabet.of_chars: empty alphabet")
+          (fun () -> ignore (Alphabet.of_chars ""));
+        check "unknown atom raises" true
+          (try ignore (Alphabet.holds ab "z" 0); false
+           with Invalid_argument _ -> true));
+  ]
+
+let word_tests =
+  [
+    Alcotest.test_case "prefix relations" `Quick (fun () ->
+        check "proper" true (Word.is_proper_prefix (w "ab") (w "abb"));
+        check "not itself" false (Word.is_proper_prefix (w "ab") (w "ab"));
+        check "non-strict itself" true (Word.is_prefix (w "ab") (w "ab"));
+        check "mismatch" false (Word.is_prefix (w "ba") (w "bb")));
+    Alcotest.test_case "lasso positions" `Quick (fun () ->
+        let l = Word.lasso_of_string ab "ab(ba)" in
+        let names = List.init 7 (fun i -> Alphabet.letter_name ab (Word.at l i)) in
+        Alcotest.(check (list string)) "abbabab" [ "a"; "b"; "b"; "a"; "b"; "a"; "b" ] names);
+    Alcotest.test_case "lasso equality: spellings" `Quick (fun () ->
+        let eq a b =
+          Word.equal_lasso (Word.lasso_of_string ab a) (Word.lasso_of_string ab b)
+        in
+        check "unrolled" true (eq "(ab)" "ab(ab)");
+        check "doubled cycle" true (eq "(ab)" "(abab)");
+        check "folded" true (eq "a(ba)" "(ab)");
+        check "different" false (eq "(ab)" "(ba)");
+        check "prefix matters" false (eq "a(b)" "(b)"));
+    Alcotest.test_case "distance" `Quick (fun () ->
+        let l = Word.lasso_of_string ab in
+        Alcotest.(check (float 1e-9)) "differ at 0" 1.0 (Word.distance (l "(a)") (l "(b)"));
+        Alcotest.(check (float 1e-9)) "differ at 2" 0.25 (Word.distance (l "aa(a)") (l "aa(b)"));
+        Alcotest.(check (float 1e-9)) "equal" 0.0 (Word.distance (l "(ab)") (l "ab(ab)")));
+    Alcotest.test_case "enumerate" `Quick (fun () ->
+        Alcotest.(check int) "words up to 3 over 2 letters" (2 + 4 + 8)
+          (List.length (Word.enumerate ab ~max_len:3));
+        let lassos = Word.enumerate_lassos ab ~max_prefix:1 ~max_cycle:2 in
+        (* prefixes: eps, a, b (3); cycles: a, b, aa, ab, ba, bb (6) *)
+        Alcotest.(check int) "lassos" 18 (List.length lassos));
+  ]
+
+let dfa_tests =
+  let phi = Regex.compile ab "a^+ b*" in
+  [
+    Alcotest.test_case "regex membership" `Quick (fun () ->
+        check "a" true (Dfa.accepts phi (w "a"));
+        check "aab" true (Dfa.accepts phi (w "aab"));
+        check "abb" true (Dfa.accepts phi (w "abb"));
+        check "b" false (Dfa.accepts phi (w "b"));
+        check "aba" false (Dfa.accepts phi (w "aba"));
+        check "eps" false (Dfa.accepts phi Word.empty));
+    Alcotest.test_case "boolean ops" `Quick (fun () ->
+        let psi = Regex.compile ab ".* b" in
+        let both = Dfa.inter phi psi in
+        check "aab in inter" true (Dfa.accepts both (w "aab"));
+        check "aa notin inter" false (Dfa.accepts both (w "aa"));
+        let either = Dfa.union phi psi in
+        check "b in union" true (Dfa.accepts either (w "b"));
+        check "ba notin union" false (Dfa.accepts either (w "ba"));
+        check "complement" true (Dfa.accepts (Dfa.complement phi) (w "ba")));
+    Alcotest.test_case "minimization canonical" `Quick (fun () ->
+        let d1 = Regex.compile ab "a (a + b)* + a" in
+        let d2 = Regex.compile ab "a .*  + a" in
+        Alcotest.(check int) "same size" d1.Dfa.n d2.Dfa.n;
+        check "equal language" true (Dfa.equal d1 d2));
+    Alcotest.test_case "emptiness and universality" `Quick (fun () ->
+        check "inter of disjoint empty" true
+          (Dfa.is_empty (Dfa.inter (Regex.compile ab "a .*") (Regex.compile ab "b .*")));
+        check "sigma star universal" true (Dfa.is_universal (Regex.compile ab ".*"));
+        check "sigma plus not universal (eps)" false
+          (Dfa.is_universal (Dfa.sigma_plus ab));
+        check "sigma plus universal nonepsilon" true
+          (Dfa.is_empty_nonepsilon (Dfa.complement (Dfa.sigma_plus ab))));
+    Alcotest.test_case "inclusion" `Quick (fun () ->
+        check "a+b* included in a.*" true
+          (Dfa.included_nonepsilon phi (Regex.compile ab "a .*"));
+        check "reverse fails" false
+          (Dfa.included_nonepsilon (Regex.compile ab "a .*") phi));
+    Alcotest.test_case "shortest accepted" `Quick (fun () ->
+        match Dfa.shortest_accepted (Regex.compile ab ".* b a b") with
+        | Some word -> Alcotest.(check int) "length 3" 3 (Word.length word)
+        | None -> Alcotest.fail "no word found");
+    Alcotest.test_case "word_lang" `Quick (fun () ->
+        let d = Dfa.word_lang ab (w "aba") in
+        check "the word" true (Dfa.accepts d (w "aba"));
+        check "another" false (Dfa.accepts d (w "abb"));
+        check "longer" false (Dfa.accepts d (w "abaa")));
+  ]
+
+let regex_tests =
+  [
+    Alcotest.test_case "powers" `Quick (fun () ->
+        let d = Regex.compile ab "(a b)^3" in
+        check "ababab" true (Dfa.accepts d (w "ababab"));
+        check "abab" false (Dfa.accepts d (w "abab")));
+    Alcotest.test_case "plus vs star" `Quick (fun () ->
+        check "a* has eps" true (Dfa.accepts (Regex.compile ab "a^*") Word.empty);
+        check "a^+ no eps" false (Dfa.accepts (Regex.compile ab "a^+") Word.empty));
+    Alcotest.test_case "empty word ()" `Quick (fun () ->
+        let d = Regex.compile ab "() + a b" in
+        check "eps" true (Dfa.accepts d Word.empty);
+        check "ab" true (Dfa.accepts d (w "ab"));
+        check "a" false (Dfa.accepts d (w "a")));
+    Alcotest.test_case "dot is any" `Quick (fun () ->
+        let d = Regex.compile abc ". c" in
+        check "ac" true (Dfa.accepts d (Word.of_string abc "ac"));
+        check "cc" true (Dfa.accepts d (Word.of_string abc "cc"));
+        check "ca" false (Dfa.accepts d (Word.of_string abc "ca")));
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            check bad true
+              (try ignore (Regex.parse ab bad); false
+               with Invalid_argument _ -> true))
+          [ "a +"; "(a"; "a)"; "x"; "a ^"; "" ]);
+    Alcotest.test_case "print/parse roundtrip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            let e = Regex.parse ab s in
+            let printed = Format.asprintf "%a" (Regex.pp ab) e in
+            check s true (Dfa.equal (Regex.to_dfa ab e) (Regex.compile ab printed)))
+          [ "a^+ b*"; "(a + b)^2 a"; ".* b (a + ())" ]);
+  ]
+
+(* qcheck: random regexes, algebraic laws of the language operations *)
+let gen_regex =
+  let open QCheck.Gen in
+  sized_size (int_bound 10)
+  @@ fix (fun self n ->
+      if n <= 1 then
+        oneof [ return Regex.Eps; map (fun b -> Regex.Letter (if b then 0 else 1)) bool; return Regex.Any ]
+      else
+        frequency
+          [
+            (3, map2 (fun a b -> Regex.Alt (a, b)) (self (n / 2)) (self (n / 2)));
+            (4, map2 (fun a b -> Regex.Seq (a, b)) (self (n / 2)) (self (n / 2)));
+            (2, map (fun a -> Regex.Star a) (self (n - 1)));
+            (1, map (fun a -> Regex.Plus a) (self (n - 1)));
+          ])
+
+let arb_regex =
+  QCheck.make ~print:(fun e -> Format.asprintf "%a" (Regex.pp ab) e) gen_regex
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"de morgan on random regex pairs" ~count:60
+        (QCheck.pair arb_regex arb_regex)
+        (fun (e1, e2) ->
+          let d1 = Regex.to_dfa ab e1 and d2 = Regex.to_dfa ab e2 in
+          Dfa.equal
+            (Dfa.complement (Dfa.union d1 d2))
+            (Dfa.inter (Dfa.complement d1) (Dfa.complement d2)));
+      QCheck.Test.make ~name:"star idempotent" ~count:40 arb_regex (fun e ->
+          Dfa.equal
+            (Regex.to_dfa ab (Regex.Star (Regex.Star e)))
+            (Regex.to_dfa ab (Regex.Star e)));
+      QCheck.Test.make ~name:"minimize preserves language on samples" ~count:40
+        arb_regex
+        (fun e ->
+          let d = Nfa.determinize (Regex.to_nfa ab e) in
+          let m = Dfa.minimize d in
+          List.for_all
+            (fun word -> Dfa.accepts d word = Dfa.accepts m word)
+            (Word.enumerate ab ~max_len:5));
+      QCheck.Test.make ~name:"nfa and dfa agree" ~count:40 arb_regex (fun e ->
+          let nfa = Regex.to_nfa ab e in
+          let dfa = Nfa.determinize nfa in
+          List.for_all
+            (fun word -> Nfa.accepts nfa word = Dfa.accepts dfa word)
+            (Word.enumerate ab ~max_len:4));
+      QCheck.Test.make ~name:"canonical lasso preserves the word" ~count:100
+        (QCheck.pair QCheck.(list_of_size Gen.(0 -- 3) (QCheck.int_bound 1))
+           QCheck.(list_of_size Gen.(1 -- 4) (QCheck.int_bound 1)))
+        (fun (pre, cyc) ->
+          QCheck.assume (cyc <> []);
+          let l = Word.lasso ~prefix:(Array.of_list pre) ~cycle:(Array.of_list cyc) in
+          let c = Word.canonical l in
+          List.for_all (fun i -> Word.at l i = Word.at c i)
+            (List.init 12 Fun.id));
+    ]
+
+let () =
+  Alcotest.run "finitary"
+    [
+      ("alphabet", alphabet_tests);
+      ("word", word_tests);
+      ("dfa", dfa_tests);
+      ("regex", regex_tests);
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,160 @@
+(* The assembled hierarchy: Figure 1's membership matrix on canonical
+   examples, the Property report, and the linter. *)
+
+open Omega
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+let check = Alcotest.(check bool)
+
+(* One canonical property per class (the paper's own examples where they
+   exist over a binary alphabet), and its expected membership row in
+   Figure 1: safety, guarantee, simple obligation, recurrence,
+   persistence, simple reactivity. *)
+let figure1 =
+  [
+    ("A(a^+ b-star)", Build.a_re ab "a^+ b*",
+     [ true; false; true; true; true; true ]);
+    ("E(.-star b a)", Build.e_re ab ".* b a",
+     [ false; true; true; true; true; true ]);
+    ("safety u guarantee", Automaton.union (Build.a_re ab "a^*") (Build.e_re ab ".* b b"),
+     [ false; false; true; true; true; true ]);
+    ("R(.-star b)", Build.r_re ab ".* b",
+     [ false; false; false; true; false; true ]);
+    ("P(.-star b)", Build.p_re ab ".* b",
+     [ false; false; false; false; true; true ]);
+    (* over a binary alphabet R(S*b) u P(S*a) is universal (the two
+       parts are complementary), so the strict simple-reactivity witness
+       uses independent propositions instead *)
+    ("[]<>p | <>[]q",
+     Of_formula.of_string pq "[]<> p | <>[] q",
+     [ false; false; false; false; false; true ]);
+  ]
+
+let figure1_tests =
+  [
+    Alcotest.test_case "membership matrix of Figure 1" `Quick (fun () ->
+        List.iter
+          (fun (name, a, expected) ->
+            let row = List.map snd (Classify.memberships a) in
+            Alcotest.(check (list bool)) name expected row)
+          figure1);
+    Alcotest.test_case "inclusion diagram edges are strict" `Quick (fun () ->
+        (* each class has a member outside all lower classes: read off
+           the matrix rows above *)
+        let names = List.map (fun (n, _, _) -> n) figure1 in
+        Alcotest.(check int) "six witnesses" 6
+          (List.length (List.sort_uniq compare names)));
+    Alcotest.test_case "classify returns the least class" `Quick (fun () ->
+        List.iter
+          (fun (name, a, _) ->
+            let c = Classify.classify a in
+            (* c's row entry must be true, and everything strictly below
+               must be false *)
+            List.iter
+              (fun (k, m) ->
+                if Kappa.equal k c then check (name ^ " in own class") true m
+                else if Kappa.leq k c && not (Kappa.equal k c) then
+                  check (name ^ " not below") false m)
+              (Classify.memberships a))
+          figure1);
+  ]
+
+let report_tests =
+  [
+    Alcotest.test_case "analyze a response formula" `Quick (fun () ->
+        match Hierarchy.Property.analyze_string pq "[] (p -> <> q)" with
+        | None -> Alcotest.fail "translatable"
+        | Some r ->
+            check "semantic recurrence" true (Kappa.equal r.semantic Kappa.Recurrence);
+            check "syntactic recurrence" true
+              (r.syntactic = Some Kappa.Recurrence);
+            check "liveness" true r.is_liveness;
+            check "counter-free" true r.counter_free);
+    Alcotest.test_case "syntactic bound can exceed semantic class" `Quick
+      (fun () ->
+        match Hierarchy.Property.analyze_string pq "p W q" with
+        | None -> Alcotest.fail "translatable"
+        | Some r ->
+            check "semantically safety" true (Kappa.equal r.semantic Kappa.Safety);
+            (match r.syntactic with
+            | Some syn -> check "bound above" true (Kappa.leq r.semantic syn)
+            | None -> Alcotest.fail "should have a syntactic class"));
+    Alcotest.test_case "decomposition is the paper's" `Quick (fun () ->
+        let a = Of_formula.of_string pq "p U q" in
+        let s, l = Hierarchy.Property.safety_liveness_decomposition a in
+        check "restores" true (Lang.equal a (Automaton.inter s l));
+        check "safety part = p W q" true
+          (Lang.equal s (Of_formula.of_string pq "p W q"));
+        check "liveness part live" true (Lang.is_liveness l));
+  ]
+
+let lint_tests =
+  [
+    Alcotest.test_case "all-safety specification warned" `Quick (fun () ->
+        let v =
+          Hierarchy.Lint.lint_strings
+            [ ("mutex", "[] !(c1 & c2)"); ("order", "[] (c2 -> O c1)") ]
+        in
+        check "warning issued" true
+          (List.exists
+             (fun w ->
+               (* the underspecification warning mentions safety *)
+               String.length w > 0
+               && List.exists (fun it -> it.Hierarchy.Lint.klass = Some Kappa.Safety) v.items)
+             v.warnings);
+        check "conjunction safety" true
+          (v.conjunction_class = Some Kappa.Safety));
+    Alcotest.test_case "adding accessibility silences the warning" `Quick
+      (fun () ->
+        let v =
+          Hierarchy.Lint.lint_strings
+            [
+              ("mutex", "[] !(c1 & c2)");
+              ("accessibility", "[] (t1 -> <> c1)");
+            ]
+        in
+        check "no warnings" true (v.warnings = []);
+        check "conjunction recurrence" true
+          (v.conjunction_class = Some Kappa.Recurrence));
+    Alcotest.test_case "vacuous and inconsistent requirements flagged" `Quick
+      (fun () ->
+        let v =
+          Hierarchy.Lint.lint_strings
+            [
+              ("inconsistent", "[] c1 & <> !c1");
+              ("vacuous", "[] c1 | <> !c1");
+              ("fine", "[] (c1 -> <> c2)");
+            ]
+        in
+        check "two warnings at least" true (List.length v.warnings >= 2));
+  ]
+
+(* The responsiveness ladder of section 4, end to end. *)
+let ladder_tests =
+  [
+    Alcotest.test_case "five kinds of responsiveness, five classes" `Quick
+      (fun () ->
+        List.iter
+          (fun (s, expected) ->
+            match Hierarchy.Property.analyze_string pq s with
+            | Some r ->
+                check s true (Kappa.equal r.semantic expected)
+            | None -> Alcotest.fail s)
+          [
+            ("p -> <> q", Kappa.Guarantee);
+            ("<> p -> <> (q & O p)", Kappa.Obligation 1);
+            ("[] (p -> <> q)", Kappa.Recurrence);
+            ("p -> <>[] q", Kappa.Persistence);
+            ("[]<> p -> []<> q", Kappa.Reactivity 1);
+          ]);
+  ]
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ("figure1", figure1_tests);
+      ("report", report_tests);
+      ("lint", lint_tests);
+      ("ladder", ladder_tests);
+    ]

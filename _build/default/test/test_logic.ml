@@ -1,0 +1,162 @@
+(* Formula ADT, parser, printer, past testers and esat. *)
+
+open Logic
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+let check = Alcotest.(check bool)
+let f = Parser.parse
+
+let parser_tests =
+  [
+    Alcotest.test_case "precedence" `Quick (fun () ->
+        check "imp right assoc" true
+          (Formula.equal (f "p -> q -> r") (f "p -> (q -> r)"));
+        check "and binds tighter than or" true
+          (Formula.equal (f "p & q | r") (f "(p & q) | r"));
+        check "until binds tighter than and" true
+          (Formula.equal (f "p U q & r") (f "(p U q) & r"));
+        check "unary tightest" true
+          (Formula.equal (f "[] p & q") (f "([] p) & q"));
+        check "nested unary" true
+          (Formula.equal (f "[]<> p") (Formula.Alw (Ev (Atom "p")))));
+    Alcotest.test_case "all operators" `Quick (fun () ->
+        check "ok" true
+          (Formula.equal
+             (f "p U q | p W q | p S q | p B q")
+             Formula.(Or (Until (Atom "p", Atom "q"),
+                          Or (Wuntil (Atom "p", Atom "q"),
+                              Or (Since (Atom "p", Atom "q"),
+                                  Wsince (Atom "p", Atom "q")))))));
+    Alcotest.test_case "keywords" `Quick (fun () ->
+        check "first" true (Formula.equal (f "first") Formula.first);
+        check "true/false" true
+          (Formula.equal (f "true -> false") (Imp (True, False))));
+    Alcotest.test_case "value atoms" `Quick (fun () ->
+        check "pc1=2" true (Formula.equal (f "pc1=2") (Atom "pc1=2")));
+    Alcotest.test_case "errors" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            check s true
+              (try ignore (f s); false with Invalid_argument _ -> true))
+          [ "p &"; "(p"; "p )"; "Q"; "p <- q"; "" ]);
+    Alcotest.test_case "print/parse roundtrip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            let form = f s in
+            check s true (Formula.equal form (f (Formula.to_string form))))
+          [
+            "[] (p -> <> q)";
+            "p U (q & ! r)";
+            "Y p S (q B r)";
+            "<>[] p | []<> q -> X p";
+            "p <-> q <-> r";
+            "H (O p & ! Z q)";
+          ]);
+  ]
+
+let formula_tests =
+  [
+    Alcotest.test_case "is_past / is_future / is_state" `Quick (fun () ->
+        check "past" true (Formula.is_past (f "p S (q & Y r)"));
+        check "not past" false (Formula.is_past (f "p S (q & X r)"));
+        check "future" true (Formula.is_future (f "p U <> q"));
+        check "not future" false (Formula.is_future (f "p U O q"));
+        check "state" true (Formula.is_state (f "p & !q | r"));
+        check "not state" false (Formula.is_state (f "O p")));
+    Alcotest.test_case "subformulas bottom-up" `Quick (fun () ->
+        let subs = Formula.subformulas (f "[] (p -> <> p)") in
+        Alcotest.(check int) "count" 4 (List.length subs);
+        check "first is atom" true (List.hd subs = Atom "p"));
+    Alcotest.test_case "atoms" `Quick (fun () ->
+        Alcotest.(check (list string)) "atoms" [ "p"; "q" ]
+          (List.sort compare (Formula.atoms (f "[] (p -> <> (q & p))"))));
+    Alcotest.test_case "size" `Quick (fun () ->
+        Alcotest.(check int) "size" 5 (Formula.size (f "[] (p -> <> q)")));
+  ]
+
+(* esat: the finitary property defined by a past formula (section 4) *)
+let esat_tests =
+  let w = Finitary.Word.of_string ab in
+  [
+    Alcotest.test_case "paper example: a* b  is  b & Z H a" `Quick (fun () ->
+        let d = Past_tester.esat ab (f "b & Z H a") in
+        let expected = Finitary.Regex.compile ab "a^* b" in
+        check "equal" true (Finitary.Dfa.equal_nonepsilon d expected));
+    Alcotest.test_case "esat matches end_satisfies pointwise" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            let d = Past_tester.esat ab p in
+            List.iter
+              (fun word ->
+                check (Formula.to_string p) (Semantics.end_satisfies ab p word)
+                  (Finitary.Dfa.accepts d word))
+              (Finitary.Word.enumerate ab ~max_len:5))
+          [ f "O b"; f "H a"; f "a S b"; f "Y a"; f "first"; f "b & Z H a";
+            f "a B b"; f "Y Y b"; f "O (a & Y b)" ]);
+    Alcotest.test_case "esat of once = E_f of letter" `Quick (fun () ->
+        let d = Past_tester.esat ab (f "O b") in
+        let expected = Finitary.Lang_ops.e_f (Finitary.Regex.compile ab ".* b") in
+        check "equal" true (Finitary.Dfa.equal_nonepsilon d expected));
+    Alcotest.test_case "tester tracks several formulas" `Quick (fun () ->
+        let t = Past_tester.make ab [ f "O a"; f "H a" ] in
+        let q = Past_tester.step t (Past_tester.initial t) (Finitary.Alphabet.letter_of_name ab "a") in
+        check "O a after a" true (Past_tester.value t q 0);
+        check "H a after a" true (Past_tester.value t q 1);
+        let q2 = Past_tester.step t q (Finitary.Alphabet.letter_of_name ab "b") in
+        check "O a after ab" true (Past_tester.value t q2 0);
+        check "H a after ab" false (Past_tester.value t q2 1));
+    Alcotest.test_case "rejects future formulas" `Quick (fun () ->
+        check "raises" true
+          (try ignore (Past_tester.esat ab (f "<> a")); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "empty word rejected by esat dfa" `Quick (fun () ->
+        check "no eps" false
+          (Finitary.Dfa.accepts_empty (Past_tester.esat ab (f "H a"))));
+    Alcotest.test_case "end_satisfies basics" `Quick (fun () ->
+        check "Y a on ba" false (Semantics.end_satisfies ab (f "Y a") (w "ba"));
+        check "Y b on ba" true (Semantics.end_satisfies ab (f "Y b") (w "ba"));
+        check "first on a" true (Semantics.end_satisfies ab (f "first") (w "a"));
+        check "first on aa" false (Semantics.end_satisfies ab (f "first") (w "aa")));
+  ]
+
+(* tableau basics (the equivalences battery is its own executable) *)
+let tableau_tests =
+  [
+    Alcotest.test_case "satisfiability" `Quick (fun () ->
+        check "p" true (Tableau.satisfiable pq (f "p"));
+        check "contradiction" false (Tableau.satisfiable pq (f "p & !p"));
+        check "deep contradiction" false
+          (Tableau.satisfiable pq (f "[]<> p & <>[] !p"));
+        check "fine" true (Tableau.satisfiable pq (f "[]<> p & []<> !p")));
+    Alcotest.test_case "validity" `Quick (fun () ->
+        check "excluded middle" true (Tableau.valid pq (f "<> p | [] !p"));
+        check "not valid" false (Tableau.valid pq (f "<> p")));
+    Alcotest.test_case "witness satisfies its formula" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            let form = f s in
+            match Tableau.witness pq form with
+            | Some l -> check s true (Semantics.holds pq form l)
+            | None -> Alcotest.fail ("no witness for " ^ s))
+          [ "[]<> p & []<> !p"; "p U q"; "<>[] (p & !q)"; "X X p & [] (p -> X !p)";
+            "O p" ]);
+    Alcotest.test_case "unsupported nesting raises" `Quick (fun () ->
+        check "past over future" true
+          (try ignore (Tableau.satisfiable pq (f "O <> p")); false
+           with Tableau.Unsupported _ -> true));
+    Alcotest.test_case "past-augmented satisfiability" `Quick (fun () ->
+        check "response with past" true
+          (Tableau.satisfiable pq (f "[] (p -> <> (q & O p)) & []<> p"));
+        check "first-position trick" true
+          (Tableau.valid pq (f "[] (first -> (p | !p))")));
+  ]
+
+let () =
+  Alcotest.run "logic"
+    [
+      ("parser", parser_tests);
+      ("formula", formula_tests);
+      ("esat", esat_tests);
+      ("tableau", tableau_tests);
+    ]

@@ -1,0 +1,137 @@
+(* The minimal-extension operator (section 2), including the paper's
+   worked example and the connection to the past formula
+   q & Y((!q) S p) used in section 4. *)
+
+open Finitary
+
+let aa = Alphabet.of_chars "a"
+let ab = Alphabet.of_chars "ab"
+let check = Alcotest.(check bool)
+
+(* membership in minex(P1,P2) straight from the definition *)
+let minex_by_definition p1 p2 word =
+  Dfa.accepts p2 word
+  && (let prefixes =
+        List.filter
+          (fun s -> Word.is_proper_prefix s word)
+          (List.init (Word.length word) (fun i -> Array.sub word 0 i))
+      in
+      List.exists
+        (fun s1 ->
+          Dfa.accepts p1 s1
+          && not
+               (List.exists
+                  (fun s2 ->
+                    Dfa.accepts p2 s2
+                    && Word.is_proper_prefix s1 s2
+                    && Word.is_proper_prefix s2 word)
+                  prefixes))
+        prefixes)
+
+let example_tests =
+  [
+    Alcotest.test_case "paper example (corrected): minex((a^3)^+, (a^2)^+)"
+      `Quick (fun () ->
+        (* The paper prints (a^6)^* a^2 + (a^6)^* a^4, but a^2 has no
+           proper (a^3)^+-prefix; the correct language starts one period
+           later: (a^6)^+ a^2 + (a^6)^* a^4.  See EXPERIMENTS.md. *)
+        let m =
+          Lang_ops.minex (Regex.compile aa "(a^3)^+") (Regex.compile aa "(a^2)^+")
+        in
+        check "equals corrected expression" true
+          (Dfa.equal_nonepsilon m (Regex.compile aa "(a^6)^+ a^2 + (a^6)^* a^4"));
+        check "differs from printed expression" false
+          (Dfa.equal_nonepsilon m (Regex.compile aa "(a^6)^* a^2 + (a^6)^* a^4")));
+    Alcotest.test_case "paper example: minex((a^2)^+, (a^3)^+)" `Quick
+      (fun () ->
+        let m =
+          Lang_ops.minex (Regex.compile aa "(a^2)^+") (Regex.compile aa "(a^3)^+")
+        in
+        check "equals (a^6)^+ + (a^6)^* a^3" true
+          (Dfa.equal_nonepsilon m (Regex.compile aa "(a^6)^+ + (a^6)^* a^3")));
+    Alcotest.test_case "minex is a subset of Phi2" `Quick (fun () ->
+        let p1 = Regex.compile ab ".* b" and p2 = Regex.compile ab ".* a" in
+        check "subset" true
+          (Dfa.included_nonepsilon (Lang_ops.minex p1 p2) p2));
+    Alcotest.test_case "minex against definition (enumerated)" `Quick
+      (fun () ->
+        List.iter
+          (fun (s1, s2) ->
+            let p1 = Regex.compile ab s1 and p2 = Regex.compile ab s2 in
+            let m = Lang_ops.minex p1 p2 in
+            List.iter
+              (fun word ->
+                check
+                  (Printf.sprintf "%s/%s on len %d" s1 s2 (Word.length word))
+                  (minex_by_definition p1 p2 word)
+                  (Dfa.accepts m word))
+              (Word.enumerate ab ~max_len:6))
+          [ (".* b", ".* a"); ("a^+", "b^* a b^*"); ("(a b)^+", ".* b") ]);
+    Alcotest.test_case "minex agrees with the past formula" `Quick (fun () ->
+        (* esat(q & Y((!q) S p)) = minex(esat p, esat q) — the bridge
+           between the linguistic and temporal views *)
+        let open Logic in
+        let p = Parser.parse "O (a & Y b)" and q = Parser.parse "O b" in
+        let lhs =
+          Past_tester.esat ab
+            (Formula.And (q, Formula.Prev (Formula.Since (Formula.Not q, p))))
+        in
+        let rhs = Lang_ops.minex (Past_tester.esat ab p) (Past_tester.esat ab q) in
+        check "equal" true (Dfa.equal_nonepsilon lhs rhs));
+  ]
+
+(* a_f / e_f against brute-force definitions *)
+let af_ef_tests =
+  let by_def_af phi word =
+    List.for_all
+      (fun i -> Dfa.accepts phi (Array.sub word 0 i))
+      (List.init (Word.length word) (fun i -> i + 1))
+  in
+  let by_def_ef phi word =
+    List.exists
+      (fun i -> Dfa.accepts phi (Array.sub word 0 i))
+      (List.init (Word.length word) (fun i -> i + 1))
+  in
+  [
+    Alcotest.test_case "A_f and E_f against definition" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            let phi = Regex.compile ab s in
+            let af = Lang_ops.a_f phi and ef = Lang_ops.e_f phi in
+            List.iter
+              (fun word ->
+                check ("A_f " ^ s) (by_def_af phi word) (Dfa.accepts af word);
+                check ("E_f " ^ s) (by_def_ef phi word) (Dfa.accepts ef word))
+              (Word.enumerate ab ~max_len:5))
+          [ "a^+ b*"; ".* b"; "a^*"; "(a b)^+" ]);
+    Alcotest.test_case "paper: A_f(a^+ b-star) = a^+ b-star" `Quick (fun () ->
+        let phi = Regex.compile ab "a^+ b*" in
+        check "fixed point" true (Dfa.equal_nonepsilon (Lang_ops.a_f phi) phi));
+    Alcotest.test_case "paper: E_f(a^+ b-star) = a^+ b-star S-star" `Quick
+      (fun () ->
+        let phi = Regex.compile ab "a^+ b*" in
+        check "equals a.*" true
+          (Dfa.equal_nonepsilon (Lang_ops.e_f phi) (Regex.compile ab "a .*")));
+    Alcotest.test_case "finitary duality" `Quick (fun () ->
+        (* complement A_f(Phi) = E_f(complement Phi) over Sigma^+ *)
+        List.iter
+          (fun s ->
+            let phi = Regex.compile ab s in
+            check s true
+              (Dfa.equal_nonepsilon
+                 (Dfa.complement (Lang_ops.a_f phi))
+                 (Lang_ops.e_f (Dfa.complement phi))))
+          [ "a^+ b*"; ".* b"; "(a b)^+" ]);
+    Alcotest.test_case "prefix closure" `Quick (fun () ->
+        let phi = Regex.compile ab "a b a" in
+        let pref = Lang_ops.prefixes phi in
+        check "a" true (Dfa.accepts pref (Word.of_string ab "a"));
+        check "ab" true (Dfa.accepts pref (Word.of_string ab "ab"));
+        check "aba" true (Dfa.accepts pref (Word.of_string ab "aba"));
+        check "b" false (Dfa.accepts pref (Word.of_string ab "b"));
+        check "is prefix closed" true (Lang_ops.is_prefix_closed pref);
+        check "phi itself is not" false (Lang_ops.is_prefix_closed phi));
+  ]
+
+let () =
+  Alcotest.run "minex" [ ("minex", example_tests); ("a_f/e_f", af_ef_tests) ]

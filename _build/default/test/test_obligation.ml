@@ -1,0 +1,181 @@
+(* The obligation class and its strict internal hierarchy Obl_k
+   (section 2), including the paper's canonical witness family. *)
+
+open Omega
+
+let check = Alcotest.(check bool)
+
+(* The paper's canonical family over {a,b,c,d}:
+   Pi = a^w + (a+b)-star c S^w,  L_k = ((Pi + a-star) d)^(k-1) Pi.
+   As printed the family collapses to a simple obligation for every k
+   (Pi's tail S^w swallows the d separators; a machine-checked
+   decomposition is below, see EXPERIMENTS.md erratum E5).  The variant
+   built here replaces Pi's tail with (a+b+c)^w — d is only a separator —
+   which does witness strictness, with degree k + 1.
+
+   Hand-built deterministic automaton: in segment i of at most k,
+   track A (only a so far: a legal a^* segment), B (b seen, before c:
+   must reach c), C (c seen: a legal Pi-word/finite Pi-prefix); d
+   advances from A or C to the next segment; stabilizing in A_i or in
+   C_i accepts. *)
+let obl_family k =
+  let alpha = Finitary.Alphabet.of_chars "abcd" in
+  let a_st i = i and b_st i = k + i and c_st i = (2 * k) + i in
+  let dead = 3 * k in
+  let n = (3 * k) + 1 in
+  let la = Finitary.Alphabet.letter_of_name alpha "a" in
+  let lb = Finitary.Alphabet.letter_of_name alpha "b" in
+  let lc = Finitary.Alphabet.letter_of_name alpha "c" in
+  let ld = Finitary.Alphabet.letter_of_name alpha "d" in
+  let delta = Array.make n [||] in
+  for i = 0 to k - 1 do
+    let next = if i < k - 1 then a_st (i + 1) else dead in
+    let row = Array.make 4 dead in
+    row.(la) <- a_st i;
+    row.(lb) <- b_st i;
+    row.(lc) <- c_st i;
+    row.(ld) <- next;
+    delta.(a_st i) <- row;
+    let rowb = Array.make 4 dead in
+    rowb.(la) <- b_st i;
+    rowb.(lb) <- b_st i;
+    rowb.(lc) <- c_st i;
+    rowb.(ld) <- dead;
+    delta.(b_st i) <- rowb;
+    let rowc = Array.make 4 (c_st i) in
+    rowc.(ld) <- next;
+    delta.(c_st i) <- rowc
+  done;
+  delta.(dead) <- Array.make 4 dead;
+  (* accept iff the run eventually stays in some A_i or some C_i *)
+  let bad = Iset.of_list (dead :: List.init k b_st) in
+  Automaton.make ~alpha ~n ~start:0 ~delta ~acc:(Acceptance.Fin bad)
+
+let family_tests =
+  [
+    Alcotest.test_case "members of the family" `Quick (fun () ->
+        let alpha = Finitary.Alphabet.of_chars "abcd" in
+        let l = Finitary.Word.lasso_of_string alpha in
+        let l2 = obl_family 2 in
+        check "a^w in" true (Automaton.accepts l2 (l "(a)"));
+        check "bc then anything-but-d in" true (Automaton.accepts l2 (l "bc(a)"));
+        check "ad a^w in (second segment)" true (Automaton.accepts l2 (l "ad(a)"));
+        check "bcd a^w in (c segment then d)" true
+          (Automaton.accepts l2 (l "bcd(a)"));
+        check "two full segments in" true (Automaton.accepts l2 (l "bcdbc(b)"));
+        check "b^w out" false (Automaton.accepts l2 (l "(b)"));
+        check "three segments out (k=2)" false
+          (Automaton.accepts l2 (l "bcdbcd(a)"));
+        check "bd.. out (b needs c before d)" false
+          (Automaton.accepts l2 (l "bd(a)")));
+    Alcotest.test_case "the hierarchy is strict: degree(L_k) = k + 1" `Quick
+      (fun () ->
+        (* the d-free-tail variant climbs one level per segment: the
+           separating chain is B_0 C_0 B_1 C_1 ... B_{k-1} C_{k-1} dead,
+           with k accepting SCCs *)
+        List.iter
+          (fun k ->
+            let a = obl_family k in
+            check
+              (Printf.sprintf "L_%d obligation" k)
+              true (Classify.is_obligation a);
+            Alcotest.(check (option int))
+              (Printf.sprintf "degree L_%d" k)
+              (Some (k + 1))
+              (Classify.obligation_degree a))
+          [ 1; 2; 3; 4; 5 ]);
+    Alcotest.test_case "as printed, the family collapses (erratum E5)" `Quick
+      (fun () ->
+        (* with Pi read as infinite words only, segments before the last
+           are pure a-star, and L_k = A of short segment words, union E of legal-c
+           prefixes) is a simple obligation for every k *)
+        let alpha = Finitary.Alphabet.of_chars "abcd" in
+        let phi = Finitary.Regex.compile alpha "a^* + a^* d a^*" in
+        let psi =
+          Finitary.Regex.compile alpha
+            "(a^* (() + b (a+b)^*) c + a^* d a^* (() + b (a+b)^*) c) .^*"
+        in
+        let decomposition =
+          Automaton.union (Build.a phi) (Build.e psi)
+        in
+        (* the as-printed L_2: same construction but with no C-segments
+           (c jumps to an absorbing accepting sink) *)
+        let l2_printed =
+          let n = 6 in
+          let a0 = 0 and a1 = 1 and b0 = 2 and b1 = 3 and sink = 4 and dead = 5 in
+          let la = Finitary.Alphabet.letter_of_name alpha "a" in
+          let lb = Finitary.Alphabet.letter_of_name alpha "b" in
+          let lc = Finitary.Alphabet.letter_of_name alpha "c" in
+          let ld = Finitary.Alphabet.letter_of_name alpha "d" in
+          let delta = Array.make n [||] in
+          let row targets =
+            let r = Array.make 4 dead in
+            List.iter (fun (l, t) -> r.(l) <- t) targets;
+            r
+          in
+          delta.(a0) <- row [ (la, a0); (lb, b0); (lc, sink); (ld, a1) ];
+          delta.(a1) <- row [ (la, a1); (lb, b1); (lc, sink) ];
+          delta.(b0) <- row [ (la, b0); (lb, b0); (lc, sink) ];
+          delta.(b1) <- row [ (la, b1); (lb, b1); (lc, sink) ];
+          delta.(sink) <- Array.make 4 sink;
+          delta.(dead) <- Array.make 4 dead;
+          Automaton.make ~alpha ~n ~start:0 ~delta
+            ~acc:(Acceptance.Fin (Iset.of_list [ b0; b1; dead ]))
+        in
+        check "printed L_2 equals the simple-obligation decomposition" true
+          (Lang.equal l2_printed decomposition);
+        Alcotest.(check (option int)) "printed L_2 degree" (Some 1)
+          (Classify.obligation_degree l2_printed));
+    Alcotest.test_case "family members are not simple obligations" `Quick
+      (fun () ->
+        let a = obl_family 3 in
+        match Classify.obligation_degree a with
+        | Some d ->
+            check "beyond level 3" true (d = 4);
+            check "not simple" false
+              (List.assoc (Kappa.Obligation 1) (Classify.memberships a))
+        | None -> Alcotest.fail "should be an obligation property");
+  ]
+
+(* conjunctions of independent simple obligations climb the hierarchy *)
+let formula_degree_tests =
+  let a4 = Finitary.Alphabet.of_props [ "p"; "q"; "r"; "s" ] in
+  let fm s = Of_formula.of_string a4 s in
+  [
+    Alcotest.test_case "degrees of formula combinations" `Quick (fun () ->
+        let d s = Classify.obligation_degree (fm s) in
+        Alcotest.(check (option int)) "[]p" (Some 1) (d "[] p");
+        Alcotest.(check (option int)) "<>p" (Some 1) (d "<> p");
+        Alcotest.(check (option int)) "[]p | <>q" (Some 1) (d "[] p | <> q");
+        Alcotest.(check (option int)) "[]p & <>q" (Some 2) (d "[] p & <> q");
+        Alcotest.(check (option int)) "2 indep conjuncts" (Some 2)
+          (d "([] p | <> q) & ([] r | <> s)");
+        Alcotest.(check (option int)) "recurrence has none" None (d "[]<> p"));
+    Alcotest.test_case "three independent conjuncts reach degree 3" `Quick
+      (fun () ->
+        let a6 =
+          Finitary.Alphabet.of_props [ "p1"; "q1"; "p2"; "q2"; "p3"; "q3" ]
+        in
+        let a =
+          Of_formula.of_string a6
+            "([] p1 | <> q1) & ([] p2 | <> q2) & ([] p3 | <> q3)"
+        in
+        Alcotest.(check (option int)) "degree 3" (Some 3)
+          (Classify.obligation_degree a));
+    Alcotest.test_case "degree is a CNF bound, not syntax" `Quick (fun () ->
+        (* a third dependent conjunct collapses *)
+        let a =
+          fm "([] p | <> q) & ([] r | <> s) & ([] (p & r) | <> (q & s))"
+        in
+        Alcotest.(check (option int)) "collapses to 1" (Some 1)
+          (Classify.obligation_degree a));
+    Alcotest.test_case "kappa lattice agrees" `Quick (fun () ->
+        check "classify" true
+          (Kappa.equal
+             (Classify.classify (fm "[] p & <> q"))
+             (Kappa.Obligation 2)));
+  ]
+
+let () =
+  Alcotest.run "obligation"
+    [ ("family", family_tests); ("formulas", formula_degree_tests) ]

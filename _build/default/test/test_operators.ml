@@ -1,0 +1,247 @@
+(* The linguistic view (section 2): the operators A, E, R, P, their
+   worked examples, dualities and closure laws. *)
+
+open Omega
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let check = Alcotest.(check bool)
+let lasso = Finitary.Word.lasso_of_string ab
+let re = Finitary.Regex.compile ab
+
+(* An independent decision procedure for membership in O(Phi): sample
+   prefix acceptance far enough into the lasso that the pattern of
+   accepting prefixes is periodic (the DFA's state at cycle boundaries
+   repeats within n iterations), then read the definition off directly. *)
+let member_by_definition op (phi : Finitary.Dfa.t) l =
+  let cyc_len = Array.length l.Finitary.Word.cycle in
+  let plen = Array.length l.Finitary.Word.prefix in
+  let n = phi.Finitary.Dfa.n in
+  (* the acceptance pattern is periodic from position plen + n*cyc with
+     period at most n*cyc; the tail below covers one full period *)
+  let horizon = plen + (2 * (n + 1) * cyc_len) in
+  let accept_at =
+    List.init horizon (fun i ->
+        Finitary.Dfa.accepts phi (Finitary.Word.prefix_of_lasso l (i + 1)))
+  in
+  let tail =
+    List.filteri (fun i _ -> i >= plen + ((n + 1) * cyc_len)) accept_at
+  in
+  match op with
+  | Build.A -> List.for_all Fun.id accept_at
+  | Build.E -> List.exists Fun.id accept_at
+  | Build.R -> List.exists Fun.id tail
+  | Build.P -> List.for_all Fun.id tail
+
+let lassos = Finitary.Word.enumerate_lassos ab ~max_prefix:2 ~max_cycle:3
+
+let agree op phi =
+  let a = Build.of_op op phi in
+  List.for_all
+    (fun l -> Automaton.accepts a l = member_by_definition op phi l)
+    lassos
+
+let op_name = function
+  | Build.A -> "A"
+  | Build.E -> "E"
+  | Build.R -> "R"
+  | Build.P -> "P"
+
+let example_tests =
+  [
+    Alcotest.test_case "A(a^+ b-star) = a^w + a^+ b^w" `Quick (fun () ->
+        let a = Build.a_re ab "a^+ b*" in
+        check "a^w" true (Automaton.accepts a (lasso "(a)"));
+        check "aab^w" true (Automaton.accepts a (lasso "aa(b)"));
+        check "b^w" false (Automaton.accepts a (lasso "(b)"));
+        check "ab a^w" false (Automaton.accepts a (lasso "ab(a)")));
+    Alcotest.test_case "E(a^+ b-star) = a^+ b-star . S^w" `Quick (fun () ->
+        let e = Build.e_re ab "a^+ b*" in
+        check "a then anything" true (Automaton.accepts e (lasso "a(ba)"));
+        check "b first" false (Automaton.accepts e (lasso "(ba)"));
+        check "E(Phi) = E(E_f Phi)" true
+          (Lang.equal e (Build.e (Finitary.Lang_ops.e_f (re "a^+ b*")))));
+    Alcotest.test_case "R(S-star b) = words with infinitely many b" `Quick
+      (fun () ->
+        let r = Build.r_re ab ".* b" in
+        check "(ab)^w" true (Automaton.accepts r (lasso "(ab)"));
+        check "(b)^w" true (Automaton.accepts r (lasso "(b)"));
+        check "finitely many b" false (Automaton.accepts r (lasso "bbb(a)")));
+    Alcotest.test_case "P(S-star b) = S-star b^w" `Quick (fun () ->
+        let p = Build.p_re ab ".* b" in
+        check "a b^w" true (Automaton.accepts p (lasso "a(b)"));
+        check "(ab)^w" false (Automaton.accepts p (lasso "(ab)")));
+    Alcotest.test_case "operators against definitional membership" `Quick
+      (fun () ->
+        List.iter
+          (fun phi_s ->
+            let phi = re phi_s in
+            List.iter
+              (fun op ->
+                check
+                  (Printf.sprintf "%s on %s" (op_name op) phi_s)
+                  true (agree op phi))
+              [ Build.A; Build.E; Build.R; Build.P ])
+          [ "a^+ b*"; ".* b"; "(a b)^+"; "a^*"; ".* a .* b"; "b (a + b)^2" ]);
+  ]
+
+let duality_tests =
+  let phis = [ "a^+ b*"; ".* b"; "(a b)^+"; "a^*"; ".* a a"; "b .*" ] in
+  [
+    Alcotest.test_case "complement of A(Phi) is E(complement Phi)" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            let phi = re s in
+            check s true
+              (Lang.equal
+                 (Automaton.complement (Build.a phi))
+                 (Build.e (Finitary.Dfa.complement phi))))
+          phis);
+    Alcotest.test_case "complement of R(Phi) is P(complement Phi)" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            let phi = re s in
+            check s true
+              (Lang.equal
+                 (Automaton.complement (Build.r phi))
+                 (Build.p (Finitary.Dfa.complement phi))))
+          phis);
+  ]
+
+let closure_tests =
+  let pairs =
+    [ (".* b", ".* a"); ("a^+ b*", ".* b"); ("(a b)^+", "a .*"); ("a^*", "b^+") ]
+  in
+  let for_pairs name build_lhs build_rhs =
+    Alcotest.test_case name `Quick (fun () ->
+        List.iter
+          (fun (s1, s2) ->
+            let p1 = re s1 and p2 = re s2 in
+            check (s1 ^ " , " ^ s2) true
+              (Lang.equal (build_lhs p1 p2) (build_rhs p1 p2)))
+          pairs)
+  in
+  [
+    for_pairs "guarantee union"
+      (fun p1 p2 -> Automaton.union (Build.e p1) (Build.e p2))
+      (fun p1 p2 -> Build.e (Finitary.Dfa.union p1 p2));
+    for_pairs "guarantee intersection"
+      (fun p1 p2 -> Automaton.inter (Build.e p1) (Build.e p2))
+      (fun p1 p2 ->
+        Build.e
+          (Finitary.Dfa.inter (Finitary.Lang_ops.e_f p1)
+             (Finitary.Lang_ops.e_f p2)));
+    for_pairs "safety intersection"
+      (fun p1 p2 -> Automaton.inter (Build.a p1) (Build.a p2))
+      (fun p1 p2 -> Build.a (Finitary.Dfa.inter p1 p2));
+    for_pairs "safety union"
+      (fun p1 p2 -> Automaton.union (Build.a p1) (Build.a p2))
+      (fun p1 p2 ->
+        Build.a
+          (Finitary.Dfa.union (Finitary.Lang_ops.a_f p1)
+             (Finitary.Lang_ops.a_f p2)));
+    for_pairs "recurrence union"
+      (fun p1 p2 -> Automaton.union (Build.r p1) (Build.r p2))
+      (fun p1 p2 -> Build.r (Finitary.Dfa.union p1 p2));
+    for_pairs "recurrence intersection via minex"
+      (fun p1 p2 -> Automaton.inter (Build.r p1) (Build.r p2))
+      (fun p1 p2 -> Build.r (Finitary.Lang_ops.minex p1 p2));
+    for_pairs "persistence intersection"
+      (fun p1 p2 -> Automaton.inter (Build.p p1) (Build.p p2))
+      (fun p1 p2 -> Build.p (Finitary.Dfa.inter p1 p2));
+    for_pairs "persistence union via minex complement"
+      (fun p1 p2 -> Automaton.union (Build.p p1) (Build.p p2))
+      (fun p1 p2 ->
+        Build.p (Finitary.Dfa.complement (Finitary.Lang_ops.minex
+          (Finitary.Dfa.complement p1) (Finitary.Dfa.complement p2))));
+  ]
+
+let inclusion_tests =
+  let phis = [ "a^+ b*"; ".* b"; "a^*" ] in
+  [
+    Alcotest.test_case "A(P) = R(A_f P) = P(A_f P)" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            let phi = re s in
+            let af = Finitary.Lang_ops.a_f phi in
+            check (s ^ " via R") true (Lang.equal (Build.a phi) (Build.r af));
+            check (s ^ " via P") true (Lang.equal (Build.a phi) (Build.p af)))
+          phis);
+    Alcotest.test_case "E(P) = R(E_f P) = P(E_f P)" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            let phi = re s in
+            let ef = Finitary.Lang_ops.e_f phi in
+            check (s ^ " via R") true (Lang.equal (Build.e phi) (Build.r ef));
+            check (s ^ " via P") true (Lang.equal (Build.e phi) (Build.p ef)))
+          phis);
+    Alcotest.test_case "strictness: infinitely-many-b beyond obligation" `Quick
+      (fun () ->
+        let x = Build.r_re ab ".* b" in
+        check "is recurrence" true (Classify.is_recurrence x);
+        check "not safety" false (Classify.is_safety x);
+        check "not guarantee" false (Classify.is_guarantee x);
+        check "not obligation" false (Classify.is_obligation x));
+    Alcotest.test_case "strictness: eventually-only-a persistence only" `Quick
+      (fun () ->
+        let x = Build.p_re ab ".* a" in
+        check "is persistence" true (Classify.is_persistence x);
+        check "not recurrence" false (Classify.is_recurrence x);
+        check "not safety" false (Classify.is_safety x);
+        check "not guarantee" false (Classify.is_guarantee x));
+  ]
+
+let gen_dfa =
+  let open QCheck.Gen in
+  let n = 3 in
+  map2
+    (fun rows accepts ->
+      Finitary.Dfa.make ~alpha:ab ~n ~start:0
+        ~delta:(Array.of_list (List.map Array.of_list rows))
+        ~accept:(Array.of_list accepts))
+    (list_repeat n (list_repeat 2 (int_bound (n - 1))))
+    (list_repeat n bool)
+
+let arb_dfa =
+  QCheck.make ~print:(fun d -> Format.asprintf "%a" Finitary.Dfa.pp d) gen_dfa
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"duality A/E on random DFAs" ~count:60 arb_dfa
+        (fun d ->
+          Lang.equal
+            (Automaton.complement (Build.a d))
+            (Build.e (Finitary.Dfa.complement d)));
+      QCheck.Test.make ~name:"duality R/P on random DFAs" ~count:60 arb_dfa
+        (fun d ->
+          Lang.equal
+            (Automaton.complement (Build.r d))
+            (Build.p (Finitary.Dfa.complement d)));
+      QCheck.Test.make ~name:"safety/guarantee embed into recurrence" ~count:40
+        arb_dfa
+        (fun d ->
+          Lang.equal (Build.a d) (Build.r (Finitary.Lang_ops.a_f d))
+          && Lang.equal (Build.e d) (Build.r (Finitary.Lang_ops.e_f d)));
+      QCheck.Test.make ~name:"recurrence inter via minex (random)" ~count:40
+        (QCheck.pair arb_dfa arb_dfa)
+        (fun (d1, d2) ->
+          Lang.equal
+            (Automaton.inter (Build.r d1) (Build.r d2))
+            (Build.r (Finitary.Lang_ops.minex d1 d2)));
+      QCheck.Test.make ~name:"operators vs definition (random DFA)" ~count:25
+        arb_dfa
+        (fun d ->
+          List.for_all (fun op -> agree op d) [ Build.A; Build.E; Build.R; Build.P ]);
+    ]
+
+let () =
+  Alcotest.run "operators"
+    [
+      ("examples", example_tests);
+      ("duality", duality_tests);
+      ("closure", closure_tests);
+      ("inclusion", inclusion_tests);
+      ("random", qcheck_tests);
+    ]

@@ -1,0 +1,155 @@
+(* The topological view (section 3). *)
+
+open Omega
+module T = Hierarchy.Topology
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let check = Alcotest.(check bool)
+let lasso = Finitary.Word.lasso_of_string ab
+
+let metric_tests =
+  [
+    Alcotest.test_case "metric axioms on samples" `Quick (fun () ->
+        let pts =
+          List.map lasso [ "(a)"; "(b)"; "a(b)"; "(ab)"; "ab(a)"; "bb(ab)" ]
+        in
+        List.iter
+          (fun x ->
+            check "identity" true (T.distance x x = 0.);
+            List.iter
+              (fun y ->
+                check "symmetry" true (T.distance x y = T.distance y x);
+                check "non-negative" true (T.distance x y >= 0.);
+                List.iter
+                  (fun z ->
+                    (* ultrametric triangle inequality *)
+                    check "ultrametric" true
+                      (T.distance x z <= max (T.distance x y) (T.distance y z)))
+                  pts)
+              pts)
+          pts);
+    Alcotest.test_case "paper: mu(a^n b^w, a^2n b^w) = 2^-n" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let an k =
+              Finitary.Word.lasso
+                ~prefix:(Array.make k (Finitary.Alphabet.letter_of_name ab "a"))
+                ~cycle:[| Finitary.Alphabet.letter_of_name ab "b" |]
+            in
+            Alcotest.(check (float 1e-12))
+              (string_of_int n)
+              (2. ** float_of_int (-n))
+              (T.distance (an n) (an (2 * n))))
+          [ 1; 2; 5; 10 ]);
+  ]
+
+let class_correspondence_tests =
+  let cases =
+    [
+      ("safety", Build.a_re ab "a^+ b*", (true, false, true, true));
+      ("guarantee", Build.e_re ab ".* b a", (false, true, true, true));
+      ("recurrence", Build.r_re ab ".* b", (false, false, true, false));
+      ("persistence", Build.p_re ab ".* b", (false, false, false, true));
+      ("clopen", Build.a_re ab "a .*", (true, true, true, true));
+    ]
+  in
+  [
+    Alcotest.test_case "closed/open/G_delta/F_sigma match the classes" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, a, (cl, op, gd, fs)) ->
+            check (name ^ " closed") cl (T.is_closed a);
+            check (name ^ " open") op (T.is_open a);
+            check (name ^ " G_delta") gd (T.is_g_delta a);
+            check (name ^ " F_sigma") fs (T.is_f_sigma a))
+          cases);
+    Alcotest.test_case "cl is a topological closure operator" `Quick (fun () ->
+        let xs = List.map (fun (_, a, _) -> a) cases in
+        check "cl(empty) empty" true
+          (Lang.is_empty (T.closure (Automaton.empty_lang ab)));
+        List.iter
+          (fun x ->
+            check "extensive" true (Lang.included x (T.closure x));
+            check "idempotent" true
+              (Lang.equal (T.closure x) (T.closure (T.closure x)));
+            List.iter
+              (fun y ->
+                (* cl(X u Y) = cl X u cl Y *)
+                check "additive" true
+                  (Lang.equal
+                     (T.closure (Automaton.union x y))
+                     (Automaton.union (T.closure x) (T.closure y))))
+              xs)
+          xs);
+    Alcotest.test_case "interior dual to closure" `Quick (fun () ->
+        List.iter
+          (fun (name, a, _) ->
+            check name true
+              (Lang.equal (T.interior a)
+                 (Automaton.complement (T.closure (Automaton.complement a))));
+            check (name ^ " interior inside") true
+              (Lang.included (T.interior a) a))
+          cases);
+    Alcotest.test_case "paper: limit of a^k b^w" `Quick (fun () ->
+        (* the sequence a^k b^w converges to a^w; a^w is a limit point
+           of a^+ b^w, so it lies in the closure but not the set *)
+        let abw =
+          Automaton.inter (Build.a_re ab "a^+ b*") (Build.e_re ab ".* b")
+        in
+        check "not in set" false (Automaton.accepts abw (lasso "(a)"));
+        check "in closure" true (T.is_limit_of abw (lasso "(a)"));
+        check "closure adds exactly a^w" true
+          (Lang.equal (T.closure abw)
+             (Automaton.union abw (Build.a_re ab "a^*"))));
+  ]
+
+let witness_tests =
+  [
+    Alcotest.test_case "G_delta witnesses for recurrence" `Quick (fun () ->
+        let r = Build.r_re ab ".* b" in
+        let gs = T.g_delta_witnesses r 5 in
+        Alcotest.(check int) "five of them" 5 (List.length gs);
+        List.iter
+          (fun g ->
+            check "open" true (T.is_open g);
+            check "contains Pi" true (Lang.included r g))
+          gs;
+        (* decreasing chain *)
+        let rec chain = function
+          | g1 :: (g2 :: _ as rest) ->
+              check "decreasing" true (Lang.included g2 g1);
+              chain rest
+          | [ _ ] | [] -> ()
+        in
+        chain gs;
+        (* no finite intersection reaches Pi *)
+        let inter =
+          List.fold_left Automaton.inter (Automaton.full ab) gs
+        in
+        check "finite intersection too big" false (Lang.included inter r));
+    Alcotest.test_case "F_sigma witnesses for persistence" `Quick (fun () ->
+        let p = Build.p_re ab ".* b" in
+        let fs = T.f_sigma_witnesses p 4 in
+        List.iter
+          (fun f ->
+            check "closed" true (T.is_closed f);
+            check "inside Pi" true (Lang.included f p))
+          fs;
+        let union =
+          List.fold_left Automaton.union (Automaton.empty_lang ab) fs
+        in
+        check "finite union too small" false (Lang.included p union));
+    Alcotest.test_case "witnesses reject non-recurrence input" `Quick
+      (fun () ->
+        check "raises" true
+          (try ignore (T.g_delta_witnesses (Build.p_re ab ".* b") 2); false
+           with Convert.Not_in_class _ -> true));
+  ]
+
+let () =
+  Alcotest.run "topology"
+    [
+      ("metric", metric_tests);
+      ("classes", class_correspondence_tests);
+      ("witnesses", witness_tests);
+    ]

@@ -1,0 +1,174 @@
+(* The bridge between the temporal-logic and automata views
+   (Proposition 5.3): Sat([]p) = A(esat p) and its three siblings, the
+   canonical translation, and lasso-level agreement between formula
+   semantics and translated automata. *)
+
+open Omega
+
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+let ab = Finitary.Alphabet.of_chars "ab"
+let check = Alcotest.(check bool)
+let f = Logic.Parser.parse
+
+let modality_tests =
+  [
+    Alcotest.test_case "Sat([]p) = A(esat p), etc." `Quick (fun () ->
+        (* for several past formulas, the four modalities coincide with
+           the four operators applied to esat *)
+        List.iter
+          (fun past_s ->
+            let p = f past_s in
+            let esat = Logic.Past_tester.esat ab p in
+            List.iter
+              (fun (wrap, op) ->
+                let via_formula =
+                  Option.get (Of_formula.translate ab (wrap p))
+                in
+                let via_operator = Build.of_op op esat in
+                check
+                  (past_s ^ " / " ^
+                   (match op with Build.A -> "A" | Build.E -> "E"
+                    | Build.R -> "R" | Build.P -> "P"))
+                  true
+                  (Lang.equal via_formula via_operator))
+              [
+                ((fun p -> Logic.Formula.Alw p), Build.A);
+                ((fun p -> Logic.Formula.Ev p), Build.E);
+                ((fun p -> Logic.Formula.(Alw (Ev p))), Build.R);
+                ((fun p -> Logic.Formula.(Ev (Alw p))), Build.P);
+              ])
+          [ "b"; "O b"; "a S b"; "b & Z H a"; "Y a" ]);
+  ]
+
+let arb_formula =
+  (* canonical-fragment generator: boolean combinations of modal shapes
+     over small past formulas *)
+  let open QCheck.Gen in
+  let past =
+    oneof
+      [
+        return (f "p");
+        return (f "q");
+        return (f "O p");
+        return (f "p S q");
+        return (f "Y p");
+        return (f "H (p | q)");
+        return (f "!q & O p");
+      ]
+  in
+  let modal =
+    past >>= fun p ->
+    oneofl
+      Logic.Formula.[ Alw p; Ev p; Alw (Ev p); Ev (Alw p); p ]
+  in
+  let g =
+    sized_size (int_bound 3)
+    @@ fix (fun self n ->
+           if n = 0 then modal
+           else
+             oneof
+               [
+                 modal;
+                 map2 (fun a b -> Logic.Formula.And (a, b)) (self (n - 1)) modal;
+                 map2 (fun a b -> Logic.Formula.Or (a, b)) (self (n - 1)) modal;
+                 map (fun a -> Logic.Formula.Not a) (self (n - 1));
+               ])
+  in
+  QCheck.make ~print:Logic.Formula.to_string g
+
+let gen_lasso =
+  let open QCheck.Gen in
+  let letter = int_bound 3 in
+  map2
+    (fun pre cyc ->
+      Finitary.Word.lasso ~prefix:(Array.of_list pre)
+        ~cycle:(Array.of_list (if cyc = [] then [ 0 ] else cyc)))
+    (list_size (0 -- 3) letter)
+    (list_size (1 -- 3) letter)
+
+let arb_lasso =
+  QCheck.make
+    ~print:(fun l -> Format.asprintf "%a" (Finitary.Word.pp_lasso pq) l)
+    gen_lasso
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"translated automaton agrees with semantics"
+        ~count:150
+        (QCheck.pair arb_formula arb_lasso)
+        (fun (form, l) ->
+          match Of_formula.translate pq form with
+          | None -> QCheck.assume_fail ()
+          | Some a ->
+              Automaton.accepts a l = Logic.Semantics.holds pq form l);
+      QCheck.Test.make ~name:"canon denotes the same language as the tableau"
+        ~count:60 arb_formula
+        (fun form ->
+          (* deterministic translation vs nondeterministic tableau,
+             compared on a battery of lassos *)
+          match Of_formula.translate pq form with
+          | None -> QCheck.assume_fail ()
+          | Some a ->
+              let nba = Logic.Tableau.translate pq form in
+              List.for_all
+                (fun l ->
+                  Automaton.accepts a l = Logic.Tableau.accepts_lasso nba l)
+                (Finitary.Word.enumerate_lassos pq ~max_prefix:1 ~max_cycle:2));
+      QCheck.Test.make ~name:"the property lies inside its syntactic class"
+        ~count:60 arb_formula
+        (fun form ->
+          (* the syntactic class is an upper bound: the denoted property
+             must be a member of it (the minimal class itself may be
+             incomparable, e.g. a clopen property classified as safety
+             with a guarantee-shaped formula) *)
+          match
+            (Of_formula.translate pq form, Logic.Rewrite.classify form)
+          with
+          | Some a, Some syn ->
+              let member =
+                match syn with
+                | Kappa.Safety -> Classify.is_safety a
+                | Kappa.Guarantee -> Classify.is_guarantee a
+                | Kappa.Obligation k -> (
+                    match Classify.obligation_degree a with
+                    | Some d -> d <= k
+                    | None -> false)
+                | Kappa.Recurrence -> Classify.is_recurrence a
+                | Kappa.Persistence -> Classify.is_persistence a
+                | Kappa.Reactivity k -> Classify.reactivity_rank a <= k
+              in
+              member
+          | (Some _ | None), _ -> QCheck.assume_fail ());
+    ]
+
+let fragment_tests =
+  [
+    Alcotest.test_case "outside the fragment reported as None" `Quick
+      (fun () ->
+        check "[]<>(p U q)" true
+          (Of_formula.translate pq (f "[]<> (p U q)") = None));
+    Alcotest.test_case "of_string raises on bad input" `Quick (fun () ->
+        check "raises" true
+          (try ignore (Of_formula.of_string pq "[]<> (p U q)"); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "state formulas are letter properties" `Quick
+      (fun () ->
+        let a = Of_formula.of_string pq "p & !q" in
+        let lp = Finitary.Alphabet.letter_of_name pq "{p}" in
+        let lq = Finitary.Alphabet.letter_of_name pq "{q}" in
+        check "starts with {p}" true
+          (Automaton.accepts a
+             (Finitary.Word.lasso ~prefix:[| lp |] ~cycle:[| lq |]));
+        check "starts with {q}" false
+          (Automaton.accepts a
+             (Finitary.Word.lasso ~prefix:[| lq |] ~cycle:[| lp |])));
+  ]
+
+let () =
+  Alcotest.run "translate"
+    [
+      ("modalities", modality_tests);
+      ("random", qcheck_tests);
+      ("fragment", fragment_tests);
+    ]
