@@ -40,7 +40,11 @@ let fig1 () =
     (fun (name, a) ->
       let row = List.map snd (Classify.memberships a) in
       Format.printf "%-30s" name;
-      List.iter (fun b -> Format.printf " %6s" (if b then "yes" else "-")) row;
+      List.iter
+        (fun b ->
+          Format.printf " %6s"
+            (match b with Some true -> "yes" | Some false -> "-" | None -> "?"))
+        row;
       Format.printf "@.")
     witnesses;
   Format.printf
@@ -210,10 +214,26 @@ let programs () =
 (* Bechamel timing benches                                              *)
 (* ------------------------------------------------------------------ *)
 
-let benches () =
+(* Seed-tree timings (ns/run, same machine, same bench) recorded before
+   the shared graph kernel landed, so --json can report before/after. *)
+let seed_baseline =
+  [
+    ("classify: response formula automaton", 12282.1);
+    ("classify: staircase k=2", 89970.0);
+    ("classify: staircase k=4", 946446.8);
+    ("translate: [](p -> <>q) to automaton", 14947.1);
+    ("tableau: satisfiability of response", 23450.3);
+    ("minex product", 2771.6);
+    ("omega product + emptiness", 2128.7);
+    ("language equality (safety closure check)", 4468.8);
+    ("lasso semantics of response", 855.8);
+    ("model check Peterson accessibility", 180428.1);
+    ("counter-freedom of R(.* b)", 1258.0);
+  ]
+
+let run_benches () =
   let open Bechamel in
   let open Toolkit in
-  header "Timing benches (Bechamel; ns per run, OLS estimate)";
   let resp = fm "[] (p -> <> q)" in
   let lasso =
     let l n = Finitary.Alphabet.letter_of_name pq n in
@@ -263,26 +283,124 @@ let benches () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
+      let short =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
       let estimate =
         match Analyze.OLS.estimates ols_result with
-        | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
-        | Some _ | None -> "(no estimate)"
+        | Some [ e ] -> Some e
+        | Some _ | None -> None
       in
-      rows := (name, estimate) :: !rows)
+      rows := (short, estimate) :: !rows)
     results;
+  List.sort compare !rows
+
+let benches () =
+  header "Timing benches (Bechamel; ns per run, OLS estimate)";
   List.iter
-    (fun (name, est) -> Format.printf "  %-52s %s@." name est)
-    (List.sort compare !rows)
+    (fun (name, est) ->
+      Format.printf "  %-52s %s@." name
+        (match est with
+        | Some e -> Printf.sprintf "%12.1f ns/run" e
+        | None -> "(no estimate)"))
+    (run_benches ())
+
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable before/after baseline                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A 10k-state single-SCC sweep: sizes the recursive SCC passes and
+   quadratic language products could not reach, so the seed has no
+   baseline (null).  Timed wall-clock over a few runs (the runs are far
+   above clock resolution). *)
+let large_sweep () =
+  let n = 10_000 in
+  let delta = Array.init n (fun q -> [| (q + 1) mod n; q |]) in
+  let mk () =
+    Automaton.make ~alpha:ab ~n ~start:0 ~delta
+      ~acc:(Acceptance.Inf (Iset.singleton 0))
+  in
+  let time_ns f =
+    let reps = 3 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Sys.time () in
+      f ();
+      let dt = (Sys.time () -. t0) *. 1e9 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  [
+    ( "sweep: classify 10k-state single-SCC automaton",
+      time_ns (fun () -> ignore (Classify.classify (mk ()))) );
+    ( "sweep: safety-closure equality at 10k states",
+      time_ns (fun () -> ignore (Classify.is_safety (mk ()))) );
+    ( "sweep: sccs of the 10k-state graph",
+      let a = mk () in
+      time_ns (fun () -> ignore (Automaton.sccs a)) );
+  ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_mode () =
+  let rows = run_benches () in
+  let sweep = large_sweep () in
+  let oc = open_out "BENCH_kernel.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"seed\": \"pre-kernel tree (recursive SCCs, Set.Make(Int), no memoized successors)\",\n";
+  p "  \"benches\": [\n";
+  let entries =
+    List.map
+      (fun (name, est) ->
+        let seed = List.assoc_opt name seed_baseline in
+        (name, seed, est))
+      rows
+    @ List.map (fun (name, ns) -> (name, None, Some ns)) sweep
+  in
+  let num = function
+    | Some v -> Printf.sprintf "%.1f" v
+    | None -> "null"
+  in
+  List.iteri
+    (fun i (name, seed, est) ->
+      let speedup =
+        match (seed, est) with
+        | Some s, Some e when e > 0. -> Printf.sprintf "%.2f" (s /. e)
+        | _ -> "null"
+      in
+      p "    {\"name\": \"%s\", \"seed_ns\": %s, \"ns\": %s, \"speedup\": %s}%s\n"
+        (json_escape name) (num seed) (num est) speedup
+        (if i < List.length entries - 1 then "," else ""))
+    entries;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_kernel.json (%d entries)@." (List.length entries)
 
 let () =
-  let tables_only =
-    Array.exists (fun a -> a = "--tables-only") Sys.argv
-  in
-  fig1 ();
-  operators ();
-  equivalences ();
-  ladder ();
-  decisions ();
-  programs ();
-  if not tables_only then benches ();
-  Format.printf "@.done.@."
+  let flag f = Array.exists (fun a -> a = f) Sys.argv in
+  let tables_only = flag "--tables-only" in
+  if flag "--json" then json_mode ()
+  else begin
+    fig1 ();
+    operators ();
+    equivalences ();
+    ladder ();
+    decisions ();
+    programs ();
+    if not tables_only then benches ();
+    Format.printf "@.done.@."
+  end

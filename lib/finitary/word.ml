@@ -94,20 +94,29 @@ let equal_lasso l1 l2 =
   let c1 = canonical l1 and c2 = canonical l2 in
   c1.prefix = c2.prefix && c1.cycle = c2.cycle
 
+(* Total by construction: lassos are first normalized (primitive cycle
+   root, minimal prefix), so two representations of the same omega-word
+   compare structurally equal and yield 0. — the scan only runs on
+   genuinely distinct words.  Distinct ultimately-periodic words must
+   differ before max(|p1|,|p2|) + lcm(|c1|,|c2|) <= bound positions, so
+   a scan reaching [bound] proves the words agree everywhere after all:
+   return 0. rather than crash on a representation the normalization
+   missed. *)
 let distance l1 l2 =
-  if equal_lasso l1 l2 then 0.
+  let c1 = canonical l1 and c2 = canonical l2 in
+  if c1.prefix = c2.prefix && c1.cycle = c2.cycle then 0.
   else
     let bound =
-      Array.length l1.prefix + Array.length l2.prefix
-      + (Array.length l1.cycle * Array.length l2.cycle)
+      Array.length c1.prefix + Array.length c2.prefix
+      + (Array.length c1.cycle * Array.length c2.cycle)
       + 2
     in
     let rec scan j =
-      if j >= bound then assert false
-      else if at l1 j <> at l2 j then j
+      if j >= bound then 0.
+      else if at c1 j <> at c2 j then 2. ** float_of_int (-j)
       else scan (j + 1)
     in
-    2. ** float_of_int (-scan 0)
+    scan 0
 
 let pp a ppf w =
   if Array.length w = 0 then Fmt.string ppf "ε"

@@ -48,7 +48,9 @@ val enumerate_lassos : Alphabet.t -> max_prefix:int -> max_cycle:int -> lasso li
 
 (** The paper's metric on infinite words: [mu s s' = 2{^-j}] where [j] is
     the first position where they differ, and [0.] if equal (equality of
-    lassos is decidable). *)
+    lassos is decidable).  Total on every pair of lassos: arguments are
+    normalized with {!canonical} first, so distinct prefix/cycle splits
+    of the same omega-word (e.g. [a(a)] vs [(aa)]) compare equal. *)
 val distance : lasso -> lasso -> float
 
 (** A canonical form: two lassos are equal as infinite words iff their

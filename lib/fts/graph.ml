@@ -8,55 +8,12 @@ module Acceptance = Omega.Acceptance
 type t = { n : int; succ : int list array }
 
 let sccs_within g allowed =
-  let ok q = Iset.mem q allowed in
-  let succs q = if ok q then List.filter ok g.succ.(q) else [] in
-  let index = Array.make g.n (-1) in
-  let low = Array.make g.n 0 in
-  let on_stack = Array.make g.n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let out = ref [] in
-  let rec strong v =
-    index.(v) <- !counter;
-    low.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strong w;
-          low.(v) <- min low.(v) low.(w)
-        end
-        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
-      (succs v);
-    if low.(v) = index.(v) then begin
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            if w = v then w :: acc else pop (w :: acc)
-        | [] -> assert false
-      in
-      out := pop [] :: !out
-    end
-  in
-  for v = 0 to g.n - 1 do
-    if ok v && index.(v) = -1 then strong v
-  done;
-  !out
+  Graph_kernel.sccs_in ~n:g.n
+    ~succ:(fun q -> g.succ.(q))
+    ~allowed:(fun q -> Iset.mem q allowed)
 
 let reachable g starts =
-  let seen = Array.make g.n false in
-  let rec visit v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
-      List.iter visit g.succ.(v)
-    end
-  in
-  List.iter visit starts;
-  seen
+  Graph_kernel.reachable ~n:g.n ~succ:(fun q -> g.succ.(q)) ~starts
 
 let path g ~ok src dst =
   if dst src then Some []

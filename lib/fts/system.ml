@@ -177,7 +177,22 @@ let internal_transition_names t =
   Array.of_list (idle_name :: List.map (fun tr -> tr.tname) t.transitions)
 
 let internal_init_ids t =
-  List.map (fun s -> Hashtbl.find t.state_index s) t.init
+  List.map
+    (fun s ->
+      match Hashtbl.find_opt t.state_index s with
+      | Some i -> i
+      | None ->
+          (* every initial state is interned when the reachable graph is
+             built, so a miss means the caller mutated a state array it
+             passed to [make] (states are hashtable keys: mutating one
+             corrupts the index) — name the state instead of leaking a
+             bare Not_found *)
+          invalid_arg
+            (Fmt.str
+               "System.internal_init_ids: initial state %a is not in the \
+                state index (was a state array mutated after make?)"
+               (pp_state t) s))
+    t.init
 
 let internal_transitions t = t.transitions
 

@@ -1,0 +1,100 @@
+(* Iterative Tarjan.  The explicit call stack holds (state, successors
+   still to examine); a state's low-link is folded into its parent when
+   the frame is popped, which is exactly what the recursive version does
+   on return.  Visiting order — and hence the emitted component order —
+   matches the recursive formulation, so this is a drop-in replacement
+   for the per-module recursive copies it superseded. *)
+
+let sccs_in ~n ~succ ~allowed =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let discover v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true
+  in
+  let finish v =
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      out := pop [] :: !out
+    end
+  in
+  let visit root =
+    discover root;
+    let call = ref [ (root, succ root) ] in
+    while !call <> [] do
+      match !call with
+      | [] -> ()
+      | (v, pending) :: frames -> (
+          match pending with
+          | [] ->
+              call := frames;
+              finish v;
+              (match frames with
+              | (p, _) :: _ -> low.(p) <- min low.(p) low.(v)
+              | [] -> ())
+          | w :: rest ->
+              call := (v, rest) :: frames;
+              if allowed w then
+                if index.(w) = -1 then begin
+                  discover w;
+                  call := (w, succ w) :: !call
+                end
+                else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+    done
+  in
+  for v = 0 to n - 1 do
+    if allowed v && index.(v) = -1 then visit v
+  done;
+  !out
+
+let sccs ~n ~succ = sccs_in ~n ~succ ~allowed:(fun _ -> true)
+
+let reachable_in ~n ~succ ~allowed ~starts =
+  let seen = Array.make n false in
+  let todo = ref [] in
+  List.iter
+    (fun v ->
+      if allowed v && not seen.(v) then begin
+        seen.(v) <- true;
+        todo := v :: !todo
+      end)
+    starts;
+  while !todo <> [] do
+    match !todo with
+    | [] -> ()
+    | v :: rest ->
+        todo := rest;
+        List.iter
+          (fun w ->
+            if allowed w && not seen.(w) then begin
+              seen.(w) <- true;
+              todo := w :: !todo
+            end)
+          (succ v)
+  done;
+  seen
+
+let reachable ~n ~succ ~starts =
+  reachable_in ~n ~succ ~allowed:(fun _ -> true) ~starts
+
+let nontrivial ~succ comp =
+  match comp with
+  | [] -> false
+  | [ v ] -> List.mem v (succ v)
+  | _ ->
+      (* a multi-state SCC always carries an internal edge *)
+      true

@@ -306,49 +306,12 @@ let translate alpha f =
 (* Emptiness and membership                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Tarjan SCC over an explicit successor function on 0..n-1. *)
-let sccs n succs =
-  let index = Array.make n (-1) in
-  let low = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let out = ref [] in
-  let rec strong v =
-    index.(v) <- !counter;
-    low.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strong w;
-          low.(v) <- min low.(v) low.(w)
-        end
-        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
-      (succs v);
-    if low.(v) = index.(v) then begin
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            if w = v then w :: acc else pop (w :: acc)
-        | [] -> assert false
-      in
-      out := pop [] :: !out
-    end
-  in
-  for v = 0 to n - 1 do
-    if index.(v) = -1 then strong v
-  done;
-  !out
-
 (* A good SCC: non-trivial (contains an edge) and intersecting every
    acceptance set. *)
 let has_accepting_scc n succs acc_sets reachable =
-  let comps = sccs n (fun v -> if reachable v then succs v else []) in
+  let comps =
+    Graph_kernel.sccs ~n ~succ:(fun v -> if reachable v then succs v else [])
+  in
   List.exists
     (fun comp ->
       match comp with
@@ -368,15 +331,9 @@ let has_accepting_scc n succs acc_sets reachable =
     comps
 
 let reachable_from a start =
-  let seen = Array.make a.n false in
-  let rec visit v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
-      List.iter (fun (_, w) -> visit w) a.succ.(v)
-    end
-  in
-  visit start;
-  seen
+  Graph_kernel.reachable ~n:a.n
+    ~succ:(fun v -> List.map snd a.succ.(v))
+    ~starts:[ start ]
 
 let nonempty a =
   let seen = reachable_from a 0 in
@@ -438,7 +395,9 @@ let witness alpha f =
   let a = translate alpha f in
   let seen = reachable_from a 0 in
   let succs v = if seen.(v) then a.succ.(v) else [] in
-  let comps = sccs a.n (fun v -> List.map snd (succs v)) in
+  let comps =
+    Graph_kernel.sccs ~n:a.n ~succ:(fun v -> List.map snd (succs v))
+  in
   let good =
     List.find_opt
       (fun comp ->

@@ -7,6 +7,9 @@ type t = {
   start : int;
   delta : int array array;
   acc : Acceptance.t;
+  mutable succ_table : int list array;
+      (* per-state deduplicated successor lists, built lazily on the
+         first [successors] call; [[||]] means "not yet computed" *)
 }
 
 let make ~alpha ~n ~start ~delta ~acc =
@@ -26,11 +29,24 @@ let make ~alpha ~n ~start ~delta ~acc =
     not
       (Iset.for_all (fun q -> q >= 0 && q < n) (Acceptance.states acc))
   then invalid_arg "Automaton.make: acceptance mentions unknown state";
-  { alpha; n; start; delta; acc }
+  { alpha; n; start; delta; acc; succ_table = [||] }
+
+let with_acc a acc =
+  if
+    not (Iset.for_all (fun q -> q >= 0 && q < a.n) (Acceptance.states acc))
+  then invalid_arg "Automaton.with_acc: acceptance mentions unknown state";
+  { a with acc }
 
 let const alpha acc =
   let k = Alphabet.size alpha in
-  { alpha; n = 1; start = 0; delta = [| Array.make k 0 |]; acc }
+  {
+    alpha;
+    n = 1;
+    start = 0;
+    delta = [| Array.make k 0 |];
+    acc;
+    succ_table = [||];
+  }
 
 let empty_lang alpha = const alpha Acceptance.False
 
@@ -111,6 +127,7 @@ let product combine a b =
     start = code a.start b.start;
     delta;
     acc;
+    succ_table = [||];
   }
 
 let inter = product (fun x y -> Acceptance.And [ x; y ])
@@ -119,16 +136,20 @@ let union = product (fun x y -> Acceptance.Or [ x; y ])
 
 let diff a b = inter a (complement b)
 
+let successors a q =
+  if Array.length a.succ_table = 0 then a.succ_table <- Array.make a.n [];
+  match a.succ_table.(q) with
+  | [] ->
+      (* rows are never empty (automata are complete), so [[]] doubles
+         as the not-yet-computed marker; building per row keeps one-shot
+         traversals from paying for states they never visit *)
+      let l = List.sort_uniq Stdlib.compare (Array.to_list a.delta.(q)) in
+      a.succ_table.(q) <- l;
+      l
+  | l -> l
+
 let reachable a =
-  let seen = Array.make a.n false in
-  let rec visit q =
-    if not seen.(q) then begin
-      seen.(q) <- true;
-      Array.iter visit a.delta.(q)
-    end
-  in
-  visit a.start;
-  seen
+  Graph_kernel.reachable ~n:a.n ~succ:(successors a) ~starts:[ a.start ]
 
 let trim a =
   let seen = reachable a in
@@ -157,48 +178,9 @@ let trim a =
              s)
          a.acc)
   in
-  { a with n; start = remap.(a.start); delta; acc }
+  { a with n; start = remap.(a.start); delta; acc; succ_table = [||] }
 
-let successors a q =
-  List.sort_uniq Stdlib.compare (Array.to_list a.delta.(q))
-
-let sccs a =
-  let index = Array.make a.n (-1) in
-  let low = Array.make a.n 0 in
-  let on_stack = Array.make a.n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let out = ref [] in
-  let rec strong v =
-    index.(v) <- !counter;
-    low.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strong w;
-          low.(v) <- min low.(v) low.(w)
-        end
-        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
-      (successors a v);
-    if low.(v) = index.(v) then begin
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            if w = v then w :: acc else pop (w :: acc)
-        | [] -> assert false
-      in
-      out := pop [] :: !out
-    end
-  in
-  for v = 0 to a.n - 1 do
-    if index.(v) = -1 then strong v
-  done;
-  !out
+let sccs a = Graph_kernel.sccs ~n:a.n ~succ:(successors a)
 
 let pp ppf a =
   Fmt.pf ppf "@[<v>ω-automaton over %a: %d states, start %d, acc %a@,"

@@ -14,6 +14,10 @@ type t = private {
   start : int;
   delta : int array array;  (** [delta.(q).(a)] *)
   acc : Acceptance.t;
+  mutable succ_table : int list array;
+      (** memoized {!successors} table, filled lazily row by row;
+          [[||]] until the first query (the type is private: only this
+          module mutates it) *)
 }
 
 val make :
@@ -43,6 +47,11 @@ val accepts : t -> Finitary.Word.lasso -> bool
 (** Complement: same structure, dual acceptance. *)
 val complement : t -> t
 
+(** Same structure (sharing the transition table), new acceptance
+    condition; validates that the condition only mentions known
+    states. *)
+val with_acc : t -> Acceptance.t -> t
+
 (** Synchronous product; the acceptance conditions of both factors are
     lifted and combined with the given constructor. *)
 val product :
@@ -58,11 +67,12 @@ val diff : t -> t -> t
     intersected with the kept set). *)
 val trim : t -> t
 
-(** Successor lists (unlabelled) for graph algorithms. *)
+(** Successor lists (unlabelled) for graph algorithms; deduplicated and
+    memoized — repeated calls do not re-filter the transition table. *)
 val successors : t -> int -> int list
 
-(** Strongly connected components (Tarjan), in reverse topological
-    order. *)
+(** Strongly connected components (iterative Tarjan via
+    {!Graph_kernel}), in topological order of the component DAG. *)
 val sccs : t -> int list list
 
 (** States reachable from the start. *)

@@ -9,54 +9,13 @@ let is_guarantee a = is_safety (Automaton.complement a)
 (* SCCs of the subgraph induced on [allowed] (reachable part only),
    as state lists. *)
 let sccs_within (a : Automaton.t) allowed =
-  let ok q = Iset.mem q allowed in
-  let succs q =
-    if ok q then List.filter ok (Automaton.successors a q) else []
-  in
-  let index = Array.make a.n (-1) in
-  let low = Array.make a.n 0 in
-  let on_stack = Array.make a.n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let out = ref [] in
-  let rec strong v =
-    index.(v) <- !counter;
-    low.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strong w;
-          low.(v) <- min low.(v) low.(w)
-        end
-        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
-      (succs v);
-    if low.(v) = index.(v) then begin
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            if w = v then w :: acc else pop (w :: acc)
-        | [] -> assert false
-      in
-      out := pop [] :: !out
-    end
-  in
-  for v = 0 to a.n - 1 do
-    if ok v && index.(v) = -1 then strong v
-  done;
-  !out
+  Graph_kernel.sccs_in ~n:a.n ~succ:(Automaton.successors a)
+    ~allowed:(fun q -> Iset.mem q allowed)
 
 let nontrivial (a : Automaton.t) within comp =
-  let in_comp = Iset.of_list comp in
-  List.exists
-    (fun q ->
-      List.exists
-        (fun q' -> Iset.mem q' in_comp && Iset.mem q' within)
-        (Automaton.successors a q))
+  Graph_kernel.nontrivial
+    ~succ:(fun q ->
+      List.filter (fun q' -> Iset.mem q' within) (Automaton.successors a q))
     comp
 
 (* Does [region] contain a cycle satisfying [acc]?  Polynomial:
@@ -136,15 +95,8 @@ let obligation_degree (a : Automaton.t) =
         flags
     in
     let reach_from states =
-      let seen = Hashtbl.create 16 in
-      let rec visit q =
-        if not (Hashtbl.mem seen q) then begin
-          Hashtbl.add seen q ();
-          List.iter visit (Automaton.successors a q)
-        end
-      in
-      Iset.iter visit states;
-      seen
+      Graph_kernel.reachable ~n:a.n ~succ:(Automaton.successors a)
+        ~starts:(Iset.elements states)
     in
     let arr =
       Array.of_list (List.map (fun (s, f) -> (s, f, reach_from s)) flagged)
@@ -153,7 +105,7 @@ let obligation_degree (a : Automaton.t) =
     let reaches i j =
       let _, _, r = arr.(i) in
       let sj, _, _ = arr.(j) in
-      i <> j && Iset.exists (fun q -> Hashtbl.mem r q) sj
+      i <> j && Iset.exists (fun q -> r.(q)) sj
     in
     (* best accepting-count of an alternating chain from i to a rejecting
        SCC *)
@@ -197,7 +149,7 @@ exception Rank_too_hard of int
    handles the dense case where every subset of the SCC's cycle support
    is itself a cycle (then single-element refinement steps are always
    available). *)
-let reactivity_rank_raw ?(max_cycles = 4000) (a : Automaton.t) =
+let reactivity_rank_raw ?(max_cycles = 4000) ?max_scc (a : Automaton.t) =
   let best = ref 0 in
   List.iter
     (fun group ->
@@ -265,32 +217,70 @@ let reactivity_rank_raw ?(max_cycles = 4000) (a : Automaton.t) =
           if fi then best := max !best (d.(i) / 2)
         done
       end)
-    (Cycles.enumerate a);
+    (Cycles.enumerate ?max_scc a);
   !best
 
-let reactivity_rank a =
-  let n = reactivity_rank_raw a in
+let reactivity_rank ?max_scc a =
+  let n = reactivity_rank_raw ?max_scc a in
   if n > 0 then n
   else if Lang.is_universal a then 0
   else 1
 
-let classify a =
-  if is_safety a then Kappa.Safety
-  else if is_guarantee a then Kappa.Guarantee
+let reactivity_rank_opt ?max_scc a =
+  match reactivity_rank ?max_scc a with
+  | n -> Some n
+  | exception (Cycles.Too_large _ | Rank_too_hard _) -> None
+
+(* ------------------------------------------------------------------ *)
+(* The classification boundary                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything up to persistence is decided by the polynomial
+   closure/SCC checks above; only the reactivity {e rank} needs the
+   exponential cycle enumeration.  The boundary therefore catches the
+   enumeration's budget exceptions and degrades to a structured
+   outcome: the class is certainly reactivity (the polynomial checks
+   excluded all lower classes) and the rank is reported as a lower
+   bound. *)
+
+type outcome =
+  | Classified of Kappa.t
+  | Cycle_limited of { states : int; lower_bound : Kappa.t }
+
+let classify_outcome ?max_scc a =
+  if is_safety a then Classified Kappa.Safety
+  else if is_guarantee a then Classified Kappa.Guarantee
   else if is_obligation a then
-    Kappa.Obligation (max 1 (Option.value ~default:1 (obligation_degree a)))
-  else if is_recurrence a then Kappa.Recurrence
-  else if is_persistence a then Kappa.Persistence
-  else Kappa.Reactivity (max 1 (reactivity_rank a))
+    Classified
+      (Kappa.Obligation (max 1 (Option.value ~default:1 (obligation_degree a))))
+  else if is_recurrence a then Classified Kappa.Recurrence
+  else if is_persistence a then Classified Kappa.Persistence
+  else
+    match reactivity_rank ?max_scc a with
+    | r -> Classified (Kappa.Reactivity (max 1 r))
+    | exception Cycles.Too_large n ->
+        Cycle_limited { states = n; lower_bound = Kappa.Reactivity 1 }
+    | exception Rank_too_hard n ->
+        Cycle_limited { states = n; lower_bound = Kappa.Reactivity 1 }
+
+let classify a =
+  match classify_outcome a with
+  | Classified k -> k
+  | Cycle_limited { lower_bound; _ } -> lower_bound
 
 let memberships a =
   [
-    (Kappa.Safety, is_safety a);
-    (Kappa.Guarantee, is_guarantee a);
+    (Kappa.Safety, Some (is_safety a));
+    (Kappa.Guarantee, Some (is_guarantee a));
     ( Kappa.Obligation 1,
-      is_obligation a
-      && match obligation_degree a with Some d -> d <= 1 | None -> false );
-    (Kappa.Recurrence, is_recurrence a);
-    (Kappa.Persistence, is_persistence a);
-    (Kappa.Reactivity 1, reactivity_rank_raw a <= 1);
+      Some
+        (is_obligation a
+        && match obligation_degree a with Some d -> d <= 1 | None -> false)
+    );
+    (Kappa.Recurrence, Some (is_recurrence a));
+    (Kappa.Persistence, Some (is_persistence a));
+    ( Kappa.Reactivity 1,
+      match reactivity_rank_raw a with
+      | n -> Some (n <= 1)
+      | exception (Cycles.Too_large _ | Rank_too_hard _) -> None );
   ]

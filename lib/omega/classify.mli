@@ -24,6 +24,16 @@
     the fast path). *)
 exception Rank_too_hard of int
 
+(** Result of {!classify_outcome}.  [Classified k] is the exact class.
+    [Cycle_limited] means the polynomial checks excluded every class up
+    to persistence, but the exponential cycle enumeration behind the
+    reactivity {e rank} exceeded its budget ([states] is the offending
+    SCC size, or the cycle-family size for the chain computation):
+    the property is reactivity of rank {e at least} [lower_bound]'s. *)
+type outcome =
+  | Classified of Kappa.t
+  | Cycle_limited of { states : int; lower_bound : Kappa.t }
+
 val is_safety : Automaton.t -> bool
 
 val is_guarantee : Automaton.t -> bool
@@ -40,15 +50,33 @@ val obligation_degree : Automaton.t -> int option
 
 (** Minimal number of Streett pairs ([Some 0] iff universal); every
     omega-regular property has a finite rank (the reactivity normal-form
-    theorem). *)
-val reactivity_rank : Automaton.t -> int
+    theorem).  Exact, hence exponential in the largest SCC: raises
+    {!Cycles.Too_large} beyond [max_scc] states in one SCC (default 22)
+    and {!Rank_too_hard} when the enumerated cycle family is too big —
+    use {!reactivity_rank_opt} or {!classify_outcome} for a total
+    interface. *)
+val reactivity_rank : ?max_scc:int -> Automaton.t -> int
+
+(** [None] when the enumeration budget is exceeded; never raises. *)
+val reactivity_rank_opt : ?max_scc:int -> Automaton.t -> int option
 
 (** The most precise class in the hierarchy: safety and guarantee first,
     then obligation (with its degree), then recurrence/persistence, then
     reactivity (with its rank).  A property that is both safety and
-    guarantee is reported as safety. *)
+    guarantee is reported as safety.  Total: everything up to
+    persistence is decided by polynomial closure/SCC checks however
+    large the automaton; only the reactivity rank enumerates cycles,
+    and past the budget the outcome degrades to [Cycle_limited]. *)
+val classify_outcome : ?max_scc:int -> Automaton.t -> outcome
+
+(** [classify a] is {!classify_outcome}'s class, taking the lower bound
+    when the rank computation was cycle-limited (so the rank of a huge
+    reactivity automaton may be under-reported, but [classify] is total
+    and never raises). *)
 val classify : Automaton.t -> Kappa.t
 
 (** All six basic classes ([index 1] for the compound ones) that contain
-    the property — one row of Figure 1's membership matrix. *)
-val memberships : Automaton.t -> (Kappa.t * bool) list
+    the property — one row of Figure 1's membership matrix.  The
+    reactivity column is [None] when cycle enumeration exceeded its
+    budget; the five polynomially-decided columns are always [Some]. *)
+val memberships : Automaton.t -> (Kappa.t * bool option) list

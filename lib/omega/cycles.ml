@@ -3,20 +3,15 @@ exception Too_large of int
 let is_cycle (a : Automaton.t) c =
   (not (Iset.is_empty c))
   &&
-  let succs_in q =
-    List.filter (fun q' -> Iset.mem q' c) (Automaton.successors a q)
-  in
+  let allowed q = Iset.mem q c in
+  let succs_in q = List.filter allowed (Automaton.successors a q) in
   let reach_within from =
-    let seen = Hashtbl.create 8 in
-    let rec visit q =
-      if not (Hashtbl.mem seen q) then begin
-        Hashtbl.add seen q ();
-        List.iter visit (succs_in q)
-      end
-    in
-    List.iter visit (succs_in from);
     (* reachable in >= 1 step within c *)
-    Iset.for_all (fun q -> Hashtbl.mem seen q) c
+    let seen =
+      Graph_kernel.reachable_in ~n:a.n ~succ:succs_in ~allowed
+        ~starts:(succs_in from)
+    in
+    Iset.for_all (fun q -> seen.(q)) c
   in
   Iset.for_all reach_within c
 

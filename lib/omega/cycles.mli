@@ -11,7 +11,22 @@
     Enumeration is exponential in the size of the largest SCC (the
     decision problems are inherently about the cycle structure); automata
     produced by this library's constructions keep SCCs small.
-    [Too_large] is raised beyond [max_scc] states in one SCC. *)
+    [Too_large] is raised beyond [max_scc] states in one SCC.
+
+    {2 The [max_scc] budget and its fallback semantics}
+
+    [Too_large n] is a {e budget} signal, not an error: it carries the
+    size [n] of the first accessible SCC above the limit and promises
+    that {e no} cycles were returned for any component (enumeration is
+    all-or-nothing, so callers never act on a silently truncated
+    family).  The classification boundary ({!Classify.classify_outcome})
+    is the intended catch point: every hierarchy class up to persistence
+    is decided by polynomial closure/SCC checks that never call this
+    module, so only the reactivity {e rank} degrades — to a structured
+    [Cycle_limited] outcome reporting [n] and the rank lower bound —
+    while [Classify.classify] stays total.  Raise [max_scc] (word-size
+    minus one is the hard ceiling of the bitmask representation) to
+    trade time for exactness. *)
 
 exception Too_large of int
 

@@ -1,6 +1,9 @@
-(** Integer sets (automaton state sets). *)
+(** Integer sets (automaton state sets).
 
-include Set.Make (Int)
+    Backed by the shared bitset kernel ({!Bitset}): state sets are dense
+    in [0 .. n-1], so membership and the boolean operations on the
+    emptiness / inclusion / cycle-enumeration hot paths are word-wise
+    instead of tree-walks.  The surface is the [Set.Make (Int)] subset
+    this library uses, plus [of_array]. *)
 
-let pp ppf s =
-  Fmt.pf ppf "{%s}" (String.concat "," (List.map string_of_int (elements s)))
+include Bitset

@@ -8,54 +8,14 @@ module Alphabet = Finitary.Alphabet
 
 (* SCCs of the automaton graph restricted to states outside [fin]. *)
 let restricted_sccs (a : Automaton.t) fin =
-  let blocked q = Iset.mem q fin in
-  let succs q =
-    if blocked q then []
-    else List.filter (fun q' -> not (blocked q')) (Automaton.successors a q)
-  in
-  let index = Array.make a.n (-1) in
-  let low = Array.make a.n 0 in
-  let on_stack = Array.make a.n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let out = ref [] in
-  let rec strong v =
-    index.(v) <- !counter;
-    low.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strong w;
-          low.(v) <- min low.(v) low.(w)
-        end
-        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
-      (succs v);
-    if low.(v) = index.(v) then begin
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            if w = v then w :: acc else pop (w :: acc)
-        | [] -> assert false
-      in
-      out := pop [] :: !out
-    end
-  in
-  for v = 0 to a.n - 1 do
-    if (not (blocked v)) && index.(v) = -1 then strong v
-  done;
-  !out
+  Graph_kernel.sccs_in ~n:a.n ~succ:(Automaton.successors a)
+    ~allowed:(fun q -> not (Iset.mem q fin))
 
 let scc_nontrivial (a : Automaton.t) fin comp =
-  let in_comp = Iset.of_list comp in
-  List.exists
-    (fun q ->
-      List.exists
-        (fun q' -> Iset.mem q' in_comp && not (Iset.mem q' fin))
+  Graph_kernel.nontrivial
+    ~succ:(fun q ->
+      List.filter
+        (fun q' -> not (Iset.mem q' fin))
         (Automaton.successors a q))
     comp
 
@@ -225,9 +185,34 @@ let witness (a : Automaton.t) =
 (* Inclusion and equality                                              *)
 (* ------------------------------------------------------------------ *)
 
-let is_universal a = is_empty (Automaton.complement a)
+(* Complements are cheap to build (dual acceptance) but [equal] and the
+   classification procedures ask for the same one repeatedly; a single-
+   slot physically-keyed cache removes the duplicate construction. *)
+let complement_cache : (Automaton.t * Automaton.t) option ref = ref None
 
-let included a b = is_empty (Automaton.diff a b)
+let cached_complement a =
+  match !complement_cache with
+  | Some (key, c) when key == a -> c
+  | _ ->
+      let c = Automaton.complement a in
+      complement_cache := Some (a, c);
+      c
+
+let is_universal a = is_empty (cached_complement a)
+
+(* When both automata share one transition structure (safety closures,
+   liveness extensions and [with_acc] variants all reuse the argument's
+   table), every word has the same run in both, so inclusion is
+   emptiness of [acc_a /\ not acc_b] over that {e same} graph — no
+   quadratic product needed. *)
+let included a b =
+  if a.Automaton.delta == b.Automaton.delta && a.Automaton.start = b.Automaton.start
+  then
+    is_empty
+      (Automaton.with_acc a
+         (Acceptance.simplify
+            (Acceptance.And [ a.Automaton.acc; Acceptance.dual b.Automaton.acc ])))
+  else is_empty (Automaton.inter a (cached_complement b))
 
 let equal a b = included a b && included b a
 

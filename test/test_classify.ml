@@ -178,7 +178,8 @@ let lattice_tests =
             let c = Classify.classify a in
             List.iter
               (fun (k, m) ->
-                if Kappa.leq c k then check (s ^ " in " ^ Kappa.name k) true m)
+                if Kappa.leq c k then
+                  check (s ^ " in " ^ Kappa.name k) true (m = Some true))
               (Classify.memberships a))
           [ "[] p"; "<> p"; "[]<> p"; "<>[] p"; "[] p | <> q"; "[]<> p | <>[] q" ]);
   ]
@@ -353,10 +354,79 @@ let random_tests =
             (fun (k1, m1) ->
               List.for_all
                 (fun (k2, m2) ->
-                  (not (Kappa.leq k1 k2)) || (not m1) || m2)
+                  (not (Kappa.leq k1 k2))
+                  || m1 <> Some true
+                  || m2 = Some true)
                 row)
             row);
     ]
+
+(* A universal k-state cycle over [alpha]: intersecting with it keeps
+   the language but inflates every SCC by a factor of k. *)
+let counter alpha k =
+  let delta =
+    Array.init k (fun q -> Array.make (Finitary.Alphabet.size alpha) ((q + 1) mod k))
+  in
+  Automaton.make ~alpha ~n:k ~start:0 ~delta ~acc:Acceptance.True
+
+let budget_tests =
+  [
+    Alcotest.test_case "cycle budget degrades to a structured outcome" `Quick
+      (fun () ->
+        (* regression: a proper-reactivity automaton whose SCC exceeds
+           the enumeration budget used to escape as Cycles.Too_large
+           from every classification entry point *)
+        let big = Automaton.inter (fm "[]<> p | <>[] q") (counter pq 30) in
+        (match Classify.classify_outcome big with
+        | Classify.Cycle_limited { states; lower_bound } ->
+            check "budget recorded" true (states > 0);
+            Alcotest.check kappa "lower bound" (Kappa.Reactivity 1) lower_bound
+        | Classify.Classified k ->
+            Alcotest.failf "expected Cycle_limited, got %s" (Kappa.name k));
+        (* the total entry points fall back instead of raising *)
+        Alcotest.check kappa "classify falls back to the lower bound"
+          (Kappa.Reactivity 1) (Classify.classify big);
+        check "rank_opt signals the budget" true
+          (Classify.reactivity_rank_opt big = None);
+        check "rank still raises for callers that want the signal" true
+          (match Classify.reactivity_rank big with
+          | _ -> false
+          | exception Cycles.Too_large _ -> true));
+    Alcotest.test_case "polynomial classes never hit the budget" `Quick
+      (fun () ->
+        (* same SCC inflation, but the class is decidable without
+           enumerating cycles: the outcome stays exact *)
+        let big = Automaton.inter (fm "[]<> p") (counter pq 30) in
+        match Classify.classify_outcome big with
+        | Classify.Classified k ->
+            Alcotest.check kappa "exact recurrence" Kappa.Recurrence k
+        | Classify.Cycle_limited _ ->
+            Alcotest.fail "recurrence must not enumerate cycles");
+    Alcotest.test_case "memberships reports unknown entries honestly" `Quick
+      (fun () ->
+        let big = Automaton.inter (fm "[]<> p | <>[] q") (counter pq 30) in
+        match List.assoc (Kappa.Reactivity 1) (Classify.memberships big) with
+        | None -> ()
+        | Some _ -> Alcotest.fail "budget-limited entry should be None");
+    Alcotest.test_case "a 10k-state automaton classifies" `Slow (fun () ->
+        (* one 10_000-state SCC: [a] steps around the cycle, [b] idles;
+           accepting iff state 0 recurs.  The recursive SCC passes and
+           quadratic language products both used to make this size
+           unreachable. *)
+        let n = 10_000 in
+        let ab2 = Finitary.Alphabet.of_chars "ab" in
+        let delta = Array.init n (fun q -> [| (q + 1) mod n; q |]) in
+        let a =
+          Automaton.make ~alpha:ab2 ~n ~start:0 ~delta
+            ~acc:(Acceptance.Inf (Iset.singleton 0))
+        in
+        Alcotest.check kappa "recurrence" Kappa.Recurrence (Classify.classify a);
+        match Classify.classify_outcome a with
+        | Classify.Classified k ->
+            Alcotest.check kappa "exact outcome" Kappa.Recurrence k
+        | Classify.Cycle_limited _ ->
+            Alcotest.fail "polynomial checks should settle this");
+  ]
 
 let () =
   Alcotest.run "classify"
@@ -366,4 +436,5 @@ let () =
       ("lattice", lattice_tests);
       ("automata", automaton_tests);
       ("random", random_tests);
+      ("budget", budget_tests);
     ]

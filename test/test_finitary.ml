@@ -64,6 +64,25 @@ let word_tests =
         Alcotest.(check (float 1e-9)) "differ at 0" 1.0 (Word.distance (l "(a)") (l "(b)"));
         Alcotest.(check (float 1e-9)) "differ at 2" 0.25 (Word.distance (l "aa(a)") (l "aa(b)"));
         Alcotest.(check (float 1e-9)) "equal" 0.0 (Word.distance (l "(ab)") (l "ab(ab)")));
+    Alcotest.test_case "distance is zero on every equal-lasso spelling" `Quick
+      (fun () ->
+        (* regression: spellings that differ in prefix/cycle split,
+           unrolling and rotation used to hit the exhausted-scan branch *)
+        let l = Word.lasso_of_string ab in
+        List.iter
+          (fun (s1, s2) ->
+            Alcotest.(check (float 1e-9))
+              (s1 ^ " vs " ^ s2)
+              0.0
+              (Word.distance (l s1) (l s2)))
+          [
+            ("a(a)", "(aa)");
+            ("(a)", "aaa(aa)");
+            ("a(ba)", "(ab)");
+            ("ab(ab)", "(abab)");
+            ("abab(ab)", "a(ba)");
+            ("(abab)", "ab(abab)");
+          ]);
     Alcotest.test_case "enumerate" `Quick (fun () ->
         Alcotest.(check int) "words up to 3 over 2 letters" (2 + 4 + 8)
           (List.length (Word.enumerate ab ~max_len:3));
@@ -211,6 +230,26 @@ let qcheck_tests =
           let c = Word.canonical l in
           List.for_all (fun i -> Word.at l i = Word.at c i)
             (List.init 12 Fun.id));
+      (let arb_lasso =
+         QCheck.map
+           (fun (pre, cyc) ->
+             Word.lasso
+               ~prefix:(Array.of_list pre)
+               ~cycle:(Array.of_list (match cyc with [] -> [ 0 ] | l -> l)))
+           (QCheck.pair
+              QCheck.(list_of_size Gen.(0 -- 4) (QCheck.int_bound 1))
+              QCheck.(list_of_size Gen.(1 -- 5) (QCheck.int_bound 1)))
+       in
+       QCheck.Test.make
+         ~name:"distance is total, symmetric, zero iff equal" ~count:400
+         (QCheck.pair arb_lasso arb_lasso)
+         (fun (l1, l2) ->
+           (* regression: distance used to [assert false] when the
+              difference scan overran its bound on equal words *)
+           let d = Word.distance l1 l2 in
+           d = Word.distance l2 l1
+           && d >= 0.
+           && (d = 0.) = Word.equal_lasso l1 l2));
     ]
 
 let () =

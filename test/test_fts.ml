@@ -225,6 +225,34 @@ let system_tests =
                   ~fairness:[ System.Weak "ghost" ] ());
              false
            with Invalid_argument _ -> true));
+    Alcotest.test_case "mutated init state array diagnosed by name" `Quick
+      (fun () ->
+        (* regression: state arrays are index keys, so a caller mutating
+           an init array after [make] used to surface as a bare
+           [Not_found] deep in the checker *)
+        let init = [| 0 |] in
+        let sys =
+          System.make
+            ~vars:[ { System.name = "x"; lo = 0; hi = 1 } ]
+            ~init:[ init ]
+            ~transitions:
+              [
+                { System.tname = "t"; guard = (fun _ -> true);
+                  action = (fun s -> [ s ]) };
+              ]
+            ~fairness:[] ()
+        in
+        Alcotest.(check (list int)) "intact lookup works" [ 0 ]
+          (System.internal_init_ids sys);
+        init.(0) <- 1;
+        match System.internal_init_ids sys with
+        | _ -> Alcotest.fail "lookup of a corrupted key should fail"
+        | exception Not_found -> Alcotest.fail "bare Not_found escaped"
+        | exception Invalid_argument msg ->
+            check "message names the state" true
+              (String.length msg > 0
+              && (* the offending valuation is printed *)
+              String.fold_left (fun acc c -> acc || c = '1') false msg));
   ]
 
 let () =

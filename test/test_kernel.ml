@@ -1,0 +1,244 @@
+(* The shared graph kernel, differentially against the recursive
+   Tarjan/DFS implementations it replaced, and the bitset against
+   Set.Make (Int). *)
+
+module IntSet = Set.Make (Int)
+
+(* The recursive Tarjan previously duplicated across omega/fts/logic,
+   kept here verbatim as the reference: components at completion time,
+   accumulated head-first. *)
+let reference_sccs ~n ~succ =
+  let index = ref 0 in
+  let idx = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let out = ref [] in
+  let rec strong v =
+    idx.(v) <- !index;
+    low.(v) <- !index;
+    incr index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if idx.(w) = -1 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) idx.(w))
+      (succ v);
+    if low.(v) = idx.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if idx.(v) = -1 then strong v
+  done;
+  !out
+
+let reference_sccs_in ~n ~succ ~allowed =
+  reference_sccs ~n ~succ:(fun v ->
+      if allowed v then List.filter allowed (succ v) else [])
+  |> List.filter (fun comp -> List.exists allowed comp)
+
+let reference_reachable ~n ~succ ~starts =
+  let seen = Array.make n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go (succ v)
+    end
+  in
+  List.iter go starts;
+  seen
+
+(* random graphs as adjacency lists *)
+let gen_graph =
+  let open QCheck.Gen in
+  sized_size (int_range 1 12) @@ fun n ->
+  let n = max n 1 in
+  map
+    (fun rows -> (n, Array.of_list rows))
+    (list_repeat n (list_size (int_bound (n + 2)) (int_bound (n - 1))))
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (n, adj) ->
+      Format.asprintf "n=%d; %a" n
+        Fmt.(array ~sep:semi (list ~sep:comma int))
+        adj)
+    gen_graph
+
+let succ_of (adj : int list array) v = adj.(v)
+
+let differential_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"sccs match the recursive Tarjan" ~count:500
+        arb_graph
+        (fun (n, adj) ->
+          Graph_kernel.sccs ~n ~succ:(succ_of adj)
+          = reference_sccs ~n ~succ:(succ_of adj));
+      QCheck.Test.make ~name:"restricted sccs match the recursive Tarjan"
+        ~count:500
+        QCheck.(pair arb_graph (int_bound 4096))
+        (fun ((n, adj), mask) ->
+          let allowed v = mask land (1 lsl v) <> 0 in
+          Graph_kernel.sccs_in ~n ~succ:(succ_of adj) ~allowed
+          = reference_sccs_in ~n ~succ:(succ_of adj) ~allowed);
+      QCheck.Test.make ~name:"reachability matches the recursive DFS"
+        ~count:500 arb_graph
+        (fun (n, adj) ->
+          Graph_kernel.reachable ~n ~succ:(succ_of adj) ~starts:[ 0 ]
+          = reference_reachable ~n ~succ:(succ_of adj) ~starts:[ 0 ]);
+      QCheck.Test.make ~name:"sccs partition the states" ~count:200 arb_graph
+        (fun (n, adj) ->
+          let states =
+            List.concat (Graph_kernel.sccs ~n ~succ:(succ_of adj))
+          in
+          List.sort compare states = List.init n Fun.id);
+      QCheck.Test.make ~name:"nontrivial iff the component has a cycle"
+        ~count:200 arb_graph
+        (fun (n, adj) ->
+          List.for_all
+            (fun comp ->
+              let expected =
+                match comp with
+                | [ v ] -> List.mem v adj.(v)
+                | _ -> List.length comp > 1
+              in
+              Graph_kernel.nontrivial ~succ:(succ_of adj) comp = expected)
+            (Graph_kernel.sccs ~n ~succ:(succ_of adj)));
+    ]
+
+let deep_tests =
+  [
+    Alcotest.test_case "a 200k-state path does not overflow the stack" `Quick
+      (fun () ->
+        let n = 200_000 in
+        let succ v = if v + 1 < n then [ v + 1 ] else [] in
+        let comps = Graph_kernel.sccs ~n ~succ in
+        Alcotest.(check int) "singleton components" n (List.length comps);
+        let r = Graph_kernel.reachable ~n ~succ ~starts:[ 0 ] in
+        Alcotest.(check bool) "end reachable" true r.(n - 1));
+    Alcotest.test_case "a 200k-state cycle is one component" `Quick (fun () ->
+        let n = 200_000 in
+        let succ v = [ (v + 1) mod n ] in
+        match Graph_kernel.sccs ~n ~succ with
+        | [ comp ] ->
+            Alcotest.(check int) "all states" n (List.length comp);
+            Alcotest.(check bool) "nontrivial" true
+              (Graph_kernel.nontrivial ~succ comp)
+        | comps ->
+            Alcotest.failf "expected one component, got %d"
+              (List.length comps));
+  ]
+
+(* random operation programs interpreted over both set implementations *)
+type op =
+  | Add of int
+  | Remove of int
+  | Union of op list
+  | Inter of op list
+  | Diff of op list
+
+let gen_op =
+  let open QCheck.Gen in
+  sized_size (int_bound 6)
+  @@ fix (fun self d ->
+         if d = 0 then
+           oneof
+             [ map (fun i -> Add i) (int_bound 200);
+               map (fun i -> Remove i) (int_bound 200) ]
+         else
+           oneof
+             [ map (fun i -> Add i) (int_bound 200);
+               map (fun i -> Remove i) (int_bound 200);
+               map (fun l -> Union l) (list_size (int_range 1 3) (self (d - 1)));
+               map (fun l -> Inter l) (list_size (int_range 1 3) (self (d - 1)));
+               map (fun l -> Diff l) (list_size (int_range 1 3) (self (d - 1)))
+             ])
+
+let arb_ops = QCheck.make QCheck.Gen.(list_size (int_bound 12) gen_op)
+
+let rec run_bitset s = function
+  | Add i -> Bitset.add i s
+  | Remove i -> Bitset.remove i s
+  | Union l -> List.fold_left (fun s o -> Bitset.union s (run_bitset s o)) s l
+  | Inter l -> List.fold_left (fun s o -> Bitset.inter s (run_bitset s o)) s l
+  | Diff l -> List.fold_left (fun s o -> Bitset.diff s (run_bitset s o)) s l
+
+let rec run_intset s = function
+  | Add i -> IntSet.add i s
+  | Remove i -> IntSet.remove i s
+  | Union l -> List.fold_left (fun s o -> IntSet.union s (run_intset s o)) s l
+  | Inter l -> List.fold_left (fun s o -> IntSet.inter s (run_intset s o)) s l
+  | Diff l -> List.fold_left (fun s o -> IntSet.diff s (run_intset s o)) s l
+
+let bitset_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"bitset agrees with Set.Make (Int)" ~count:500
+        arb_ops
+        (fun ops ->
+          let b = List.fold_left run_bitset Bitset.empty ops in
+          let s = List.fold_left run_intset IntSet.empty ops in
+          Bitset.elements b = IntSet.elements s
+          && Bitset.cardinal b = IntSet.cardinal s
+          && Bitset.is_empty b = IntSet.is_empty s
+          && Bitset.min_elt_opt b = IntSet.min_elt_opt s);
+      QCheck.Test.make ~name:"bitset relations agree with Set.Make (Int)"
+        ~count:500
+        QCheck.(pair arb_ops arb_ops)
+        (fun (o1, o2) ->
+          let b1 = List.fold_left run_bitset Bitset.empty o1
+          and b2 = List.fold_left run_bitset Bitset.empty o2 in
+          let s1 = List.fold_left run_intset IntSet.empty o1
+          and s2 = List.fold_left run_intset IntSet.empty o2 in
+          Bitset.subset b1 b2 = IntSet.subset s1 s2
+          && Bitset.disjoint b1 b2 = IntSet.disjoint s1 s2
+          && Bitset.equal b1 b2 = IntSet.equal s1 s2
+          (* the two total orders differ; only compare-to-zero must agree *)
+          && (Bitset.compare b1 b2 = 0) = (IntSet.compare s1 s2 = 0));
+      QCheck.Test.make
+        ~name:"normalization: equal sets are structurally equal values"
+        ~count:500
+        QCheck.(pair arb_ops arb_ops)
+        (fun (o1, o2) ->
+          let b1 = List.fold_left run_bitset Bitset.empty o1
+          and b2 = List.fold_left run_bitset Bitset.empty o2 in
+          (* polymorphic equality must coincide with set equality, even
+             after removals shrink a set built from large elements *)
+          Bitset.equal b1 b2 = (b1 = b2));
+      QCheck.Test.make ~name:"fold/iter/of_array round trips" ~count:300
+        QCheck.(list (int_bound 300))
+        (fun l ->
+          let b = Bitset.of_list l in
+          let via_fold = List.rev (Bitset.fold (fun i acc -> i :: acc) b []) in
+          let via_iter =
+            let r = ref [] in
+            Bitset.iter (fun i -> r := i :: !r) b;
+            List.rev !r
+          in
+          let via_array = Bitset.of_array (Array.of_list l) in
+          via_fold = Bitset.elements b
+          && via_iter = Bitset.elements b
+          && Bitset.equal b via_array);
+    ]
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ("differential", differential_tests);
+      ("deep", deep_tests);
+      ("bitset", bitset_tests);
+    ]

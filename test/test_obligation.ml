@@ -133,7 +133,8 @@ let family_tests =
         | Some d ->
             check "beyond level 3" true (d = 4);
             check "not simple" false
-              (List.assoc (Kappa.Obligation 1) (Classify.memberships a))
+              (List.assoc (Kappa.Obligation 1) (Classify.memberships a)
+              = Some true)
         | None -> Alcotest.fail "should be an obligation property");
   ]
 
