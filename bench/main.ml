@@ -231,6 +231,25 @@ let seed_baseline =
     ("counter-freedom of R(.* b)", 1258.0);
   ]
 
+(* PR-1 tree timings (ns/run, same machine, same bench) recorded
+   immediately before the budget threading landed; --json writes the
+   comparison to BENCH_budget.json so the unlimited-budget tick's
+   overhead on the hot loops is visible (target: ratio <= 1.05). *)
+let pr1_baseline =
+  [
+    ("classify: response formula automaton", 5315.3);
+    ("classify: staircase k=2", 35549.0);
+    ("classify: staircase k=4", 406797.9);
+    ("counter-freedom of R(.* b)", 1369.2);
+    ("language equality (safety closure check)", 1764.7);
+    ("lasso semantics of response", 837.9);
+    ("minex product", 2695.4);
+    ("model check Peterson accessibility", 110998.9);
+    ("omega product + emptiness", 2336.8);
+    ("tableau: satisfiability of response", 23701.8);
+    ("translate: [](p -> <>q) to automaton", 15299.3);
+  ]
+
 let run_benches () =
   let open Bechamel in
   let open Toolkit in
@@ -388,7 +407,37 @@ let json_mode () =
   p "  ]\n";
   p "}\n";
   close_out oc;
-  Format.printf "@.wrote BENCH_kernel.json (%d entries)@." (List.length entries)
+  Format.printf "@.wrote BENCH_kernel.json (%d entries)@." (List.length entries);
+  (* budget-overhead report: current timings vs the PR-1 tree *)
+  let oc = open_out "BENCH_budget.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"baseline\": \"PR-1 tree, before Budget.tick was threaded through the hot loops\",\n";
+  p "  \"note\": \"ratio = ns / pr1_ns; the unlimited-budget fast path should keep every ratio within noise of 1.0\",\n";
+  p "  \"benches\": [\n";
+  let budget_entries =
+    List.filter_map
+      (fun (name, est) ->
+        Option.map (fun pr1 -> (name, pr1, est)) (List.assoc_opt name pr1_baseline))
+      rows
+  in
+  List.iteri
+    (fun i (name, pr1, est) ->
+      let ratio =
+        match est with
+        | Some e when pr1 > 0. -> Printf.sprintf "%.3f" (e /. pr1)
+        | _ -> "null"
+      in
+      p "    {\"name\": \"%s\", \"pr1_ns\": %.1f, \"ns\": %s, \"ratio\": %s}%s\n"
+        (json_escape name) pr1 (num est) ratio
+        (if i < List.length budget_entries - 1 then "," else ""))
+    budget_entries;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote BENCH_budget.json (%d entries)@."
+    (List.length budget_entries)
 
 let () =
   let flag f = Array.exists (fun a -> a = f) Sys.argv in

@@ -1,8 +1,15 @@
 (* hpt — the Hierarchy of temporal ProperTies, on the command line.
 
-   Subcommands: classify, lint, equiv, witness, views. *)
+   Subcommands: classify, lint, equiv, witness, views.
+
+   Every subcommand goes through [Hierarchy.Engine], so no exception
+   (and no backtrace) ever reaches the terminal: structured errors
+   become one-line messages on stderr.  Exit codes: 0 success, 1
+   usage / parse / validation error, 2 budget exceeded (a partial
+   verdict is still printed when one exists), 3 internal error. *)
 
 open Cmdliner
+module Engine = Hierarchy.Engine
 
 let props_arg =
   let doc = "Comma-separated atomic propositions forming the alphabet." in
@@ -12,80 +19,89 @@ let chars_arg =
   let doc = "Symbolic alphabet given as characters (e.g. 'ab')." in
   Arg.(value & opt (some string) None & info [ "chars"; "c" ] ~docv:"CHARS" ~doc)
 
-let alphabet_of props chars formulas =
-  match (props, chars) with
-  | Some p, None ->
-      Finitary.Alphabet.of_props (String.split_on_char ',' p)
-  | None, Some c -> Finitary.Alphabet.of_chars c
-  | Some _, Some _ -> invalid_arg "give either --props or --chars, not both"
-  | None, None ->
-      (* infer from the formulas' atoms *)
-      let atoms =
-        List.sort_uniq compare (List.concat_map Logic.Formula.atoms formulas)
-      in
-      if atoms = [] then invalid_arg "empty alphabet: give --props or --chars";
-      Finitary.Alphabet.of_props atoms
+let fuel_arg =
+  let doc =
+    "Abort (gracefully) after $(docv) units of work; classification \
+     degrades to a class interval computed from what completed."
+  in
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"TICKS" ~doc)
+
+let timeout_arg =
+  let doc = "Wall-clock budget in milliseconds; same degradation as --fuel." in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
 
 let formula_arg =
   let doc = "Temporal formula, e.g. '[] (p -> <> q)'." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
 
-let wrap f = try f () with Invalid_argument m | Failure m ->
-  Fmt.epr "error: %s@." m;
-  exit 1
+let fail e =
+  Fmt.epr "error: %a@." Engine.pp_error e;
+  Engine.exit_code e
+
+(* Build the budget, run [f] on it, and map the result to an exit
+   code.  [Budget.make] validates its arguments, so that too goes
+   through the engine boundary. *)
+let with_budget fuel timeout_ms f =
+  match Engine.protect (fun () -> Budget.make ?fuel ?timeout_ms ()) with
+  | Error e -> fail e
+  | Ok budget -> (
+      match f budget with
+      | Ok code -> code
+      | Error e -> fail e)
 
 (* ---------------- classify ---------------- *)
 
 let classify_cmd =
-  let run props chars formula_s =
-    wrap @@ fun () ->
-    let f = Logic.Parser.parse formula_s in
-    let alpha = alphabet_of props chars [ f ] in
-    match Hierarchy.Property.analyze_formula alpha f with
-    | Some r ->
-        Fmt.pr "%s@.%a@." formula_s Hierarchy.Property.pp_report r
-    | None ->
-        Fmt.pr
-          "%s@.outside the canonical fragment (no deterministic translation); \
-           syntactic class: %s@."
-          formula_s
-          (match Logic.Rewrite.classify f with
-          | Some k -> Kappa.name k
-          | None -> "unknown")
+  let run props chars fuel timeout_ms formula_s =
+    with_budget fuel timeout_ms @@ fun budget ->
+    Result.map
+      (fun (r : Engine.report) ->
+        Fmt.pr "%s@.%a@." formula_s Engine.pp_report r;
+        (* degraded partial verdict: still printed, but signalled *)
+        match r.Engine.exhausted with Some _ -> 2 | None -> 0)
+      (Engine.classify ~budget ?props ?chars formula_s)
   in
   let info =
     Cmd.info "classify"
       ~doc:"Locate a temporal formula in the safety-progress hierarchy"
   in
-  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg)
+  Cmd.v info
+    Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
+          $ formula_arg)
 
 (* ---------------- views ---------------- *)
 
 let views_cmd =
-  let run props chars formula_s =
-    wrap @@ fun () ->
-    let f = Logic.Parser.parse formula_s in
-    let alpha = alphabet_of props chars [ f ] in
-    match Logic.Rewrite.to_canon f with
-    | None -> Fmt.pr "outside the canonical fragment@."
-    | Some canon ->
-        let a = Omega.Of_formula.of_canon alpha canon in
-        Fmt.pr "@[<v>formula      : %s@," formula_s;
-        Fmt.pr "canonical    : %a@," Logic.Rewrite.pp canon;
-        Fmt.pr "automaton    :@,%a@," Omega.Automaton.pp a;
-        let sa, li = Hierarchy.Property.safety_liveness_decomposition a in
-        Fmt.pr "safety part  : %d states; liveness part: %d states@,"
-          sa.Omega.Automaton.n li.Omega.Automaton.n;
-        (match Omega.Lang.witness a with
-        | Some w ->
-            Fmt.pr "a model      : %a@," (Finitary.Word.pp_lasso alpha) w
-        | None -> Fmt.pr "a model      : (language empty)@,");
-        Fmt.pr "@]"
+  let run props chars fuel timeout_ms formula_s =
+    with_budget fuel timeout_ms @@ fun budget ->
+    Result.bind (Engine.parse formula_s) @@ fun f ->
+    Result.bind (Engine.alphabet ?props ?chars [ f ]) @@ fun alpha ->
+    Result.map
+      (function
+        | None ->
+            Fmt.pr "outside the canonical fragment@.";
+            0
+        | Some (v : Engine.views) ->
+            Fmt.pr "@[<v>formula      : %s@," formula_s;
+            Fmt.pr "canonical    : %a@," Logic.Rewrite.pp v.Engine.canon;
+            Fmt.pr "automaton    :@,%a@," Omega.Automaton.pp v.Engine.automaton;
+            Fmt.pr "safety part  : %d states; liveness part: %d states@,"
+              v.Engine.safety_part.Omega.Automaton.n
+              v.Engine.liveness_part.Omega.Automaton.n;
+            (match v.Engine.model with
+            | Some w ->
+                Fmt.pr "a model      : %a@," (Finitary.Word.pp_lasso alpha) w
+            | None -> Fmt.pr "a model      : (language empty)@,");
+            Fmt.pr "@]";
+            0)
+      (Engine.views ~budget alpha f)
   in
   let info =
     Cmd.info "views" ~doc:"Show a formula in all views of the hierarchy"
   in
-  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg)
+  Cmd.v info
+    Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
+          $ formula_arg)
 
 (* ---------------- lint ---------------- *)
 
@@ -94,17 +110,28 @@ let lint_cmd =
     let doc = "Requirement of the form NAME=FORMULA (repeatable)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME=FORMULA" ~doc)
   in
-  let run specs =
-    wrap @@ fun () ->
+  let run fuel timeout_ms specs =
+    with_budget fuel timeout_ms @@ fun budget ->
     let parse spec =
       match String.index_opt spec '=' with
       | Some i ->
-          ( String.sub spec 0 i,
-            String.sub spec (i + 1) (String.length spec - i - 1) )
-      | None -> invalid_arg (spec ^ ": expected NAME=FORMULA")
+          Ok
+            ( String.sub spec 0 i,
+              String.sub spec (i + 1) (String.length spec - i - 1) )
+      | None -> Error (Engine.Invalid_input (spec ^ ": expected NAME=FORMULA"))
     in
-    let v = Hierarchy.Lint.lint_strings (List.map parse specs) in
-    Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v
+    let rec parse_all = function
+      | [] -> Ok []
+      | s :: rest ->
+          Result.bind (parse s) @@ fun p ->
+          Result.map (fun ps -> p :: ps) (parse_all rest)
+    in
+    Result.bind (parse_all specs) @@ fun specs ->
+    Result.map
+      (fun v ->
+        Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v;
+        0)
+      (Engine.lint ~budget specs)
   in
   let info =
     Cmd.info "lint"
@@ -112,7 +139,7 @@ let lint_cmd =
         "Classify each requirement of a specification and warn about \
          underspecification"
   in
-  Cmd.v info Term.(const run $ specs_arg)
+  Cmd.v info Term.(const run $ fuel_arg $ timeout_arg $ specs_arg)
 
 (* ---------------- equiv ---------------- *)
 
@@ -120,47 +147,56 @@ let equiv_cmd =
   let f2_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"FORMULA2")
   in
-  let run props chars f1s f2s =
-    wrap @@ fun () ->
-    let f1 = Logic.Parser.parse f1s and f2 = Logic.Parser.parse f2s in
-    let alpha = alphabet_of props chars [ f1; f2 ] in
-    if Logic.Tableau.equiv alpha f1 f2 then Fmt.pr "equivalent@."
-    else begin
-      Fmt.pr "not equivalent@.";
-      let w =
-        match Logic.Tableau.witness alpha (Logic.Formula.And (f1, Logic.Formula.Not f2)) with
-        | Some w -> Some (w, "satisfies the first only")
-        | None -> (
-            match
-              Logic.Tableau.witness alpha (Logic.Formula.And (f2, Logic.Formula.Not f1))
-            with
-            | Some w -> Some (w, "satisfies the second only")
-            | None -> None)
-      in
-      match w with
-      | Some (w, side) ->
-          Fmt.pr "witness: %a (%s)@." (Finitary.Word.pp_lasso alpha) w side
-      | None -> ()
-    end
+  let run props chars fuel timeout_ms f1s f2s =
+    with_budget fuel timeout_ms @@ fun budget ->
+    Result.bind (Engine.parse f1s) @@ fun f1 ->
+    Result.bind (Engine.parse f2s) @@ fun f2 ->
+    Result.bind (Engine.alphabet ?props ?chars [ f1; f2 ]) @@ fun alpha ->
+    Result.map
+      (function
+        | `Equivalent ->
+            Fmt.pr "equivalent@.";
+            0
+        | `Distinct w ->
+            Fmt.pr "not equivalent@.";
+            (match w with
+            | Some (w, side) ->
+                Fmt.pr "witness: %a (%s)@." (Finitary.Word.pp_lasso alpha) w
+                  (match side with
+                  | Engine.First_only -> "satisfies the first only"
+                  | Engine.Second_only -> "satisfies the second only")
+            | None -> ());
+            0)
+      (Engine.equiv ~budget alpha f1 f2)
   in
   let info =
     Cmd.info "equiv" ~doc:"Decide equivalence of two temporal formulas"
   in
-  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg $ f2_arg)
+  Cmd.v info
+    Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
+          $ formula_arg $ f2_arg)
 
 (* ---------------- witness ---------------- *)
 
 let witness_cmd =
-  let run props chars fs =
-    wrap @@ fun () ->
-    let f = Logic.Parser.parse fs in
-    let alpha = alphabet_of props chars [ f ] in
-    match Logic.Tableau.witness alpha f with
-    | Some w -> Fmt.pr "%a@." (Finitary.Word.pp_lasso alpha) w
-    | None -> Fmt.pr "unsatisfiable@."
+  let run props chars fuel timeout_ms fs =
+    with_budget fuel timeout_ms @@ fun budget ->
+    Result.bind (Engine.parse fs) @@ fun f ->
+    Result.bind (Engine.alphabet ?props ?chars [ f ]) @@ fun alpha ->
+    Result.map
+      (function
+        | Some w ->
+            Fmt.pr "%a@." (Finitary.Word.pp_lasso alpha) w;
+            0
+        | None ->
+            Fmt.pr "unsatisfiable@.";
+            0)
+      (Engine.witness ~budget alpha f)
   in
   let info = Cmd.info "witness" ~doc:"Produce a model of a temporal formula" in
-  Cmd.v info Term.(const run $ props_arg $ chars_arg $ formula_arg)
+  Cmd.v info
+    Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
+          $ formula_arg)
 
 let main =
   let info =
@@ -169,4 +205,4 @@ let main =
   in
   Cmd.group info [ classify_cmd; views_cmd; lint_cmd; equiv_cmd; witness_cmd ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,269 @@
+type verdict =
+  | Exact of Kappa.t
+  | Interval of { lower : Kappa.t option; upper : Kappa.t option }
+
+type report = {
+  verdict : verdict;
+  syntactic : Kappa.t option;
+  memberships : (Kappa.t * bool option) list;
+  is_liveness : bool option;
+  is_uniform_liveness : bool option;
+  counter_free : bool option;
+  n_states : int option;
+  exhausted : Budget.exhaustion option;
+}
+
+type error =
+  | Parse_error of string
+  | Invalid_input of string
+  | Unsupported of string
+  | Not_in_class of string
+  | Budget_exceeded of Budget.exhaustion
+  | Internal of string
+
+(* ------------------------------------------------------------------ *)
+(* The exception boundary                                              *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let protect ?(budget = Budget.unlimited) f =
+  let structural what size =
+    Error (Budget_exceeded (Budget.structural budget ~what ~size))
+  in
+  try Ok (f ()) with
+  | Budget.Tripped e -> Error (Budget_exceeded e)
+  | Omega.Cycles.Too_large n ->
+      structural "SCC too large for cycle enumeration" n
+  | Omega.Classify.Rank_too_hard n ->
+      structural "cycle family too large for rank search" n
+  | Omega.Counter_free.Monoid_too_large n ->
+      structural "syntactic monoid too large" n
+  | Fts.System.State_space_too_large n ->
+      structural "reachable state space too large" n
+  | Logic.Tableau.Unsupported m -> Error (Unsupported m)
+  | Omega.Convert.Not_in_class m -> Error (Not_in_class m)
+  | Invalid_argument m when starts_with ~prefix:"Parser:" m ->
+      Error (Parse_error m)
+  | Invalid_argument m | Failure m -> Error (Invalid_input m)
+  | Stack_overflow -> Error (Internal "stack overflow")
+  | Not_found -> Error (Internal "uncaught Not_found")
+  | e -> Error (Internal (Printexc.to_string e))
+
+let exit_code = function
+  | Parse_error _ | Invalid_input _ | Unsupported _ | Not_in_class _ -> 1
+  | Budget_exceeded _ -> 2
+  | Internal _ -> 3
+
+let pp_error ppf = function
+  | Parse_error m -> Fmt.pf ppf "%s" m
+  | Invalid_input m -> Fmt.pf ppf "%s" m
+  | Unsupported m -> Fmt.pf ppf "unsupported: %s" m
+  | Not_in_class m -> Fmt.pf ppf "not in class: %s" m
+  | Budget_exceeded e -> Fmt.pf ppf "budget exceeded: %a" Budget.pp_exhaustion e
+  | Internal m -> Fmt.pf ppf "internal error: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and alphabets                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse s = protect (fun () -> Logic.Parser.parse s)
+
+let alphabet ?props ?chars formulas =
+  protect @@ fun () ->
+  match (props, chars) with
+  | Some p, None -> Finitary.Alphabet.of_props (String.split_on_char ',' p)
+  | None, Some c -> Finitary.Alphabet.of_chars c
+  | Some _, Some _ -> invalid_arg "give either --props or --chars, not both"
+  | None, None ->
+      let atoms =
+        List.sort_uniq compare (List.concat_map Logic.Formula.atoms formulas)
+      in
+      if atoms = [] then invalid_arg "empty alphabet: give --props or --chars";
+      Finitary.Alphabet.of_props atoms
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Report on a translated automaton.  [classify_budgeted] already
+   degrades the verdict columns; the three SL/expressibility bits are
+   guarded the same way here so a trip mid-bit yields [None] for it and
+   everything after, never an exception. *)
+let report_of ~budget ~syntactic (a : Omega.Automaton.t) =
+  let b = Omega.Classify.classify_budgeted ~budget a in
+  let exhausted = ref b.Omega.Classify.exhaustion in
+  let record e = if !exhausted = None then exhausted := Some e in
+  let opt f =
+    (* a tripped budget is sticky: once fuel or deadline ran out, skip
+       the remaining analyses (structural limits recorded in
+       [b.exhaustion] do not poison the budget, so those still run) *)
+    if Budget.exhausted budget <> None then None
+    else
+      try Some (f ()) with
+      | Budget.Tripped e ->
+          record e;
+          None
+      | Omega.Counter_free.Monoid_too_large n ->
+          record (Budget.structural budget ~what:"syntactic monoid too large" ~size:n);
+          None
+  in
+  let is_liveness = opt (fun () -> Omega.Lang.is_liveness a) in
+  let is_uniform_liveness = opt (fun () -> Omega.Lang.is_uniform_liveness a) in
+  let counter_free =
+    opt (fun () -> Omega.Counter_free.is_counter_free ~budget a)
+  in
+  let verdict =
+    match b.Omega.Classify.verdict with
+    | `Exact k -> Exact k
+    | `Interval { Omega.Classify.at_least; at_most } ->
+        (* the syntactic class, when known, is always a sound upper
+           bound for the semantic class *)
+        let upper = match at_most with Some _ -> at_most | None -> syntactic in
+        Interval { lower = at_least; upper }
+  in
+  {
+    verdict;
+    syntactic;
+    memberships = b.Omega.Classify.row;
+    is_liveness;
+    is_uniform_liveness;
+    counter_free;
+    n_states = Some a.Omega.Automaton.n;
+    exhausted = !exhausted;
+  }
+
+let classify_automaton ?(budget = Budget.unlimited) ?formula a =
+  protect ~budget @@ fun () ->
+  let syntactic = Option.bind formula Logic.Rewrite.classify in
+  report_of ~budget ~syntactic a
+
+let outside_fragment ~syntactic ~exhausted =
+  {
+    verdict = Interval { lower = None; upper = syntactic };
+    syntactic;
+    memberships = [];
+    is_liveness = None;
+    is_uniform_liveness = None;
+    counter_free = None;
+    n_states = None;
+    exhausted;
+  }
+
+let classify_formula ?(budget = Budget.unlimited) alpha f =
+  protect ~budget @@ fun () ->
+  let syntactic = Logic.Rewrite.classify f in
+  let translation =
+    (* degrade, don't fail, when the budget trips inside translation:
+       the syntactic class still bounds the verdict from above *)
+    try `Done (Omega.Of_formula.translate ~budget alpha f)
+    with Budget.Tripped e -> `Tripped e
+  in
+  match translation with
+  | `Tripped e -> outside_fragment ~syntactic ~exhausted:(Some e)
+  | `Done None -> outside_fragment ~syntactic ~exhausted:None
+  | `Done (Some a) -> report_of ~budget ~syntactic a
+
+let classify ?budget ?props ?chars s =
+  Result.bind (parse s) @@ fun f ->
+  Result.bind (alphabet ?props ?chars [ f ]) @@ fun alpha ->
+  classify_formula ?budget alpha f
+
+(* ------------------------------------------------------------------ *)
+(* Views, equivalence, witnesses, lint                                 *)
+(* ------------------------------------------------------------------ *)
+
+type views = {
+  canon : Logic.Rewrite.canon;
+  automaton : Omega.Automaton.t;
+  safety_part : Omega.Automaton.t;
+  liveness_part : Omega.Automaton.t;
+  model : Finitary.Word.lasso option;
+}
+
+let views ?(budget = Budget.unlimited) alpha f =
+  protect ~budget @@ fun () ->
+  match Logic.Rewrite.to_canon f with
+  | None -> None
+  | Some canon ->
+      let automaton = Omega.Of_formula.of_canon ~budget alpha canon in
+      let safety_part, liveness_part =
+        Omega.Lang.safety_liveness_decomposition automaton
+      in
+      Some
+        {
+          canon;
+          automaton;
+          safety_part;
+          liveness_part;
+          model = Omega.Lang.witness automaton;
+        }
+
+type side = First_only | Second_only
+
+let equiv ?(budget = Budget.unlimited) alpha f1 f2 =
+  protect ~budget @@ fun () ->
+  if Logic.Tableau.equiv ~budget alpha f1 f2 then `Equivalent
+  else
+    let open Logic.Formula in
+    let w =
+      match Logic.Tableau.witness ~budget alpha (And (f1, Not f2)) with
+      | Some w -> Some (w, First_only)
+      | None -> (
+          match Logic.Tableau.witness ~budget alpha (And (f2, Not f1)) with
+          | Some w -> Some (w, Second_only)
+          | None -> None)
+    in
+    `Distinct w
+
+let witness ?(budget = Budget.unlimited) alpha f =
+  protect ~budget @@ fun () -> Logic.Tableau.witness ~budget alpha f
+
+let lint ?(budget = Budget.unlimited) specs =
+  protect ~budget @@ fun () -> Lint.lint_strings ~budget specs
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_verdict ppf = function
+  | Exact k ->
+      Fmt.pf ppf "%s  (Borel %s; topologically %s)" (Kappa.name k)
+        (Kappa.borel_name k) (Kappa.topological_name k)
+  | Interval { lower; upper } -> (
+      match (lower, upper) with
+      | None, None -> Fmt.pf ppf "unknown"
+      | Some l, None -> Fmt.pf ppf "at least %s" (Kappa.name l)
+      | None, Some u -> Fmt.pf ppf "at most %s" (Kappa.name u)
+      | Some l, Some u ->
+          Fmt.pf ppf "between %s and %s" (Kappa.name l) (Kappa.name u))
+
+let pp_report ppf r =
+  let yn = function
+    | Some true -> "yes"
+    | Some false -> "no"
+    | None -> "?"
+  in
+  Fmt.pf ppf "@[<v>class        : %a@," pp_verdict r.verdict;
+  (match r.exhausted with
+  | Some e -> Fmt.pf ppf "degraded     : %a@," Budget.pp_exhaustion e
+  | None -> ());
+  (match r.syntactic with
+  | Some k -> Fmt.pf ppf "syntactic    : %s@," (Kappa.name k)
+  | None -> ());
+  if r.memberships <> [] then
+    Fmt.pf ppf "memberships  : %s@,"
+      (String.concat ", "
+         (List.map
+            (fun (k, b) -> Printf.sprintf "%s=%s" (Kappa.name k) (yn b))
+            r.memberships));
+  if r.is_liveness <> None || r.is_uniform_liveness <> None then
+    Fmt.pf ppf "liveness     : %s (uniform: %s)@," (yn r.is_liveness)
+      (yn r.is_uniform_liveness);
+  if r.counter_free <> None then
+    Fmt.pf ppf "counter-free : %s (LTL-expressible)@," (yn r.counter_free);
+  match r.n_states with
+  | Some n -> Fmt.pf ppf "states       : %d@]" n
+  | None -> Fmt.pf ppf "states       : (not translated)@]"

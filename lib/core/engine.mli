@@ -1,0 +1,150 @@
+(** The result-typed front door of the library.
+
+    Every entry point returns [(_, error) result]: the five legacy
+    exceptions of the lower layers ({!Omega.Cycles.Too_large},
+    {!Omega.Counter_free.Monoid_too_large},
+    {!Omega.Classify.Rank_too_hard}, {!Fts.System.State_space_too_large},
+    {!Logic.Tableau.Unsupported}), the conversion precondition failure
+    {!Omega.Convert.Not_in_class}, parser [Invalid_argument]s and budget
+    trips are all folded into {!type:error} — no exception escapes.
+
+    Exhaustion of a {!Budget.t} {e degrades} rather than fails:
+    {!classify_formula} and friends return [Ok] with a partial
+    {!type:report} whose {!type:verdict} is a sound {!Kappa.leq}
+    interval computed from the membership columns that completed, and
+    whose [exhausted] field says why and after how much work the run
+    stopped.  Entry points with no meaningful partial answer ([equiv],
+    [witness], [lint], [views]) return [Error (Budget_exceeded _)]
+    instead. *)
+
+type verdict =
+  | Exact of Kappa.t  (** the class, precisely *)
+  | Interval of { lower : Kappa.t option; upper : Kappa.t option }
+      (** sound enclosure: the exact class [k] satisfies
+          [lower <= k <= upper] in {!Kappa.leq} whenever the bound is
+          present.  [upper] is the syntactic class when the formula is
+          canonical (always a sound upper bound). *)
+
+type report = {
+  verdict : verdict;
+  syntactic : Kappa.t option;
+      (** class of the canonical formula, when one was supplied *)
+  memberships : (Kappa.t * bool option) list;
+      (** one row of Figure 1's membership matrix; [None] past the
+          point where the budget tripped *)
+  is_liveness : bool option;
+  is_uniform_liveness : bool option;
+  counter_free : bool option;
+      (** the three SL/expressibility bits; [None] when the budget
+          tripped before they were computed *)
+  n_states : int option;
+      (** automaton size; [None] when the formula is outside the
+          canonical fragment or translation was interrupted *)
+  exhausted : Budget.exhaustion option;
+      (** [Some _] iff this is a degraded (partial) report *)
+}
+
+type error =
+  | Parse_error of string  (** syntax error in a formula *)
+  | Invalid_input of string  (** bad alphabet, atoms, arguments *)
+  | Unsupported of string  (** outside the decidable tableau fragment *)
+  | Not_in_class of string  (** shape-conversion precondition failed *)
+  | Budget_exceeded of Budget.exhaustion
+      (** fuel / deadline / structural limit, with no partial answer *)
+  | Internal of string  (** a bug: an exception we did not classify *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_error : Format.formatter -> error -> unit
+(** One line, no backtrace, suitable for [error: %a] on stderr. *)
+
+val exit_code : error -> int
+(** CLI convention: 1 for usage/parse/validation errors, 2 for
+    [Budget_exceeded], 3 for [Internal]. *)
+
+val protect : ?budget:Budget.t -> (unit -> 'a) -> ('a, error) result
+(** Run a thunk under the engine's exception boundary: every known
+    exception becomes the corresponding {!type:error}; anything else
+    becomes [Internal].  [budget] is only used to stamp the tick count
+    on structural-limit exhaustions. *)
+
+(** {2 Classification} *)
+
+val classify_automaton :
+  ?budget:Budget.t ->
+  ?formula:Logic.Formula.t ->
+  Omega.Automaton.t ->
+  (report, error) result
+(** Classify a property given as a deterministic omega-automaton.  On
+    budget exhaustion the report degrades to an interval verdict. *)
+
+val classify_formula :
+  ?budget:Budget.t ->
+  Finitary.Alphabet.t ->
+  Logic.Formula.t ->
+  (report, error) result
+(** Translate (if canonical) and classify.  Outside the canonical
+    fragment the report has [n_states = None], [exhausted = None] and
+    an interval verdict bounded above by the syntactic class. *)
+
+val classify :
+  ?budget:Budget.t ->
+  ?props:string ->
+  ?chars:string ->
+  string ->
+  (report, error) result
+(** Parse, infer the alphabet ([--props] / [--chars] style, or the
+    formula's atoms), translate, classify. *)
+
+(** {2 The other front-door operations} *)
+
+type views = {
+  canon : Logic.Rewrite.canon;
+  automaton : Omega.Automaton.t;
+  safety_part : Omega.Automaton.t;
+  liveness_part : Omega.Automaton.t;
+  model : Finitary.Word.lasso option;  (** a lasso model, if satisfiable *)
+}
+
+val views :
+  ?budget:Budget.t ->
+  Finitary.Alphabet.t ->
+  Logic.Formula.t ->
+  (views option, error) result
+(** All views of a canonical formula; [Ok None] outside the fragment. *)
+
+type side = First_only | Second_only
+
+val equiv :
+  ?budget:Budget.t ->
+  Finitary.Alphabet.t ->
+  Logic.Formula.t ->
+  Logic.Formula.t ->
+  ([ `Equivalent | `Distinct of (Finitary.Word.lasso * side) option ], error)
+  result
+(** Tableau equivalence with a distinguishing lasso when distinct. *)
+
+val witness :
+  ?budget:Budget.t ->
+  Finitary.Alphabet.t ->
+  Logic.Formula.t ->
+  (Finitary.Word.lasso option, error) result
+(** A model of the formula; [Ok None] when unsatisfiable. *)
+
+val lint :
+  ?budget:Budget.t -> (string * string) list -> (Lint.verdict, error) result
+(** Parse and lint a named-requirement specification. *)
+
+(** {2 Parsing and alphabets} *)
+
+val parse : string -> (Logic.Formula.t, error) result
+
+val alphabet :
+  ?props:string ->
+  ?chars:string ->
+  Logic.Formula.t list ->
+  (Finitary.Alphabet.t, error) result
+(** [--props]/[--chars]-style alphabet selection, falling back to the
+    atoms of the given formulas. *)

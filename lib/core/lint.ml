@@ -12,7 +12,7 @@ type verdict = {
   conjunction_class : Kappa.t option;
 }
 
-let lint specs =
+let lint ?budget specs =
   let atoms =
     List.sort_uniq compare
       (List.concat_map (fun (_, f) -> Logic.Formula.atoms f) specs)
@@ -27,9 +27,9 @@ let lint specs =
         {
           iname;
           formula;
-          klass = Omega.Of_formula.classify alpha formula;
-          satisfiable = Logic.Tableau.satisfiable alpha formula;
-          valid = Logic.Tableau.valid alpha formula;
+          klass = Omega.Of_formula.classify ?budget alpha formula;
+          satisfiable = Logic.Tableau.satisfiable ?budget alpha formula;
+          valid = Logic.Tableau.valid ?budget alpha formula;
         })
       specs
   in
@@ -61,7 +61,7 @@ let lint specs =
        consider adding a guarantee, recurrence or reactivity requirement";
   let conjunction_class =
     let conj = Logic.Formula.conj (List.map (fun (_, f) -> f) specs) in
-    Omega.Of_formula.classify alpha conj
+    Omega.Of_formula.classify ?budget alpha conj
   in
   (match conjunction_class with
   | Some k ->
@@ -72,8 +72,8 @@ let lint specs =
   | None -> ());
   { items; warnings = List.rev !warnings; conjunction_class }
 
-let lint_strings specs =
-  lint (List.map (fun (n, s) -> (n, Logic.Parser.parse s)) specs)
+let lint_strings ?budget specs =
+  lint ?budget (List.map (fun (n, s) -> (n, Logic.Parser.parse s)) specs)
 
 let pp_verdict ppf v =
   Fmt.pf ppf "@[<v>";

@@ -26,10 +26,12 @@ type verdict = {
 }
 
 (** [lint specs]: classify each named requirement; the alphabet is the
-    set of propositions mentioned across the specification. *)
-val lint : (string * Logic.Formula.t) list -> verdict
+    set of propositions mentioned across the specification.  [budget] is
+    shared by all translations and tableau constructions and interrupts
+    them with [Budget.Tripped]. *)
+val lint : ?budget:Budget.t -> (string * Logic.Formula.t) list -> verdict
 
 (** Parse each requirement, then lint. *)
-val lint_strings : (string * string) list -> verdict
+val lint_strings : ?budget:Budget.t -> (string * string) list -> verdict
 
 val pp_verdict : verdict Fmt.t

@@ -57,15 +57,17 @@ let fairness_acc sys labels n_labels =
   in
   Acceptance.And conjuncts
 
-let split_graph sys n_labels =
+let split_graph ~budget sys n_labels =
   let states = System.internal_states sys in
   let n_states = Array.length states in
   let n = n_states * n_labels in
+  Budget.ticks budget n;
   let succ = Array.make n [] in
   List.iter
     (fun (src, t, dst) ->
       (* system edge with transition index t (0 = idle) enters node
          (dst, t + 1) from every node at state src *)
+      Budget.tick budget;
       for lab = 0 to n_labels - 1 do
         let v = (src * n_labels) + lab in
         succ.(v) <- ((dst * n_labels) + t + 1) :: succ.(v)
@@ -73,11 +75,11 @@ let split_graph sys n_labels =
     (System.internal_edges sys);
   { Graph.n; succ }
 
-let check_with_acc sys spec_formula =
+let check_with_acc ~budget sys spec_formula =
   let labels = labels_of sys in
   let n_labels = Array.length labels in
   let states = System.internal_states sys in
-  let graph = split_graph sys n_labels in
+  let graph = split_graph ~budget sys n_labels in
   let starts =
     List.map (fun sid -> sid * n_labels) (System.internal_init_ids sys)
   in
@@ -92,7 +94,7 @@ let check_with_acc sys spec_formula =
         invalid_arg "Check: too many distinct atoms in the specification";
       let alpha = Alphabet.of_props atoms in
       let spec =
-        match Omega.Of_formula.translate alpha f with
+        match Omega.Of_formula.translate ~budget alpha f with
         | Some a -> a
         | None ->
             invalid_arg
@@ -111,11 +113,13 @@ let check_with_acc sys spec_formula =
       (* product with the complement of the spec *)
       let m = spec.Omega.Automaton.n in
       let pn = graph.Graph.n * m in
+      Budget.ticks budget pn;
       let psucc = Array.make pn [] in
       for v = 0 to graph.Graph.n - 1 do
         List.iter
           (fun w ->
             let lw = letter_of w in
+            Budget.ticks budget m;
             for q = 0 to m - 1 do
               let q' = Omega.Automaton.step spec q lw in
               psucc.((v * m) + q) <- ((w * m) + q') :: psucc.((v * m) + q)
@@ -166,18 +170,18 @@ let trace_of sys n_labels project (s0, pre, cyc) =
   in
   { prefix = List.map node (s0 :: pre); cycle = List.map node cyc }
 
-let holds sys f =
+let holds ?(budget = Budget.unlimited) sys f =
   let labels = labels_of sys in
   let n_labels = Array.length labels in
-  let graph, starts, acc, project = check_with_acc sys (Some f) in
+  let graph, starts, acc, project = check_with_acc ~budget sys (Some f) in
   match Graph.find_accepting_lasso graph ~starts acc with
   | None -> Holds
   | Some lasso -> Fails (trace_of sys n_labels project lasso)
 
-let holds_s sys s = holds sys (Logic.Parser.parse s)
+let holds_s ?budget sys s = holds ?budget sys (Logic.Parser.parse s)
 
-let has_fair_computation sys =
-  let graph, starts, acc, _ = check_with_acc sys None in
+let has_fair_computation ?(budget = Budget.unlimited) sys =
+  let graph, starts, acc, _ = check_with_acc ~budget sys None in
   Graph.find_accepting_lasso graph ~starts acc <> None
 
 let pp_trace sys ppf { prefix; cycle } =

@@ -23,14 +23,16 @@ type result = Holds | Fails of trace
 (** [holds sys f]: do all fair computations of the system satisfy [f]?
     Returns a fair counterexample computation otherwise.
     Raises [Invalid_argument] if [f] is outside the canonical fragment
-    of {!Logic.Rewrite} or mentions unknown atoms. *)
-val holds : System.t -> Logic.Formula.t -> result
+    of {!Logic.Rewrite} or mentions unknown atoms.  [budget] is charged
+    per split-graph node and edge and per product state, so the check is
+    interrupted by [Budget.Tripped] when it runs out. *)
+val holds : ?budget:Budget.t -> System.t -> Logic.Formula.t -> result
 
 (** Parse and check. *)
-val holds_s : System.t -> string -> result
+val holds_s : ?budget:Budget.t -> System.t -> string -> result
 
 (** Is there any fair computation at all (sanity check: a system with no
     fair computations satisfies everything vacuously)? *)
-val has_fair_computation : System.t -> bool
+val has_fair_computation : ?budget:Budget.t -> System.t -> bool
 
 val pp_trace : System.t -> trace Fmt.t

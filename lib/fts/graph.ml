@@ -86,17 +86,26 @@ let find_accepting_lasso g ~starts acc =
       let ok_all v = seen.(v) in
       let ok_comp v = Iset.mem v in_comp in
       let anchor = List.hd comp in
-      let start = List.hd starts in
+      (* the SCC was found among nodes reachable from [starts] and is
+         strongly connected, so these searches cannot miss; if one does,
+         the graph or SCC kernel broke an invariant — name the node
+         rather than dying with a bare [Assert_failure] *)
+      let internal_error what v =
+        invalid_arg
+          (Printf.sprintf
+             "Graph.find_accepting_lasso: internal invariant broken: %s \
+              (node %d, anchor %d)"
+             what v anchor)
+      in
       let prefix =
         (* try all starts for a path to the anchor *)
         let rec try_starts = function
-          | [] -> assert false
+          | [] -> internal_error "accepting SCC unreachable from any start" anchor
           | s :: rest -> (
               match path g ~ok:ok_all s (fun v -> v = anchor) with
               | Some p -> (s, p)
               | None -> try_starts rest)
         in
-        ignore start;
         try_starts starts
       in
       let reps =
@@ -104,7 +113,7 @@ let find_accepting_lasso g ~starts acc =
           (fun inf ->
             match List.find_opt (fun v -> Iset.mem v inf) comp with
             | Some v -> v
-            | None -> assert false)
+            | None -> internal_error "Inf set misses the chosen SCC" anchor)
           infs
       in
       let rec tour cur targets acc_path =
@@ -112,7 +121,7 @@ let find_accepting_lasso g ~starts acc =
         | t :: rest -> (
             match path g ~ok:ok_comp cur (fun v -> v = t) with
             | Some p -> tour t rest (acc_path @ p)
-            | None -> assert false)
+            | None -> internal_error "representative unreachable within SCC" t)
         | [] -> (
             let back =
               List.find_map
@@ -126,7 +135,7 @@ let find_accepting_lasso g ~starts acc =
             in
             match back with
             | Some p -> acc_path @ p
-            | None -> assert false)
+            | None -> internal_error "no closing step back to anchor" cur)
       in
       let s0, pre = prefix in
       Some (s0, pre @ [], tour anchor reps [])

@@ -29,7 +29,8 @@ let fairness_name = function Weak n -> n | Strong n -> n
 
 let idle_name = "idle"
 
-let make ?(max_states = 200_000) ~vars ~init ~transitions ~fairness () =
+let make ?(budget = Budget.unlimited) ?(max_states = 200_000) ~vars ~init
+    ~transitions ~fairness () =
   let var_index = Hashtbl.create 16 in
   List.iteri
     (fun i v ->
@@ -71,6 +72,7 @@ let make ?(max_states = 200_000) ~vars ~init ~transitions ~fairness () =
     match Hashtbl.find_opt state_index s with
     | Some i -> (i, true)
     | None ->
+        Budget.tick budget;
         let i = !count in
         incr count;
         if i >= max_states then raise (State_space_too_large i);

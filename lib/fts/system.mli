@@ -42,8 +42,11 @@ type t
 
 (** [make ~vars ~init ~transitions ~fairness ()] declares a system.
     [init] lists the initial states.  Transition names must be distinct;
-    fairness requirements must name declared transitions. *)
+    fairness requirements must name declared transitions.  [budget] is
+    charged once per interned reachable state; a fuel or deadline budget
+    interrupts the eager exploration with [Budget.Tripped]. *)
 val make :
+  ?budget:Budget.t ->
   ?max_states:int ->
   vars:var list ->
   init:state list ->

@@ -1,0 +1,126 @@
+type reason =
+  | Fuel
+  | Deadline
+  | Injected
+  | Limit of { what : string; size : int }
+
+type exhaustion = { reason : reason; spent : int }
+
+exception Tripped of exhaustion
+
+type t = {
+  mutable remaining : int;  (* fuel left; [max_int] means no fuel limit *)
+  mutable used : int;
+  injected : bool;
+  deadline : float;  (* absolute wall-clock time; [infinity] means none *)
+  mutable tripped : exhaustion option;
+}
+
+let unlimited =
+  {
+    remaining = max_int;
+    used = 0;
+    injected = false;
+    deadline = infinity;
+    tripped = None;
+  }
+
+let make ?fuel ?timeout_ms () =
+  let remaining =
+    match fuel with
+    | None -> max_int
+    | Some f ->
+        if f <= 0 then invalid_arg "Budget.make: fuel must be positive";
+        f
+  in
+  let deadline =
+    match timeout_ms with
+    | None -> infinity
+    | Some ms ->
+        if ms <= 0. then invalid_arg "Budget.make: timeout must be positive";
+        Unix.gettimeofday () +. (ms /. 1000.)
+  in
+  { remaining; used = 0; injected = false; deadline; tripped = None }
+
+let inject_trip_at n =
+  {
+    remaining = max n 1;
+    used = 0;
+    injected = true;
+    deadline = infinity;
+    tripped = None;
+  }
+
+let trip b reason =
+  let e =
+    match b.tripped with
+    | Some e -> e
+    | None ->
+        let e = { reason; spent = b.used } in
+        b.tripped <- Some e;
+        e
+  in
+  raise (Tripped e)
+
+let fuel_reason b = if b.injected then Injected else Fuel
+
+(* Deadline polling is amortized: the clock is read once per 256 ticks.
+   Unlimited budgets take the first branch — no field writes at all. *)
+let tick b =
+  match b.tripped with
+  | Some e -> raise (Tripped e)
+  | None ->
+      if b.remaining == max_int && b.deadline == infinity then ()
+      else begin
+        b.used <- b.used + 1;
+        if b.remaining <> max_int then begin
+          b.remaining <- b.remaining - 1;
+          if b.remaining <= 0 then trip b (fuel_reason b)
+        end;
+        if
+          b.deadline < infinity
+          && b.used land 255 = 0
+          && Unix.gettimeofday () > b.deadline
+        then trip b Deadline
+      end
+
+let ticks b n =
+  match b.tripped with
+  | Some e -> raise (Tripped e)
+  | None ->
+      if b.remaining == max_int && b.deadline == infinity then ()
+      else if n > 0 then begin
+        b.used <- b.used + n;
+        if b.remaining <> max_int then begin
+          b.remaining <- b.remaining - n;
+          if b.remaining <= 0 then trip b (fuel_reason b)
+        end;
+        if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
+          trip b Deadline
+      end
+
+let check b =
+  match b.tripped with
+  | Some e -> raise (Tripped e)
+  | None ->
+      if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
+        trip b Deadline
+
+let spent b = b.used
+
+let exhausted b = b.tripped
+
+let is_unlimited b =
+  b.remaining == max_int && b.deadline == infinity && b.tripped = None
+
+let structural b ~what ~size =
+  { reason = Limit { what; size }; spent = b.used }
+
+let pp_reason ppf = function
+  | Fuel -> Format.pp_print_string ppf "fuel exhausted"
+  | Deadline -> Format.pp_print_string ppf "deadline passed"
+  | Injected -> Format.pp_print_string ppf "injected fault"
+  | Limit { what; size } -> Format.fprintf ppf "%s (size %d)" what size
+
+let pp_exhaustion ppf { reason; spent = n } =
+  Format.fprintf ppf "%a after %d ticks" pp_reason reason n

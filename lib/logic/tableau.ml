@@ -130,7 +130,9 @@ let negated_lit = function
   | NLit (LPast (i, b)) -> Some (NLit (LPast (i, not b)))
   | NTrue | NFalse | NAnd _ | NOr _ | NNext _ | NUntil _ | NRelease _ -> None
 
-let rec expand g ~incoming ~new_ ~old ~next =
+let rec expand ~budget g ~incoming ~new_ ~old ~next =
+  Budget.tick budget;
+  let expand = expand ~budget in
   match NSet.choose_opt new_ with
   | None -> (
       match
@@ -181,9 +183,9 @@ let rec expand g ~incoming ~new_ ~old ~next =
               ~new_:(NSet.add f1 (NSet.add f2 new_))
               ~old:(NSet.add eta old) ~next)
 
-let build_graph phi =
+let build_graph ~budget phi =
   let g = { nodes = []; fresh = 0 } in
-  expand g ~incoming:(ISet.singleton 0) ~new_:(NSet.singleton phi)
+  expand ~budget g ~incoming:(ISet.singleton 0) ~new_:(NSet.singleton phi)
     ~old:NSet.empty ~next:NSet.empty;
   g.nodes
 
@@ -206,10 +208,10 @@ type nba = {
 
 let size a = a.n
 
-let translate alpha f =
+let translate ?(budget = Budget.unlimited) alpha f =
   let skeleton, pasts = extract_pasts f in
   let phi = nnf skeleton in
-  let nodes = build_graph phi in
+  let nodes = build_graph ~budget phi in
   let tester = Past_tester.make alpha (Array.to_list pasts) in
   let untils = List.sort_uniq Stdlib.compare (untils_of phi) in
   (* concrete states: (node id, tester state), interned; 0 = pre-initial *)
@@ -270,6 +272,7 @@ let translate alpha f =
   in
   Hashtbl.add succ_assoc 0 init_succs;
   while not (Queue.is_empty queue) do
+    Budget.tick budget;
     let i, (node_id, ts) = Queue.pop queue in
     if not (Hashtbl.mem succ_assoc i) then begin
       let sucs =
@@ -342,13 +345,13 @@ let nonempty a =
     (Array.map (fun s -> ISet.filter (fun v -> seen.(v)) s) a.acc_sets)
     (fun v -> seen.(v))
 
-let satisfiable alpha f = nonempty (translate alpha f)
+let satisfiable ?budget alpha f = nonempty (translate ?budget alpha f)
 
-let valid alpha f = not (satisfiable alpha (Formula.Not f))
+let valid ?budget alpha f = not (satisfiable ?budget alpha (Formula.Not f))
 
-let equiv alpha f g = valid alpha (Formula.Iff (f, g))
+let equiv ?budget alpha f g = valid ?budget alpha (Formula.Iff (f, g))
 
-let implies alpha f g = valid alpha (Formula.Imp (f, g))
+let implies ?budget alpha f g = valid ?budget alpha (Formula.Imp (f, g))
 
 (* ------------------------------------------------------------------ *)
 (* Witness extraction                                                  *)
@@ -391,8 +394,8 @@ let shortest_path succs src dsts =
         Some (build dst [])
   end
 
-let witness alpha f =
-  let a = translate alpha f in
+let witness ?budget alpha f =
+  let a = translate ?budget alpha f in
   let seen = reachable_from a 0 in
   let succs v = if seen.(v) then a.succ.(v) else [] in
   let comps =

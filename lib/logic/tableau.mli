@@ -21,27 +21,36 @@ exception Unsupported of string
 type nba
 
 (** [translate alpha f]: automaton accepting exactly the infinite words
-    over [alpha] satisfying [f]. *)
-val translate : Finitary.Alphabet.t -> Formula.t -> nba
+    over [alpha] satisfying [f].  [budget] is ticked once per tableau
+    node expansion and once per concrete product state, so fuel and
+    deadline budgets interrupt the (worst-case exponential)
+    construction with [Budget.Tripped]. *)
+val translate : ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> nba
 
 (** Number of concrete automaton states. *)
 val size : nba -> int
 
 (** Does some infinite word satisfy the formula? *)
-val satisfiable : Finitary.Alphabet.t -> Formula.t -> bool
+val satisfiable : ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> bool
 
 (** Do all infinite words satisfy it? *)
-val valid : Finitary.Alphabet.t -> Formula.t -> bool
+val valid : ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> bool
 
 (** [equiv alpha f g]: the paper's [f ~ g] — [f <-> g] is valid (over the
     given alphabet). *)
-val equiv : Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
+val equiv :
+  ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
 
 (** [implies alpha f g]: [f -> g] is valid. *)
-val implies : Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
+val implies :
+  ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
 
 (** A lasso word satisfying the formula, if any. *)
-val witness : Finitary.Alphabet.t -> Formula.t -> Finitary.Word.lasso option
+val witness :
+  ?budget:Budget.t ->
+  Finitary.Alphabet.t ->
+  Formula.t ->
+  Finitary.Word.lasso option
 
 (** Does the automaton accept the lasso?  (Exact; used to cross-check the
     translation against {!Semantics}.) *)

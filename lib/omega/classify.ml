@@ -149,7 +149,8 @@ exception Rank_too_hard of int
    handles the dense case where every subset of the SCC's cycle support
    is itself a cycle (then single-element refinement steps are always
    available). *)
-let reactivity_rank_raw ?(max_cycles = 4000) ?max_scc (a : Automaton.t) =
+let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
+    ?max_scc (a : Automaton.t) =
   let best = ref 0 in
   List.iter
     (fun group ->
@@ -181,6 +182,7 @@ let reactivity_rank_raw ?(max_cycles = 4000) ?max_scc (a : Automaton.t) =
         (* masks in popcount order: iterate masks increasingly; a submask
            obtained by clearing a bit is smaller, so plain order works *)
         for mask = 1 to (1 lsl size) - 1 do
+          Budget.tick budget;
           let here = ref (if flag.(mask) then -1 else 1) in
           let bits = ref mask in
           while !bits <> 0 do
@@ -204,6 +206,7 @@ let reactivity_rank_raw ?(max_cycles = 4000) ?max_scc (a : Automaton.t) =
           cycles;
         let d = Array.make m 0 in
         for i = 0 to m - 1 do
+          Budget.tick budget;
           let ci, fi = cycles.(i) in
           d.(i) <- (if fi then 0 else 1);
           for j = 0 to i - 1 do
@@ -217,11 +220,11 @@ let reactivity_rank_raw ?(max_cycles = 4000) ?max_scc (a : Automaton.t) =
           if fi then best := max !best (d.(i) / 2)
         done
       end)
-    (Cycles.enumerate ?max_scc a);
+    (Cycles.enumerate ~budget ?max_scc a);
   !best
 
-let reactivity_rank ?max_scc a =
-  let n = reactivity_rank_raw ?max_scc a in
+let reactivity_rank ?budget ?max_scc a =
+  let n = reactivity_rank_raw ?budget ?max_scc a in
   if n > 0 then n
   else if Lang.is_universal a then 0
   else 1
@@ -268,19 +271,102 @@ let classify a =
   | Classified k -> k
   | Cycle_limited { lower_bound; _ } -> lower_bound
 
-let memberships a =
-  [
-    (Kappa.Safety, Some (is_safety a));
-    (Kappa.Guarantee, Some (is_guarantee a));
-    ( Kappa.Obligation 1,
-      Some
-        (is_obligation a
-        && match obligation_degree a with Some d -> d <= 1 | None -> false)
-    );
-    (Kappa.Recurrence, Some (is_recurrence a));
-    (Kappa.Persistence, Some (is_persistence a));
-    ( Kappa.Reactivity 1,
-      match reactivity_rank_raw a with
-      | n -> Some (n <= 1)
-      | exception (Cycles.Too_large _ | Rank_too_hard _) -> None );
-  ]
+(* ------------------------------------------------------------------ *)
+(* Budget-aware classification: the uniform degradation mechanism      *)
+(* ------------------------------------------------------------------ *)
+
+type interval = { at_least : Kappa.t option; at_most : Kappa.t option }
+
+type budgeted = {
+  verdict : [ `Exact of Kappa.t | `Interval of interval ];
+  row : (Kappa.t * bool option) list;
+  exhaustion : Budget.exhaustion option;
+}
+
+(* One pass over the membership columns in hierarchy order, each column
+   guarded against budget trips and the legacy structural limits.  The
+   guard is sticky: once anything trips, every later column is skipped
+   (reported as [None]), so the completed columns always form a prefix
+   of the sequence safety, guarantee, obligation, recurrence,
+   persistence, rank — which is exactly what makes the interval
+   computation below a case analysis on that prefix. *)
+let classify_budgeted ?(budget = Budget.unlimited) ?max_scc a =
+  let exhaustion = ref None in
+  let guard what f =
+    match !exhaustion with
+    | Some _ -> None
+    | None -> (
+        try
+          Budget.check budget;
+          Some (f ())
+        with
+        | Budget.Tripped e ->
+            exhaustion := Some e;
+            None
+        | Cycles.Too_large n ->
+            exhaustion :=
+              Some
+                (Budget.structural budget
+                   ~what:(what ^ ": SCC too large for cycle enumeration")
+                   ~size:n);
+            None
+        | Rank_too_hard n ->
+            exhaustion :=
+              Some
+                (Budget.structural budget
+                   ~what:(what ^ ": cycle family too large for rank search")
+                   ~size:n);
+            None)
+  in
+  let saf = guard "safety" (fun () -> is_safety a) in
+  let gua = guard "guarantee" (fun () -> is_guarantee a) in
+  (* [obligation_degree] is [Some d] iff the property is an obligation
+     (of degree d), so one guarded call decides both the class test and
+     the degree *)
+  let deg = guard "obligation" (fun () -> obligation_degree a) in
+  let recu = guard "recurrence" (fun () -> is_recurrence a) in
+  let pers = guard "persistence" (fun () -> is_persistence a) in
+  let rank = guard "reactivity" (fun () -> reactivity_rank ~budget ?max_scc a) in
+  let row =
+    [
+      (Kappa.Safety, saf);
+      (Kappa.Guarantee, gua);
+      ( Kappa.Obligation 1,
+        Option.map (function Some d -> d <= 1 | None -> false) deg );
+      (Kappa.Recurrence, recu);
+      (Kappa.Persistence, pers);
+      (Kappa.Reactivity 1, Option.map (fun r -> r <= 1) rank);
+    ]
+  in
+  let verdict =
+    (* same priority order as [classify_outcome]; a [None] column means
+       the budget tripped there, and every class below it was excluded,
+       which yields the sound lower bound of the degraded interval *)
+    match (saf, gua, deg, recu, pers, rank) with
+    | Some true, _, _, _, _, _ -> `Exact Kappa.Safety
+    | None, _, _, _, _, _ -> `Interval { at_least = None; at_most = None }
+    | Some false, Some true, _, _, _, _ -> `Exact Kappa.Guarantee
+    | Some false, None, _, _, _, _ ->
+        `Interval { at_least = Some Kappa.Guarantee; at_most = None }
+    | Some false, Some false, Some (Some d), _, _, _ ->
+        `Exact (Kappa.Obligation (max 1 d))
+    | Some false, Some false, None, _, _, _ ->
+        `Interval { at_least = Some (Kappa.Obligation 1); at_most = None }
+    | Some false, Some false, Some None, Some true, _, _ ->
+        `Exact Kappa.Recurrence
+    | Some false, Some false, Some None, None, _, _ ->
+        (* not an obligation, so at least recurrence or persistence;
+           the strongest single lower bound below both is obligation *)
+        `Interval { at_least = Some (Kappa.Obligation 1); at_most = None }
+    | Some false, Some false, Some None, Some false, Some true, _ ->
+        `Exact Kappa.Persistence
+    | Some false, Some false, Some None, Some false, None, _ ->
+        `Interval { at_least = Some Kappa.Persistence; at_most = None }
+    | Some false, Some false, Some None, Some false, Some false, Some r ->
+        `Exact (Kappa.Reactivity (max 1 r))
+    | Some false, Some false, Some None, Some false, Some false, None ->
+        `Interval { at_least = Some (Kappa.Reactivity 1); at_most = None }
+  in
+  { verdict; row; exhaustion = !exhaustion }
+
+let memberships a = (classify_budgeted a).row

@@ -54,8 +54,9 @@ val obligation_degree : Automaton.t -> int option
     {!Cycles.Too_large} beyond [max_scc] states in one SCC (default 22)
     and {!Rank_too_hard} when the enumerated cycle family is too big —
     use {!reactivity_rank_opt} or {!classify_outcome} for a total
-    interface. *)
-val reactivity_rank : ?max_scc:int -> Automaton.t -> int
+    interface.  [budget] interrupts the enumeration and the chain
+    search with [Budget.Tripped] (caught by {!classify_budgeted}). *)
+val reactivity_rank : ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> int
 
 (** [None] when the enumeration budget is exceeded; never raises. *)
 val reactivity_rank_opt : ?max_scc:int -> Automaton.t -> int option
@@ -80,3 +81,34 @@ val classify : Automaton.t -> Kappa.t
     reactivity column is [None] when cycle enumeration exceeded its
     budget; the five polynomially-decided columns are always [Some]. *)
 val memberships : Automaton.t -> (Kappa.t * bool option) list
+
+(** {2 Budget-aware classification}
+
+    The uniform degradation mechanism behind [Hierarchy.Engine]: run
+    the membership columns in hierarchy order under a {!Budget.t}, and
+    when the budget (or a structural limit) trips, return a sound
+    {e lattice interval} computed from the columns that completed
+    instead of raising.  Generalizes the [Cycle_limited] special case
+    of {!classify_outcome} to arbitrary fuel / deadline budgets. *)
+
+(** A sound enclosure of the property's class: the exact class [k]
+    satisfies [at_least <= k <= at_most] (in {!Kappa.leq}) whenever the
+    respective bound is present.  [None] means unbounded on that side. *)
+type interval = { at_least : Kappa.t option; at_most : Kappa.t option }
+
+type budgeted = {
+  verdict : [ `Exact of Kappa.t | `Interval of interval ];
+      (** [`Exact] agrees with {!classify} whenever the budget did not
+          trip; [`Interval] is the degraded partial verdict *)
+  row : (Kappa.t * bool option) list;
+      (** the membership row; columns after the trip point are [None] *)
+  exhaustion : Budget.exhaustion option;
+      (** why (and after how much work) degradation happened *)
+}
+
+(** Total: never raises, whatever the budget.  With the default
+    unlimited budget, [verdict] is [`Exact (classify a)] unless the
+    structural cycle-enumeration limits trip (then the interval's
+    lower bound matches [classify_outcome]'s). *)
+val classify_budgeted :
+  ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> budgeted

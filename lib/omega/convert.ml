@@ -23,9 +23,9 @@ let to_guarantee a =
    good cycles C (accepted by the whole condition) that avoid X and so
    satisfy the clause through its Fin part.  Preserves the language when
    it is a recurrence property (the paper's pumping argument). *)
-let saturate_clauses (a : Automaton.t) =
+let saturate_clauses ?budget (a : Automaton.t) =
   let clauses = Acceptance.cnf a.acc in
-  let cycle_groups = Cycles.enumerate a in
+  let cycle_groups = Cycles.enumerate ?budget a in
   let good_cycles =
     List.concat_map
       (fun group ->
@@ -45,7 +45,8 @@ let saturate_clauses (a : Automaton.t) =
 (* Step 2: generalized Buechi /\_j Inf S_j to a single Buechi via the
    usual waiting-index product (the paper's minex-style closure
    argument). *)
-let degeneralize (a : Automaton.t) sets =
+let degeneralize ?(budget = Budget.unlimited) (a : Automaton.t) sets =
+  Budget.ticks budget (a.n * max 1 (List.length sets));
   match sets with
   | [] -> Automaton.make ~alpha:a.alpha ~n:a.n ~start:a.start ~delta:a.delta ~acc:Acceptance.True
   | [ s ] ->
@@ -82,24 +83,25 @@ let degeneralize (a : Automaton.t) sets =
       Automaton.make ~alpha:a.alpha ~n ~start:(code a.start 0 false) ~delta
         ~acc:(Acceptance.Inf !accepting)
 
-let to_buchi a =
+let to_buchi ?budget a =
   require (Classify.is_recurrence a) "recurrence";
   let a = Automaton.trim a in
-  let sets = saturate_clauses a in
-  Automaton.trim (degeneralize a sets)
+  let sets = saturate_clauses ?budget a in
+  Automaton.trim (degeneralize ?budget a sets)
 
-let to_cobuchi a =
+let to_cobuchi ?budget a =
   require (Classify.is_persistence a) "persistence";
-  Automaton.trim (Automaton.complement (to_buchi (Automaton.complement a)))
+  Automaton.trim
+    (Automaton.complement (to_buchi ?budget (Automaton.complement a)))
 
 (* ------------------------------------------------------------------ *)
 (* Simple reactivity: the anticipation construction                     *)
 (* ------------------------------------------------------------------ *)
 
-let to_simple_reactivity (a : Automaton.t) =
+let to_simple_reactivity ?(budget = Budget.unlimited) (a : Automaton.t) =
   let a = Automaton.trim a in
-  require (Classify.reactivity_rank a <= 1) "simple reactivity";
-  let groups = Cycles.enumerate a in
+  require (Classify.reactivity_rank ~budget a <= 1) "simple reactivity";
+  let groups = Cycles.enumerate ~budget a in
   let all_cycles = List.concat groups in
   let accepting = List.filter_map (fun (c, f) -> if f then Some c else None) all_cycles in
   let superset_good j =
@@ -160,6 +162,7 @@ let to_simple_reactivity (a : Automaton.t) =
   Queue.add (i0, init) queue;
   let r_states = ref Iset.empty and p_states = ref Iset.empty in
   while not (Queue.is_empty queue) do
+    Budget.tick budget;
     let i, ((q, ant, _, j, _) as key) = Queue.pop queue in
     ignore key;
     let row =
@@ -200,10 +203,10 @@ let to_simple_reactivity (a : Automaton.t) =
   Automaton.trim
     (Automaton.make ~alpha:a.alpha ~n:n' ~start:i0 ~delta ~acc)
 
-let to_shape kappa a =
+let to_shape ?budget kappa a =
   match kappa with
   | Kappa.Safety -> to_safety a
   | Kappa.Guarantee -> to_guarantee a
-  | Kappa.Recurrence -> to_buchi a
-  | Kappa.Persistence -> to_cobuchi a
-  | Kappa.Obligation _ | Kappa.Reactivity _ -> to_simple_reactivity a
+  | Kappa.Recurrence -> to_buchi ?budget a
+  | Kappa.Persistence -> to_cobuchi ?budget a
+  | Kappa.Obligation _ | Kappa.Reactivity _ -> to_simple_reactivity ?budget a

@@ -43,13 +43,14 @@ let rec eval_mask acc m =
   | MAnd l -> List.for_all (fun a -> eval_mask a m) l
   | MOr l -> List.exists (fun a -> eval_mask a m) l
 
-let enumerate ?(max_scc = 22) (a : Automaton.t) =
+let enumerate ?(budget = Budget.unlimited) ?(max_scc = 22) (a : Automaton.t) =
   let reach = Automaton.reachable a in
   let comps =
     List.filter (fun comp -> reach.(List.hd comp)) (Automaton.sccs a)
   in
   List.filter_map
     (fun comp ->
+      Budget.tick budget;
       let size = List.length comp in
       if size > max_scc then raise (Too_large size);
       let states = Array.of_list comp in
@@ -109,6 +110,7 @@ let enumerate ?(max_scc = 22) (a : Automaton.t) =
       let out = ref [] in
       let full = (1 lsl size) - 1 in
       for m = 1 to full do
+        Budget.tick budget;
         if is_cycle_mask m then begin
           let c = ref Iset.empty in
           for i = 0 to size - 1 do
@@ -120,8 +122,8 @@ let enumerate ?(max_scc = 22) (a : Automaton.t) =
       match !out with [] -> None | l -> Some l)
     comps
 
-let accepting_family ?max_scc a =
+let accepting_family ?budget ?max_scc a =
   List.concat_map
     (fun group ->
       List.filter_map (fun (c, f) -> if f then Some c else None) group)
-    (enumerate ?max_scc a)
+    (enumerate ?budget ?max_scc a)

@@ -32,11 +32,16 @@ exception Too_large of int
 
 (** All accessible cycles, each paired with its acceptance flag
     ([true] iff the cycle satisfies the automaton's condition), grouped
-    by SCC.  [max_scc] defaults to 22. *)
-val enumerate : ?max_scc:int -> Automaton.t -> (Iset.t * bool) list list
+    by SCC.  [max_scc] defaults to 22.  [budget] is ticked once per
+    candidate subset — the exponential inner loop — so a fuel or
+    deadline budget interrupts the enumeration with [Budget.Tripped]
+    (caught at the classification boundary, like [Too_large]). *)
+val enumerate :
+  ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> (Iset.t * bool) list list
 
 (** The family [F] of accessible accepting cycles (flattened). *)
-val accepting_family : ?max_scc:int -> Automaton.t -> Iset.t list
+val accepting_family :
+  ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> Iset.t list
 
 (** Is the state set a cycle of the automaton (induced subgraph strongly
     connected, with at least one edge)? *)

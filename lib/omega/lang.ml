@@ -135,10 +135,20 @@ let witness (a : Automaton.t) =
       let in_comp = Iset.of_list comp in
       let ok_comp q = Iset.mem q in_comp && not (Iset.mem q fin) in
       let anchor = List.hd comp in
+      (* the SCC was selected among *reachable* components and is
+         strongly connected, so every path below must exist; a miss
+         means the automaton or the SCC computation broke an invariant,
+         which we want named, not reported as [Assert_failure] *)
+      let internal_error what q =
+        invalid_arg
+          (Printf.sprintf
+             "Lang.witness: internal invariant broken: %s (state %d, anchor %d)"
+             what q anchor)
+      in
       let prefix =
         match letter_path a ~ok:(fun _ -> true) a.start (fun q -> q = anchor) with
         | Some p -> p
-        | None -> assert false
+        | None -> internal_error "accepting SCC unreachable from start" a.start
       in
       (* closed walk inside the component visiting a representative of
          every Inf set, then back to the anchor, with at least one step *)
@@ -147,16 +157,15 @@ let witness (a : Automaton.t) =
           (fun inf ->
             match List.find_opt (fun q -> Iset.mem q inf) comp with
             | Some q -> q
-            | None -> assert false)
+            | None -> internal_error "Inf set misses the chosen SCC" anchor)
           infs
       in
       let rec tour cur targets acc =
         match targets with
         | t :: rest -> (
             match letter_path a ~ok:ok_comp cur (fun q -> q = t) with
-            | Some p ->
-                tour t rest (acc @ p)
-            | None -> assert false)
+            | Some p -> tour t rest (acc @ p)
+            | None -> internal_error "representative unreachable within SCC" t)
         | [] ->
             (* close the loop with at least one step *)
             let step_back =
@@ -174,7 +183,7 @@ let witness (a : Automaton.t) =
             in
             (match step_back with
             | Some p -> acc @ p
-            | None -> assert false)
+            | None -> internal_error "no closing step back to anchor" cur)
       in
       let cycle = tour anchor reps [] in
       Some

@@ -11,19 +11,33 @@ let init_automaton alpha p =
   in
   Build.e (Dfa.inter esat len1)
 
-let rec of_canon alpha = function
-  | Rewrite.CPast p -> init_automaton alpha p
-  | Rewrite.CAlw p -> Build.a (Past_tester.esat alpha p)
-  | Rewrite.CEv p -> Build.e (Past_tester.esat alpha p)
-  | Rewrite.CAlwEv p -> Build.r (Past_tester.esat alpha p)
-  | Rewrite.CEvAlw p -> Build.p (Past_tester.esat alpha p)
-  | Rewrite.CAnd (c1, c2) ->
-      Automaton.trim (Automaton.inter (of_canon alpha c1) (of_canon alpha c2))
-  | Rewrite.COr (c1, c2) ->
-      Automaton.trim (Automaton.union (of_canon alpha c1) (of_canon alpha c2))
+(* Each constructor is charged to the budget in proportion to the size
+   of the automaton it builds, so a fuel or deadline budget interrupts
+   a blowing-up product chain between steps (the engine boundary turns
+   the trip into a structured error). *)
+let rec of_canon ?(budget = Budget.unlimited) alpha c =
+  Budget.check budget;
+  let a =
+    match c with
+    | Rewrite.CPast p -> init_automaton alpha p
+    | Rewrite.CAlw p -> Build.a (Past_tester.esat alpha p)
+    | Rewrite.CEv p -> Build.e (Past_tester.esat alpha p)
+    | Rewrite.CAlwEv p -> Build.r (Past_tester.esat alpha p)
+    | Rewrite.CEvAlw p -> Build.p (Past_tester.esat alpha p)
+    | Rewrite.CAnd (c1, c2) ->
+        Automaton.trim
+          (Automaton.inter (of_canon ~budget alpha c1)
+             (of_canon ~budget alpha c2))
+    | Rewrite.COr (c1, c2) ->
+        Automaton.trim
+          (Automaton.union (of_canon ~budget alpha c1)
+             (of_canon ~budget alpha c2))
+  in
+  Budget.ticks budget a.Automaton.n;
+  a
 
-let translate alpha f =
-  Option.map (of_canon alpha) (Rewrite.to_canon f)
+let translate ?budget alpha f =
+  Option.map (of_canon ?budget alpha) (Rewrite.to_canon f)
 
 let of_string alpha s =
   match translate alpha (Logic.Parser.parse s) with
@@ -32,4 +46,5 @@ let of_string alpha s =
       invalid_arg
         (Printf.sprintf "Of_formula.of_string: %S is outside the canonical fragment" s)
 
-let classify alpha f = Option.map Classify.classify (translate alpha f)
+let classify ?budget alpha f =
+  Option.map Classify.classify (translate ?budget alpha f)

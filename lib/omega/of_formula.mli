@@ -9,12 +9,19 @@
     automata with products; the acceptance shapes are exactly the
     kappa-automaton shapes of section 5. *)
 
-(** Compile a canonical form. *)
-val of_canon : Finitary.Alphabet.t -> Logic.Rewrite.canon -> Automaton.t
+(** Compile a canonical form.  [budget] is charged per automaton state
+    constructed, so product blow-ups are interrupted by
+    [Budget.Tripped]. *)
+val of_canon :
+  ?budget:Budget.t -> Finitary.Alphabet.t -> Logic.Rewrite.canon -> Automaton.t
 
 (** Normalize with {!Logic.Rewrite.to_canon}, then compile.  [None] if
     the formula is outside the canonical fragment. *)
-val translate : Finitary.Alphabet.t -> Logic.Formula.t -> Automaton.t option
+val translate :
+  ?budget:Budget.t ->
+  Finitary.Alphabet.t ->
+  Logic.Formula.t ->
+  Automaton.t option
 
 (** Parse, normalize and compile.  Raises [Invalid_argument] on syntax
     errors or non-canonical formulas. *)
@@ -23,4 +30,5 @@ val of_string : Finitary.Alphabet.t -> string -> Automaton.t
 (** Semantic classification of a formula: translate and classify the
     automaton (exact for the denoted property, unlike the syntactic
     class, which is only an upper bound). *)
-val classify : Finitary.Alphabet.t -> Logic.Formula.t -> Kappa.t option
+val classify :
+  ?budget:Budget.t -> Finitary.Alphabet.t -> Logic.Formula.t -> Kappa.t option

@@ -1,0 +1,45 @@
+The CLI's error model: exit 0 on success, 1 on usage/parse errors,
+2 when a budget trips (with the partial verdict still printed), and
+never a backtrace.
+
+A plain classification succeeds:
+
+  $ hpt classify '[] p'
+  [] p
+  class        : safety  (Borel Π1; topologically closed (F))
+  syntactic    : safety
+  memberships  : safety=yes, guarantee=no, simple obligation=yes, recurrence=yes, persistence=yes, simple reactivity=yes
+  liveness     : no (uniform: no)
+  counter-free : yes (LTL-expressible)
+  states       : 3
+
+A budget-busting input degrades to a sound class interval and exits 2:
+
+  $ hpt classify --fuel 30 '([] <> p -> [] <> q) & ([] <> q -> [] <> r)'
+  ([] <> p -> [] <> q) & ([] <> q -> [] <> r)
+  class        : between simple reactivity and reactivity(2)
+  degraded     : fuel exhausted after 30 ticks
+  syntactic    : reactivity(2)
+  memberships  : safety=no, guarantee=no, simple obligation=no, recurrence=no, persistence=no, simple reactivity=?
+  states       : 9
+  [2]
+
+Syntax errors are one line on stderr, exit 1:
+
+  $ hpt classify '[[ bad'
+  error: Parser: expected [] at position 0 in "[[ bad"
+  [1]
+
+So is an invalid budget:
+
+  $ hpt classify --fuel 0 '[] p'
+  error: Budget.make: fuel must be positive
+  [1]
+
+The other subcommands share the engine and its budget flags:
+
+  $ hpt equiv 'p U q' 'q | (p & X (p U q))'
+  equivalent
+
+  $ hpt witness '<> p & [] q'
+  {p,q}{q}({q})ω

@@ -1,0 +1,265 @@
+(* The budget engine under fault injection: trip a budget at a random
+   tick inside every entry point and assert the two system-wide
+   robustness properties — no exception escapes [Hierarchy.Engine], and
+   every degraded interval verdict encloses the class computed by the
+   unbudgeted run — plus the accounting laws of [Budget] itself. *)
+
+open Omega
+module Engine = Hierarchy.Engine
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Budget accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "fuel budget trips on the last tick" `Quick (fun () ->
+        let b = Budget.make ~fuel:3 () in
+        Budget.tick b;
+        Budget.tick b;
+        check "not yet tripped" false (Budget.exhausted b <> None);
+        (match Budget.tick b with
+        | () -> Alcotest.fail "third tick should trip"
+        | exception Budget.Tripped { reason = Budget.Fuel; spent } ->
+            Alcotest.(check int) "spent at trip" 3 spent
+        | exception Budget.Tripped _ -> Alcotest.fail "wrong reason");
+        check "sticky" true (Budget.exhausted b <> None));
+    Alcotest.test_case "injection trips with reason Injected" `Quick (fun () ->
+        let b = Budget.inject_trip_at 5 in
+        for _ = 1 to 4 do Budget.tick b done;
+        match Budget.tick b with
+        | () -> Alcotest.fail "fifth tick should trip"
+        | exception Budget.Tripped { reason = Budget.Injected; _ } -> ()
+        | exception Budget.Tripped _ -> Alcotest.fail "wrong reason");
+    Alcotest.test_case "unlimited never trips and stays unlimited" `Quick
+      (fun () ->
+        let b = Budget.unlimited in
+        for _ = 1 to 10_000 do Budget.tick b done;
+        Budget.ticks b 1_000_000;
+        Budget.check b;
+        check "unlimited" true (Budget.is_unlimited b);
+        check "no exhaustion" true (Budget.exhausted b = None));
+    Alcotest.test_case "structural exhaustion does not trip the budget"
+      `Quick (fun () ->
+        let b = Budget.make ~fuel:100 () in
+        let e = Budget.structural b ~what:"test limit" ~size:42 in
+        (match e.Budget.reason with
+        | Budget.Limit { what = "test limit"; size = 42 } -> ()
+        | _ -> Alcotest.fail "wrong reason");
+        check "budget still live" true (Budget.exhausted b = None);
+        Budget.tick b);
+    Alcotest.test_case "deadline budget trips" `Quick (fun () ->
+        let b = Budget.make ~timeout_ms:1. () in
+        let rec spin n =
+          if n > 10_000_000 then Alcotest.fail "deadline never tripped"
+          else begin
+            Budget.tick b;
+            spin (n + 1)
+          end
+        in
+        match spin 0 with
+        | () -> ()
+        | exception Budget.Tripped { reason = Budget.Deadline; _ } -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Random automata (same shape as test_classify's generator)           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_automaton =
+  let open QCheck.Gen in
+  let n = 4 in
+  let gen_set =
+    map
+      (fun mask ->
+        Iset.of_list
+          (List.filteri
+             (fun i _ -> mask land (1 lsl i) <> 0)
+             (List.init n Fun.id)))
+      (int_bound ((1 lsl n) - 1))
+  in
+  let gen_acc =
+    sized_size (int_bound 4)
+    @@ fix (fun self d ->
+           if d = 0 then
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+               ]
+           else
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+                 map2
+                   (fun a b -> Acceptance.And [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+                 map2
+                   (fun a b -> Acceptance.Or [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+               ])
+  in
+  map2
+    (fun rows acc ->
+      Automaton.make ~alpha:ab ~n ~start:0
+        ~delta:(Array.of_list (List.map Array.of_list rows))
+        ~acc)
+    (list_repeat n (list_repeat 2 (int_bound (n - 1))))
+    gen_acc
+
+let arb_automaton =
+  QCheck.make ~print:(fun a -> Format.asprintf "%a" Automaton.pp a) gen_automaton
+
+(* canonical formulas spanning all the classes, some needing real work *)
+let formulas =
+  [
+    "[] p";
+    "<> p";
+    "[] p & <> q";
+    "[] p | <> q";
+    "[]<> p";
+    "<>[] p";
+    "[]<> p | <>[] q";
+    "[] (p -> <> q)";
+    "p U q";
+    "([] <> p -> [] <> q) & ([] <> q -> [] <> p)";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Soundness of degraded verdicts                                      *)
+(* ------------------------------------------------------------------ *)
+
+let exact_class = function
+  | Ok { Engine.verdict = Engine.Exact k; _ } -> k
+  | Ok _ -> QCheck.Test.fail_report "unbudgeted run was not exact"
+  | Error e ->
+      QCheck.Test.fail_report
+        (Format.asprintf "unbudgeted run failed: %a" Engine.pp_error e)
+
+(* the degraded report must (a) exist, (b) enclose the true class,
+   (c) agree with the full run on every membership column it kept *)
+let sound_degradation ~full_row ~exact = function
+  | Error _ -> QCheck.Test.fail_report "budgeted classification errored"
+  | Ok (r : Engine.report) ->
+      (match r.Engine.verdict with
+      | Engine.Exact k ->
+          if not (Kappa.equal k exact) then
+            QCheck.Test.fail_report "degraded exact verdict is wrong"
+      | Engine.Interval { lower; upper } ->
+          (match lower with
+          | Some l when not (Kappa.leq l exact) ->
+              QCheck.Test.fail_report "interval lower bound unsound"
+          | _ -> ());
+          (match upper with
+          | Some u when not (Kappa.leq exact u) ->
+              QCheck.Test.fail_report "interval upper bound unsound"
+          | _ -> ()));
+      (match r.Engine.exhausted with
+      | None -> (
+          (* no trip: the verdict must be exact *)
+          match r.Engine.verdict with
+          | Engine.Exact _ -> ()
+          | Engine.Interval _ ->
+              QCheck.Test.fail_report "untripped run degraded anyway")
+      | Some _ -> ());
+      if r.Engine.memberships <> [] then
+        List.iter2
+          (fun (k1, b1) (k2, b2) ->
+            if not (Kappa.equal k1 k2) then
+              QCheck.Test.fail_report "membership rows disagree on classes";
+            match b1 with
+            | None -> ()
+            | Some _ ->
+                if b1 <> b2 then
+                  QCheck.Test.fail_report
+                    "kept membership column disagrees with full run")
+          r.Engine.memberships full_row;
+      true
+
+let injection_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"automata: degraded verdicts enclose the truth"
+        ~count:300
+        (QCheck.pair arb_automaton (QCheck.int_bound 400))
+        (fun (a, n) ->
+          let exact = exact_class (Engine.classify_automaton a) in
+          let full_row = Classify.memberships a in
+          sound_degradation ~full_row ~exact
+            (Engine.classify_automaton
+               ~budget:(Budget.inject_trip_at (n + 1))
+               a));
+      QCheck.Test.make ~name:"formulas: degraded verdicts enclose the truth"
+        ~count:200
+        (QCheck.pair (QCheck.oneofl formulas) (QCheck.int_bound 3000))
+        (fun (s, n) ->
+          let exact = exact_class (Engine.classify s) in
+          match Engine.classify ~budget:(Budget.inject_trip_at (n + 1)) s with
+          | Error _ -> QCheck.Test.fail_report "budgeted classify errored"
+          | Ok r -> (
+              match r.Engine.verdict with
+              | Engine.Exact k -> Kappa.equal k exact
+              | Engine.Interval { lower; upper } ->
+                  (match lower with
+                  | Some l -> Kappa.leq l exact
+                  | None -> true)
+                  && (match upper with
+                     | Some u -> Kappa.leq exact u
+                     | None -> true)));
+      QCheck.Test.make
+        ~name:"equiv/witness/lint: no exception, only structured errors"
+        ~count:150
+        (QCheck.triple (QCheck.oneofl formulas) (QCheck.oneofl formulas)
+           (QCheck.int_bound 2000))
+        (fun (s1, s2, n) ->
+          let ok = function
+            | Ok _ -> true
+            | Error (Engine.Budget_exceeded _) -> true
+            | Error e ->
+                QCheck.Test.fail_report
+                  (Format.asprintf "unexpected error: %a" Engine.pp_error e)
+          in
+          let budget () = Budget.inject_trip_at (n + 1) in
+          let f1 = Logic.Parser.parse s1 and f2 = Logic.Parser.parse s2 in
+          ok (Engine.equiv ~budget:(budget ()) pq f1 f2)
+          && ok (Engine.witness ~budget:(budget ()) pq f1)
+          && ok (Engine.lint ~budget:(budget ()) [ ("a", s1); ("b", s2) ]));
+      QCheck.Test.make ~name:"tick monotone, trip sticky and stable"
+        ~count:300
+        (QCheck.pair (QCheck.int_bound 50)
+           (QCheck.small_list QCheck.bool))
+        (fun (fuel, ops) ->
+          let b = Budget.make ~fuel:(fuel + 1) () in
+          let prev = ref (Budget.spent b) in
+          let first_trip = ref None in
+          List.iter
+            (fun big ->
+              (try if big then Budget.ticks b 3 else Budget.tick b with
+              | Budget.Tripped e -> (
+                  match !first_trip with
+                  | None -> first_trip := Some e
+                  | Some e0 ->
+                      if e0 <> e then
+                        QCheck.Test.fail_report
+                          "later trips changed the exhaustion"));
+              let s = Budget.spent b in
+              if s < !prev then QCheck.Test.fail_report "spent decreased";
+              prev := s)
+            ops;
+          match (!first_trip, Budget.exhausted b) with
+          | Some e, Some e' -> e = e'
+          | None, None -> true
+          | Some _, None ->
+              QCheck.Test.fail_report "trip observed but budget not exhausted"
+          | None, Some _ ->
+              QCheck.Test.fail_report "budget exhausted without raising");
+    ]
+
+let () =
+  Alcotest.run "budget"
+    [ ("accounting", unit_tests); ("fault injection", injection_tests) ]
