@@ -250,6 +250,27 @@ let pr1_baseline =
     ("translate: [](p -> <>q) to automaton", 15299.3);
   ]
 
+(* PR-2 tree timings (ns/run, same machine, same bench) recorded
+   immediately before the telemetry hooks were threaded through the same
+   loops; --json writes the comparison to BENCH_obs.json.  The disabled
+   handle must cost a load and a branch, so the target is the same as
+   the budget tick's: geomean ratio over the classification benches
+   <= 1.02 (enforced by --check-overhead). *)
+let pr2_baseline =
+  [
+    ("classify: response formula automaton", 5152.2);
+    ("classify: staircase k=2", 36469.3);
+    ("classify: staircase k=4", 447230.2);
+    ("counter-freedom of R(.* b)", 1453.5);
+    ("language equality (safety closure check)", 1741.3);
+    ("lasso semantics of response", 833.4);
+    ("minex product", 2916.1);
+    ("model check Peterson accessibility", 116811.5);
+    ("omega product + emptiness", 2188.5);
+    ("tableau: satisfiability of response", 24786.6);
+    ("translate: [](p -> <>q) to automaton", 15271.9);
+  ]
+
 let run_benches () =
   let open Bechamel in
   let open Toolkit in
@@ -362,6 +383,19 @@ let large_sweep () =
       time_ns (fun () -> ignore (Automaton.sccs a)) );
   ]
 
+(* One instrumented pass over the classification workloads: the
+   per-phase span totals and counter values BENCH_obs.json reports next
+   to the overhead ratios.  The automata are built outside the ambient
+   window so the breakdown covers classification only. *)
+let observability_breakdown () =
+  let telemetry = Telemetry.collector () in
+  let inputs = [ fm "[] (p -> <> q)"; staircase 2; staircase 4 ] in
+  Telemetry.with_ambient telemetry (fun () ->
+      List.iter
+        (fun a -> ignore (Classify.classify_budgeted ~telemetry a))
+        inputs);
+  Telemetry.report telemetry
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -372,7 +406,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_mode () =
+let json_mode ~check_overhead () =
   let rows = run_benches () in
   let sweep = large_sweep () in
   let oc = open_out "BENCH_kernel.json" in
@@ -437,12 +471,87 @@ let json_mode () =
   p "}\n";
   close_out oc;
   Format.printf "wrote BENCH_budget.json (%d entries)@."
-    (List.length budget_entries)
+    (List.length budget_entries);
+  (* telemetry-overhead report: disabled-handle timings vs the PR-2
+     tree, plus the per-phase breakdown of one instrumented
+     classification pass *)
+  let breakdown = observability_breakdown () in
+  let oc = open_out "BENCH_obs.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"baseline\": \"PR-2 tree, before the telemetry hooks were threaded through the hot loops\",\n";
+  p "  \"note\": \"ratio = ns / pr2_ns, measured with telemetry disabled; --check-overhead fails when the geomean ratio over the classify benches exceeds 1.02\",\n";
+  p "  \"benches\": [\n";
+  let obs_entries =
+    List.filter_map
+      (fun (name, est) ->
+        Option.map
+          (fun pr2 -> (name, pr2, est))
+          (List.assoc_opt name pr2_baseline))
+      rows
+  in
+  List.iteri
+    (fun i (name, pr2, est) ->
+      let ratio =
+        match est with
+        | Some e when pr2 > 0. -> Printf.sprintf "%.3f" (e /. pr2)
+        | _ -> "null"
+      in
+      p "    {\"name\": \"%s\", \"pr2_ns\": %.1f, \"ns\": %s, \"ratio\": %s}%s\n"
+        (json_escape name) pr2 (num est) ratio
+        (if i < List.length obs_entries - 1 then "," else ""))
+    obs_entries;
+  p "  ],\n";
+  let phases = Telemetry.span_totals breakdown in
+  p "  \"phases\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"total_ns\": %.0f}%s\n" (json_escape name) ns
+        (if i < List.length phases - 1 then "," else ""))
+    phases;
+  p "  ],\n";
+  let counters = breakdown.Telemetry.counters in
+  p "  \"counters\": [\n";
+  List.iteri
+    (fun i (name, v) ->
+      p "    {\"name\": \"%s\", \"value\": %d}%s\n" (json_escape name) v
+        (if i < List.length counters - 1 then "," else ""))
+    counters;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote BENCH_obs.json (%d entries, %d phases, %d counters)@."
+    (List.length obs_entries) (List.length phases) (List.length counters);
+  let classify_ratios =
+    List.filter_map
+      (fun (name, pr2, est) ->
+        match est with
+        | Some e when String.starts_with ~prefix:"classify:" name && pr2 > 0. ->
+            Some (e /. pr2)
+        | _ -> None)
+      obs_entries
+  in
+  let geomean =
+    match classify_ratios with
+    | [] -> 1.0
+    | rs ->
+        exp
+          (List.fold_left (fun acc r -> acc +. log r) 0. rs
+          /. float_of_int (List.length rs))
+  in
+  Format.printf "telemetry overhead, geomean over classify benches: %.3f@."
+    geomean;
+  if check_overhead && geomean > 1.02 then begin
+    Format.printf
+      "OVERHEAD REGRESSION: disabled-telemetry geomean %.3f > 1.02@." geomean;
+    exit 1
+  end
 
 let () =
   let flag f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = flag "--tables-only" in
-  if flag "--json" then json_mode ()
+  if flag "--json" then json_mode ~check_overhead:(flag "--check-overhead") ()
   else begin
     fig1 ();
     operators ();

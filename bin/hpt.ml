@@ -1,12 +1,16 @@
 (* hpt — the Hierarchy of temporal ProperTies, on the command line.
 
-   Subcommands: classify, lint, equiv, witness, views.
+   Subcommands: classify, build, lint, equiv, witness, views.
 
    Every subcommand goes through [Hierarchy.Engine], so no exception
    (and no backtrace) ever reaches the terminal: structured errors
    become one-line messages on stderr.  Exit codes: 0 success, 1
    usage / parse / validation error, 2 budget exceeded (a partial
-   verdict is still printed when one exists), 3 internal error. *)
+   verdict is still printed when one exists), 3 internal error.
+
+   Observability: --stats prints a per-phase telemetry report (span
+   tree, counters, histograms) after the result; --trace-json FILE
+   streams the same data as JSON lines. *)
 
 open Cmdliner
 module Engine = Hierarchy.Engine
@@ -30,6 +34,20 @@ let timeout_arg =
   let doc = "Wall-clock budget in milliseconds; same degradation as --fuel." in
   Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
 
+let stats_arg =
+  let doc =
+    "Print a telemetry report (per-phase span tree, counters, histograms) \
+     after the result."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Stream telemetry to $(docv) as JSON lines: one object per completed \
+     span, then one per counter and histogram."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
 let formula_arg =
   let doc = "Temporal formula, e.g. '[] (p -> <> q)'." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
@@ -38,28 +56,46 @@ let fail e =
   Fmt.epr "error: %a@." Engine.pp_error e;
   Engine.exit_code e
 
-(* Build the budget, run [f] on it, and map the result to an exit
-   code.  [Budget.make] validates its arguments, so that too goes
-   through the engine boundary. *)
-let with_budget fuel timeout_ms f =
+(* Build the budget and the telemetry handle, run [f] on them, and map
+   the result to an exit code.  [Budget.make] validates its arguments
+   and [open_out] can fail on an unwritable path, so both go through
+   the engine boundary.  The trace channel is flushed and closed (and
+   the stats report printed) whether [f] succeeds or errors. *)
+let with_observability fuel timeout_ms stats trace f =
   match Engine.protect (fun () -> Budget.make ?fuel ?timeout_ms ()) with
   | Error e -> fail e
   | Ok budget -> (
-      match f budget with
-      | Ok code -> code
-      | Error e -> fail e)
+      match Engine.protect (fun () -> Option.map open_out trace) with
+      | Error e -> fail e
+      | Ok oc ->
+          let telemetry =
+            match oc with
+            | Some oc ->
+                Telemetry.jsonl (fun line ->
+                    output_string oc line;
+                    output_char oc '\n')
+            | None -> if stats then Telemetry.collector () else Telemetry.disabled
+          in
+          let code =
+            match f budget telemetry with Ok c -> c | Error e -> fail e
+          in
+          Telemetry.flush telemetry;
+          Option.iter close_out oc;
+          if stats then
+            Fmt.pr "%a@." Telemetry.pp_report (Telemetry.report telemetry);
+          code)
 
 (* ---------------- classify ---------------- *)
 
 let classify_cmd =
-  let run props chars fuel timeout_ms formula_s =
-    with_budget fuel timeout_ms @@ fun budget ->
+  let run props chars fuel timeout_ms stats trace formula_s =
+    with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
     Result.map
       (fun (r : Engine.report) ->
         Fmt.pr "%s@.%a@." formula_s Engine.pp_report r;
         (* degraded partial verdict: still printed, but signalled *)
         match r.Engine.exhausted with Some _ -> 2 | None -> 0)
-      (Engine.classify ~budget ?props ?chars formula_s)
+      (Engine.classify ~budget ~telemetry ?props ?chars formula_s)
   in
   let info =
     Cmd.info "classify"
@@ -67,13 +103,50 @@ let classify_cmd =
   in
   Cmd.v info
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
-          $ formula_arg)
+          $ stats_arg $ trace_arg $ formula_arg)
+
+(* ---------------- build ---------------- *)
+
+let build_cmd =
+  let op_arg =
+    let doc =
+      "The paper's finitary-to-infinitary operator: A (all non-empty \
+       prefixes), E (some prefix), R (infinitely many prefixes), P (all \
+       but finitely many prefixes)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let re_arg =
+    let doc =
+      "Regular expression over the alphabet.  Single characters name \
+       letters; quote multi-character letters ('lock') and write \
+       propositional letters with braces ({p,q})."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"REGEX" ~doc)
+  in
+  let run props chars fuel timeout_ms stats trace op re =
+    with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
+    Result.map
+      (fun (r : Engine.report) ->
+        Fmt.pr "%s(%s)@.%a@." (String.uppercase_ascii op) re Engine.pp_report r;
+        match r.Engine.exhausted with Some _ -> 2 | None -> 0)
+      (Engine.classify_regex ~budget ~telemetry ?props ?chars ~op re)
+  in
+  let info =
+    Cmd.info "build"
+      ~doc:
+        "Build an omega-property from an operator applied to a regular \
+         expression and locate it in the hierarchy"
+  in
+  Cmd.v info
+    Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
+          $ stats_arg $ trace_arg $ op_arg $ re_arg)
 
 (* ---------------- views ---------------- *)
 
 let views_cmd =
-  let run props chars fuel timeout_ms formula_s =
-    with_budget fuel timeout_ms @@ fun budget ->
+  let run props chars fuel timeout_ms stats trace formula_s =
+    with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
     Result.bind (Engine.parse formula_s) @@ fun f ->
     Result.bind (Engine.alphabet ?props ?chars [ f ]) @@ fun alpha ->
     Result.map
@@ -94,14 +167,14 @@ let views_cmd =
             | None -> Fmt.pr "a model      : (language empty)@,");
             Fmt.pr "@]";
             0)
-      (Engine.views ~budget alpha f)
+      (Engine.views ~budget ~telemetry alpha f)
   in
   let info =
     Cmd.info "views" ~doc:"Show a formula in all views of the hierarchy"
   in
   Cmd.v info
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
-          $ formula_arg)
+          $ stats_arg $ trace_arg $ formula_arg)
 
 (* ---------------- lint ---------------- *)
 
@@ -110,8 +183,8 @@ let lint_cmd =
     let doc = "Requirement of the form NAME=FORMULA (repeatable)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME=FORMULA" ~doc)
   in
-  let run fuel timeout_ms specs =
-    with_budget fuel timeout_ms @@ fun budget ->
+  let run fuel timeout_ms stats trace specs =
+    with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
     let parse spec =
       match String.index_opt spec '=' with
       | Some i ->
@@ -131,7 +204,7 @@ let lint_cmd =
       (fun v ->
         Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v;
         0)
-      (Engine.lint ~budget specs)
+      (Engine.lint ~budget ~telemetry specs)
   in
   let info =
     Cmd.info "lint"
@@ -139,7 +212,9 @@ let lint_cmd =
         "Classify each requirement of a specification and warn about \
          underspecification"
   in
-  Cmd.v info Term.(const run $ fuel_arg $ timeout_arg $ specs_arg)
+  Cmd.v info
+    Term.(const run $ fuel_arg $ timeout_arg $ stats_arg $ trace_arg
+          $ specs_arg)
 
 (* ---------------- equiv ---------------- *)
 
@@ -147,8 +222,8 @@ let equiv_cmd =
   let f2_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"FORMULA2")
   in
-  let run props chars fuel timeout_ms f1s f2s =
-    with_budget fuel timeout_ms @@ fun budget ->
+  let run props chars fuel timeout_ms stats trace f1s f2s =
+    with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
     Result.bind (Engine.parse f1s) @@ fun f1 ->
     Result.bind (Engine.parse f2s) @@ fun f2 ->
     Result.bind (Engine.alphabet ?props ?chars [ f1; f2 ]) @@ fun alpha ->
@@ -167,20 +242,20 @@ let equiv_cmd =
                   | Engine.Second_only -> "satisfies the second only")
             | None -> ());
             0)
-      (Engine.equiv ~budget alpha f1 f2)
+      (Engine.equiv ~budget ~telemetry alpha f1 f2)
   in
   let info =
     Cmd.info "equiv" ~doc:"Decide equivalence of two temporal formulas"
   in
   Cmd.v info
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
-          $ formula_arg $ f2_arg)
+          $ stats_arg $ trace_arg $ formula_arg $ f2_arg)
 
 (* ---------------- witness ---------------- *)
 
 let witness_cmd =
-  let run props chars fuel timeout_ms fs =
-    with_budget fuel timeout_ms @@ fun budget ->
+  let run props chars fuel timeout_ms stats trace fs =
+    with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
     Result.bind (Engine.parse fs) @@ fun f ->
     Result.bind (Engine.alphabet ?props ?chars [ f ]) @@ fun alpha ->
     Result.map
@@ -191,18 +266,19 @@ let witness_cmd =
         | None ->
             Fmt.pr "unsatisfiable@.";
             0)
-      (Engine.witness ~budget alpha f)
+      (Engine.witness ~budget ~telemetry alpha f)
   in
   let info = Cmd.info "witness" ~doc:"Produce a model of a temporal formula" in
   Cmd.v info
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
-          $ formula_arg)
+          $ stats_arg $ trace_arg $ formula_arg)
 
 let main =
   let info =
     Cmd.info "hpt" ~version:"1.0.0"
       ~doc:"The Manna-Pnueli hierarchy of temporal properties"
   in
-  Cmd.group info [ classify_cmd; views_cmd; lint_cmd; equiv_cmd; witness_cmd ]
+  Cmd.group info
+    [ classify_cmd; build_cmd; views_cmd; lint_cmd; equiv_cmd; witness_cmd ]
 
 let () = exit (Cmd.eval' main)

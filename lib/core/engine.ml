@@ -11,6 +11,7 @@ type report = {
   counter_free : bool option;
   n_states : int option;
   exhausted : Budget.exhaustion option;
+  telemetry : Telemetry.report option;
 }
 
 type error =
@@ -29,11 +30,14 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-let protect ?(budget = Budget.unlimited) f =
+let protect ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) f =
   let structural what size =
     Error (Budget_exceeded (Budget.structural budget ~what ~size))
   in
-  try Ok (f ()) with
+  (* install the handle as the process ambient for the duration of the
+     entry point, so the leaf kernels (Graph_kernel, the successors
+     memo, the Lang caches) report into the same collector *)
+  try Ok (Telemetry.with_ambient telemetry f) with
   | Budget.Tripped e -> Error (Budget_exceeded e)
   | Omega.Cycles.Too_large n ->
       structural "SCC too large for cycle enumeration" n
@@ -47,7 +51,7 @@ let protect ?(budget = Budget.unlimited) f =
   | Omega.Convert.Not_in_class m -> Error (Not_in_class m)
   | Invalid_argument m when starts_with ~prefix:"Parser:" m ->
       Error (Parse_error m)
-  | Invalid_argument m | Failure m -> Error (Invalid_input m)
+  | Invalid_argument m | Failure m | Sys_error m -> Error (Invalid_input m)
   | Stack_overflow -> Error (Internal "stack overflow")
   | Not_found -> Error (Internal "uncaught Not_found")
   | e -> Error (Internal (Printexc.to_string e))
@@ -92,8 +96,8 @@ let alphabet ?props ?chars formulas =
    degrades the verdict columns; the three SL/expressibility bits are
    guarded the same way here so a trip mid-bit yields [None] for it and
    everything after, never an exception. *)
-let report_of ~budget ~syntactic (a : Omega.Automaton.t) =
-  let b = Omega.Classify.classify_budgeted ~budget a in
+let report_of ~budget ~telemetry ~syntactic (a : Omega.Automaton.t) =
+  let b = Omega.Classify.classify_budgeted ~budget ~telemetry a in
   let exhausted = ref b.Omega.Classify.exhaustion in
   let record e = if !exhausted = None then exhausted := Some e in
   let opt f =
@@ -110,10 +114,18 @@ let report_of ~budget ~syntactic (a : Omega.Automaton.t) =
           record (Budget.structural budget ~what:"syntactic monoid too large" ~size:n);
           None
   in
-  let is_liveness = opt (fun () -> Omega.Lang.is_liveness a) in
-  let is_uniform_liveness = opt (fun () -> Omega.Lang.is_uniform_liveness a) in
+  let span name f = Telemetry.span telemetry name f in
+  let is_liveness =
+    opt (fun () -> span "engine.liveness" (fun () -> Omega.Lang.is_liveness a))
+  in
+  let is_uniform_liveness =
+    opt (fun () ->
+        span "engine.uniform_liveness" (fun () ->
+            Omega.Lang.is_uniform_liveness a))
+  in
   let counter_free =
-    opt (fun () -> Omega.Counter_free.is_counter_free ~budget a)
+    opt (fun () ->
+        Omega.Counter_free.is_counter_free ~budget ~telemetry a)
   in
   let verdict =
     match b.Omega.Classify.verdict with
@@ -133,14 +145,18 @@ let report_of ~budget ~syntactic (a : Omega.Automaton.t) =
     counter_free;
     n_states = Some a.Omega.Automaton.n;
     exhausted = !exhausted;
+    telemetry =
+      (if Telemetry.enabled telemetry then Some (Telemetry.report telemetry)
+       else None);
   }
 
-let classify_automaton ?(budget = Budget.unlimited) ?formula a =
-  protect ~budget @@ fun () ->
+let classify_automaton ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) ?formula a =
+  protect ~budget ~telemetry @@ fun () ->
   let syntactic = Option.bind formula Logic.Rewrite.classify in
-  report_of ~budget ~syntactic a
+  report_of ~budget ~telemetry ~syntactic a
 
-let outside_fragment ~syntactic ~exhausted =
+let outside_fragment ~telemetry ~syntactic ~exhausted =
   {
     verdict = Interval { lower = None; upper = syntactic };
     syntactic;
@@ -150,26 +166,66 @@ let outside_fragment ~syntactic ~exhausted =
     counter_free = None;
     n_states = None;
     exhausted;
+    telemetry =
+      (if Telemetry.enabled telemetry then Some (Telemetry.report telemetry)
+       else None);
   }
 
-let classify_formula ?(budget = Budget.unlimited) alpha f =
-  protect ~budget @@ fun () ->
+let classify_formula ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) alpha f =
+  protect ~budget ~telemetry @@ fun () ->
   let syntactic = Logic.Rewrite.classify f in
   let translation =
     (* degrade, don't fail, when the budget trips inside translation:
        the syntactic class still bounds the verdict from above *)
-    try `Done (Omega.Of_formula.translate ~budget alpha f)
+    try `Done (Omega.Of_formula.translate ~budget ~telemetry alpha f)
     with Budget.Tripped e -> `Tripped e
   in
   match translation with
-  | `Tripped e -> outside_fragment ~syntactic ~exhausted:(Some e)
-  | `Done None -> outside_fragment ~syntactic ~exhausted:None
-  | `Done (Some a) -> report_of ~budget ~syntactic a
+  | `Tripped e -> outside_fragment ~telemetry ~syntactic ~exhausted:(Some e)
+  | `Done None -> outside_fragment ~telemetry ~syntactic ~exhausted:None
+  | `Done (Some a) -> report_of ~budget ~telemetry ~syntactic a
 
-let classify ?budget ?props ?chars s =
+let classify ?budget ?telemetry ?props ?chars s =
   Result.bind (parse s) @@ fun f ->
   Result.bind (alphabet ?props ?chars [ f ]) @@ fun alpha ->
-  classify_formula ?budget alpha f
+  classify_formula ?budget ?telemetry alpha f
+
+(* Classify [op(regex)] for one of the paper's four finitary-to-
+   infinitary operators: the [hpt build] path.  The alphabet must be
+   given explicitly ([--props] or [--chars]); regex letters cannot be
+   inferred. *)
+let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?props ?chars ~op
+    re =
+  let operator =
+    match String.lowercase_ascii op with
+    | "a" -> Ok Omega.Build.A
+    | "e" -> Ok Omega.Build.E
+    | "r" -> Ok Omega.Build.R
+    | "p" -> Ok Omega.Build.P
+    | _ ->
+        Error
+          (Invalid_input
+             (Printf.sprintf "unknown operator %S: expected A, E, R or P" op))
+  in
+  Result.bind operator @@ fun operator ->
+  let alpha =
+    protect @@ fun () ->
+    match (props, chars) with
+    | Some p, None -> Finitary.Alphabet.of_props (String.split_on_char ',' p)
+    | None, Some c -> Finitary.Alphabet.of_chars c
+    | Some _, Some _ -> invalid_arg "give either --props or --chars, not both"
+    | None, None ->
+        invalid_arg "regex alphabet cannot be inferred: give --props or --chars"
+  in
+  Result.bind alpha @@ fun alpha ->
+  let budget = Option.value budget ~default:Budget.unlimited in
+  protect ~budget ~telemetry @@ fun () ->
+  let a =
+    Telemetry.span telemetry "engine.build" @@ fun () ->
+    Omega.Build.of_op operator (Finitary.Regex.compile alpha re)
+  in
+  report_of ~budget ~telemetry ~syntactic:None a
 
 (* ------------------------------------------------------------------ *)
 (* Views, equivalence, witnesses, lint                                 *)
@@ -183,12 +239,13 @@ type views = {
   model : Finitary.Word.lasso option;
 }
 
-let views ?(budget = Budget.unlimited) alpha f =
-  protect ~budget @@ fun () ->
+let views ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
+    alpha f =
+  protect ~budget ~telemetry @@ fun () ->
   match Logic.Rewrite.to_canon f with
   | None -> None
   | Some canon ->
-      let automaton = Omega.Of_formula.of_canon ~budget alpha canon in
+      let automaton = Omega.Of_formula.of_canon ~budget ~telemetry alpha canon in
       let safety_part, liveness_part =
         Omega.Lang.safety_liveness_decomposition automaton
       in
@@ -203,26 +260,31 @@ let views ?(budget = Budget.unlimited) alpha f =
 
 type side = First_only | Second_only
 
-let equiv ?(budget = Budget.unlimited) alpha f1 f2 =
-  protect ~budget @@ fun () ->
-  if Logic.Tableau.equiv ~budget alpha f1 f2 then `Equivalent
+let equiv ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
+    alpha f1 f2 =
+  protect ~budget ~telemetry @@ fun () ->
+  if Logic.Tableau.equiv ~budget ~telemetry alpha f1 f2 then `Equivalent
   else
     let open Logic.Formula in
     let w =
-      match Logic.Tableau.witness ~budget alpha (And (f1, Not f2)) with
+      match Logic.Tableau.witness ~budget ~telemetry alpha (And (f1, Not f2)) with
       | Some w -> Some (w, First_only)
       | None -> (
-          match Logic.Tableau.witness ~budget alpha (And (f2, Not f1)) with
+          match
+            Logic.Tableau.witness ~budget ~telemetry alpha (And (f2, Not f1))
+          with
           | Some w -> Some (w, Second_only)
           | None -> None)
     in
     `Distinct w
 
-let witness ?(budget = Budget.unlimited) alpha f =
-  protect ~budget @@ fun () -> Logic.Tableau.witness ~budget alpha f
+let witness ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
+    alpha f =
+  protect ~budget ~telemetry @@ fun () ->
+  Logic.Tableau.witness ~budget ~telemetry alpha f
 
-let lint ?(budget = Budget.unlimited) specs =
-  protect ~budget @@ fun () -> Lint.lint_strings ~budget specs
+let lint ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) specs =
+  protect ~budget ~telemetry @@ fun () -> Lint.lint_strings ~budget specs
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

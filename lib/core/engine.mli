@@ -42,6 +42,10 @@ type report = {
           canonical fragment or translation was interrupted *)
   exhausted : Budget.exhaustion option;
       (** [Some _] iff this is a degraded (partial) report *)
+  telemetry : Telemetry.report option;
+      (** per-phase spans, counters and histograms recorded during the
+          run, when an enabled {!Telemetry.t} handle was supplied;
+          [None] with the default disabled handle *)
 }
 
 type error =
@@ -64,16 +68,21 @@ val exit_code : error -> int
 (** CLI convention: 1 for usage/parse/validation errors, 2 for
     [Budget_exceeded], 3 for [Internal]. *)
 
-val protect : ?budget:Budget.t -> (unit -> 'a) -> ('a, error) result
+val protect :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> (unit -> 'a) -> ('a, error) result
 (** Run a thunk under the engine's exception boundary: every known
     exception becomes the corresponding {!type:error}; anything else
     becomes [Internal].  [budget] is only used to stamp the tick count
-    on structural-limit exhaustions. *)
+    on structural-limit exhaustions.  [telemetry] is installed as the
+    process-wide ambient handle for the duration of the thunk (see
+    {!Telemetry.with_ambient}), so the shared leaf kernels report into
+    the caller's collector. *)
 
 (** {2 Classification} *)
 
 val classify_automaton :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   ?formula:Logic.Formula.t ->
   Omega.Automaton.t ->
   (report, error) result
@@ -82,6 +91,7 @@ val classify_automaton :
 
 val classify_formula :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   (report, error) result
@@ -91,12 +101,27 @@ val classify_formula :
 
 val classify :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   ?props:string ->
   ?chars:string ->
   string ->
   (report, error) result
 (** Parse, infer the alphabet ([--props] / [--chars] style, or the
     formula's atoms), translate, classify. *)
+
+val classify_regex :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?props:string ->
+  ?chars:string ->
+  op:string ->
+  string ->
+  (report, error) result
+(** Classify [op(regex)] for one of the paper's finitary-to-infinitary
+    operators: [op] is ["A"], ["E"], ["R"] or ["P"] (case-insensitive)
+    and the string is a {!Finitary.Regex} expression.  The alphabet
+    must be given through [props] or [chars] — it cannot be inferred
+    from a regex.  The [hpt build] path. *)
 
 (** {2 The other front-door operations} *)
 
@@ -110,6 +135,7 @@ type views = {
 
 val views :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   (views option, error) result
@@ -119,6 +145,7 @@ type side = First_only | Second_only
 
 val equiv :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   Logic.Formula.t ->
@@ -128,13 +155,17 @@ val equiv :
 
 val witness :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   (Finitary.Word.lasso option, error) result
 (** A model of the formula; [Ok None] when unsatisfiable. *)
 
 val lint :
-  ?budget:Budget.t -> (string * string) list -> (Lint.verdict, error) result
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  (string * string) list ->
+  (Lint.verdict, error) result
 (** Parse and lint a named-requirement specification. *)
 
 (** {2 Parsing and alphabets} *)

@@ -52,31 +52,39 @@ let letter_name a l =
   if l < 0 || l >= size a then invalid_arg "Alphabet.letter_name";
   a.names.(l)
 
-let letter_of_name a n =
+let find_name names n =
   let exception Found of int in
   try
-    Array.iteri (fun i nm -> if nm = n then raise (Found i)) a.names;
-    raise Not_found
-  with Found i -> i
+    Array.iteri (fun i nm -> if nm = n then raise (Found i)) names;
+    None
+  with Found i -> Some i
 
-let prop_index props p =
-  let exception Found of int in
-  try
-    Array.iteri (fun i nm -> if nm = p then raise (Found i)) props;
-    raise Not_found
-  with Found i -> i
+let letter_of_name_opt a n = find_name a.names n
+
+let pp_names a =
+  String.concat ", " (Array.to_list a.names)
+
+let letter_of_name a n =
+  match find_name a.names n with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Alphabet.letter_of_name: unknown letter %S (alphabet: %s)"
+           n (pp_names a))
+
+let prop_index props p = find_name props p
 
 let holds a atom l =
   match a.kind with
   | Symbolic -> (
-      match letter_of_name a atom with
-      | i -> i = l
-      | exception Not_found ->
+      match letter_of_name_opt a atom with
+      | Some i -> i = l
+      | None ->
           invalid_arg (Printf.sprintf "Alphabet.holds: unknown letter %S" atom))
   | Propositional props -> (
       match prop_index props atom with
-      | j -> l land (1 lsl j) <> 0
-      | exception Not_found ->
+      | Some j -> l land (1 lsl j) <> 0
+      | None ->
           invalid_arg
             (Printf.sprintf "Alphabet.holds: unknown proposition %S" atom))
 

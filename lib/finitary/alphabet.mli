@@ -36,8 +36,13 @@ val letters : t -> letter list
 val letter_name : t -> letter -> string
 
 (** [letter_of_name a n] is the letter named [n].
-    Raises [Not_found] if no such letter exists. *)
+    Raises [Invalid_argument] — naming [n] and listing the alphabet —
+    if no such letter exists (use {!letter_of_name_opt} to probe). *)
 val letter_of_name : t -> string -> letter
+
+(** [letter_of_name_opt a n] is [Some] of the letter named [n], or
+    [None] if no such letter exists.  Never raises. *)
+val letter_of_name_opt : t -> string -> letter option
 
 (** [holds a atom l] evaluates an atomic state formula on a letter: for
     symbolic alphabets, [atom] must name a letter and holds iff [l] is that

@@ -100,13 +100,60 @@ and parse_base st =
   | Some '.' ->
       advance st;
       Any
-  | Some c -> (
-      match Alphabet.letter_of_name st.alpha (String.make 1 c) with
-      | l ->
+  | Some _ ->
+      let name, start = parse_letter_name st in
+      (match Alphabet.letter_of_name_opt st.alpha name with
+      | Some l -> Letter l
+      | None ->
+          st.pos <- start;
+          fail st (Printf.sprintf "unknown letter %S" name))
+
+(* A letter token: a single character, a ['...'] or ["..."] quoted
+   multi-character name, or a brace-delimited name such as [{p,q}]
+   (braces included — the display names of propositional letters).
+   Returns the name and the token's start position for error
+   reporting. *)
+and parse_letter_name st =
+  skip_ws st;
+  let start = st.pos in
+  let len = String.length st.src in
+  match st.src.[st.pos] with
+  | ('\'' | '"') as q ->
+      advance st;
+      let b = Buffer.create 8 in
+      let rec scan () =
+        if st.pos >= len then begin
+          st.pos <- start;
+          fail st (Printf.sprintf "unterminated %c-quoted letter name" q)
+        end
+        else if st.src.[st.pos] = q then advance st
+        else begin
+          Buffer.add_char b st.src.[st.pos];
           advance st;
-          Letter l
-      | exception Not_found ->
-          fail st (Printf.sprintf "unknown letter %c" c))
+          scan ()
+        end
+      in
+      scan ();
+      (Buffer.contents b, start)
+  | '{' ->
+      let b = Buffer.create 8 in
+      let rec scan () =
+        if st.pos >= len then begin
+          st.pos <- start;
+          fail st "unterminated {...} letter name"
+        end
+        else begin
+          let c = st.src.[st.pos] in
+          Buffer.add_char b c;
+          advance st;
+          if c <> '}' then scan ()
+        end
+      in
+      scan ();
+      (Buffer.contents b, start)
+  | c ->
+      advance st;
+      (String.make 1 c, start)
 
 let parse alpha src =
   let st = { src; pos = 0; alpha } in

@@ -4,6 +4,8 @@
     paper's languages):
 
     - a single character names a letter of the alphabet;
+    - ['lock'] or ["lock"] (quoted) names a multi-character letter, and
+      [{p,q}] (braces included in the name) a propositional letter;
     - ['.'] is any letter (the paper's [Sigma]);
     - juxtaposition is concatenation, ['+'] is union (as in the paper);
     - postfix ['*'] and [^*] are Kleene star, [^+] is Kleene plus,

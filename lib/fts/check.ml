@@ -57,11 +57,13 @@ let fairness_acc sys labels n_labels =
   in
   Acceptance.And conjuncts
 
-let split_graph ~budget sys n_labels =
+let split_graph ~budget ~telemetry sys n_labels =
+  Telemetry.span telemetry "fts.split_graph" @@ fun () ->
   let states = System.internal_states sys in
   let n_states = Array.length states in
   let n = n_states * n_labels in
   Budget.ticks budget n;
+  Telemetry.add telemetry "fts.split_nodes" n;
   let succ = Array.make n [] in
   List.iter
     (fun (src, t, dst) ->
@@ -75,11 +77,11 @@ let split_graph ~budget sys n_labels =
     (System.internal_edges sys);
   { Graph.n; succ }
 
-let check_with_acc ~budget sys spec_formula =
+let check_with_acc ~budget ~telemetry sys spec_formula =
   let labels = labels_of sys in
   let n_labels = Array.length labels in
   let states = System.internal_states sys in
-  let graph = split_graph ~budget sys n_labels in
+  let graph = split_graph ~budget ~telemetry sys n_labels in
   let starts =
     List.map (fun sid -> sid * n_labels) (System.internal_init_ids sys)
   in
@@ -94,7 +96,7 @@ let check_with_acc ~budget sys spec_formula =
         invalid_arg "Check: too many distinct atoms in the specification";
       let alpha = Alphabet.of_props atoms in
       let spec =
-        match Omega.Of_formula.translate ~budget alpha f with
+        match Omega.Of_formula.translate ~budget ~telemetry alpha f with
         | Some a -> a
         | None ->
             invalid_arg
@@ -111,9 +113,12 @@ let check_with_acc ~budget sys spec_formula =
           (List.mapi (fun i a -> (i, a)) atoms)
       in
       (* product with the complement of the spec *)
+      Telemetry.span telemetry "fts.product" @@ fun () ->
       let m = spec.Omega.Automaton.n in
       let pn = graph.Graph.n * m in
       Budget.ticks budget pn;
+      Telemetry.add telemetry "fts.product_states" pn;
+      Telemetry.observe telemetry "fts.state_space" (float_of_int pn);
       let psucc = Array.make pn [] in
       for v = 0 to graph.Graph.n - 1 do
         List.iter
@@ -170,18 +175,28 @@ let trace_of sys n_labels project (s0, pre, cyc) =
   in
   { prefix = List.map node (s0 :: pre); cycle = List.map node cyc }
 
-let holds ?(budget = Budget.unlimited) sys f =
+let holds ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) sys f
+    =
   let labels = labels_of sys in
   let n_labels = Array.length labels in
-  let graph, starts, acc, project = check_with_acc ~budget sys (Some f) in
-  match Graph.find_accepting_lasso graph ~starts acc with
+  let graph, starts, acc, project =
+    check_with_acc ~budget ~telemetry sys (Some f)
+  in
+  let lasso =
+    Telemetry.span telemetry "fts.lasso_search" @@ fun () ->
+    Graph.find_accepting_lasso graph ~starts acc
+  in
+  match lasso with
   | None -> Holds
   | Some lasso -> Fails (trace_of sys n_labels project lasso)
 
-let holds_s ?budget sys s = holds ?budget sys (Logic.Parser.parse s)
+let holds_s ?budget ?telemetry sys s =
+  holds ?budget ?telemetry sys (Logic.Parser.parse s)
 
-let has_fair_computation ?(budget = Budget.unlimited) sys =
-  let graph, starts, acc, _ = check_with_acc ~budget sys None in
+let has_fair_computation ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) sys =
+  let graph, starts, acc, _ = check_with_acc ~budget ~telemetry sys None in
+  Telemetry.span telemetry "fts.lasso_search" @@ fun () ->
   Graph.find_accepting_lasso graph ~starts acc <> None
 
 let pp_trace sys ppf { prefix; cycle } =

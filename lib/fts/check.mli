@@ -25,14 +25,26 @@ type result = Holds | Fails of trace
     Raises [Invalid_argument] if [f] is outside the canonical fragment
     of {!Logic.Rewrite} or mentions unknown atoms.  [budget] is charged
     per split-graph node and edge and per product state, so the check is
-    interrupted by [Budget.Tripped] when it runs out. *)
-val holds : ?budget:Budget.t -> System.t -> Logic.Formula.t -> result
+    interrupted by [Budget.Tripped] when it runs out.  [telemetry]
+    wraps the phases in spans ([fts.split_graph], [fts.product],
+    [fts.lasso_search], with the spec translation's [translate] span
+    nested in between) and records the state-space growth
+    ([fts.split_nodes]/[fts.product_states] counters and the
+    [fts.state_space] histogram). *)
+val holds :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  System.t ->
+  Logic.Formula.t ->
+  result
 
 (** Parse and check. *)
-val holds_s : ?budget:Budget.t -> System.t -> string -> result
+val holds_s :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> System.t -> string -> result
 
 (** Is there any fair computation at all (sanity check: a system with no
     fair computations satisfies everything vacuously)? *)
-val has_fair_computation : ?budget:Budget.t -> System.t -> bool
+val has_fair_computation :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> System.t -> bool
 
 val pp_trace : System.t -> trace Fmt.t

@@ -27,7 +27,16 @@ let sccs_in ~n ~succ ~allowed =
             stack := rest;
             on_stack.(w) <- false;
             if w = v then w :: acc else pop (w :: acc)
-        | [] -> assert false
+        | [] ->
+            (* the Tarjan stack always holds every state of the
+               component rooted at [v]; running dry means the low-link
+               bookkeeping was corrupted — name the invariant instead
+               of dying with a blind [Assert_failure] *)
+            invalid_arg
+              (Printf.sprintf
+                 "Graph_kernel.sccs_in: internal invariant broken: Tarjan \
+                  stack exhausted before reaching root state %d"
+                 v)
       in
       out := pop [] :: !out
     end
@@ -59,17 +68,22 @@ let sccs_in ~n ~succ ~allowed =
   for v = 0 to n - 1 do
     if allowed v && index.(v) = -1 then visit v
   done;
+  let tl = Telemetry.ambient () in
+  Telemetry.add tl "graph.scc.nodes" !counter;
+  Telemetry.add tl "graph.scc.components" (List.length !out);
   !out
 
 let sccs ~n ~succ = sccs_in ~n ~succ ~allowed:(fun _ -> true)
 
 let reachable_in ~n ~succ ~allowed ~starts =
   let seen = Array.make n false in
+  let nseen = ref 0 in
   let todo = ref [] in
   List.iter
     (fun v ->
       if allowed v && not seen.(v) then begin
         seen.(v) <- true;
+        incr nseen;
         todo := v :: !todo
       end)
     starts;
@@ -82,10 +96,12 @@ let reachable_in ~n ~succ ~allowed ~starts =
           (fun w ->
             if allowed w && not seen.(w) then begin
               seen.(w) <- true;
+              incr nseen;
               todo := w :: !todo
             end)
           (succ v)
   done;
+  Telemetry.add (Telemetry.ambient ()) "graph.reach.nodes" !nseen;
   seen
 
 let reachable ~n ~succ ~starts =

@@ -1,0 +1,146 @@
+(** Structured observability: nested timed spans, monotonic counters
+    and value histograms, behind a pluggable sink.
+
+    The system-wide companion of {!Budget}: where a budget bounds
+    {e how much} work a procedure may do, telemetry records {e where}
+    that work went.  Every layer the budget threads through — cycle
+    enumeration, monoid saturation, rank search, tableau expansion,
+    FTS state-space construction — also accepts a [?telemetry]
+    handle and wraps its phases in {!span}s; the shared leaf kernels
+    ({!Graph_kernel}, the [Automaton.successors] memo, the
+    [Lang] complement cache) report against the {e ambient} handle
+    installed by the engine boundary, so one collector sees the whole
+    run regardless of how deep the call started.
+
+    {2 Cost discipline}
+
+    The default handle is {!disabled}: every operation on it reduces
+    to a load and a branch, like [Budget.tick] on an unlimited budget
+    — measured overhead on the classification benches is within noise
+    (see [BENCH_obs.json], target ratio <= 1.02).  Instrumentation is
+    therefore left enabled unconditionally in the hot paths.
+
+    {2 Sinks}
+
+    - {!disabled} — the no-op handle (the default everywhere);
+    - {!collector} — retains spans/counters/histograms in memory for
+      {!report};
+    - {!jsonl} — additionally emits one JSON object per completed
+      span (and, on {!flush}, per counter and histogram) through the
+      supplied writer: the [hpt --trace-json FILE] format.
+
+    {2 Span naming scheme}
+
+    Dot-separated [layer.phase], lowercase: [classify.safety],
+    [classify.rank_search], [cycles.enumerate], [monoid.saturate],
+    [tableau.translate], [translate.of_canon], [fts.product],
+    [engine.liveness].  Counters and histogram names follow the same
+    convention ([automaton.successors.hit], [lang.complement.miss],
+    [cycles.scc_size]).  See DESIGN.md, "Telemetry and profiling
+    hooks". *)
+
+type t
+(** A telemetry handle: a sink plus the mutable span/counter state.
+    Handles are not thread-safe (neither is the rest of the library). *)
+
+val disabled : t
+(** The no-op handle.  Every operation returns immediately after one
+    branch; {!report} on it is empty.  The default for every
+    [?telemetry] argument. *)
+
+val collector : unit -> t
+(** A fresh in-memory handle; read it back with {!report},
+    {!counter} or {!span_totals}. *)
+
+val jsonl : (string -> unit) -> t
+(** [jsonl write] emits one JSON-lines record per completed span
+    through [write] (one complete object per call, no trailing
+    newline), {e and} retains everything in memory like {!collector}.
+    Call {!flush} at the end to emit the counter and histogram
+    records. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!disabled}. *)
+
+(** {2 Recording} *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()] as a span named [name], nested inside
+    the innermost open span of [t].  Exception-safe: the span is
+    closed (and recorded) whether [f] returns or raises — a
+    [Budget.Tripped] flying through leaves a consistent trace. *)
+
+val incr : t -> string -> unit
+(** Add 1 to a counter (created at 0 on first use). *)
+
+val add : t -> string -> int -> unit
+(** Add [n] to a counter. *)
+
+val observe : t -> string -> float -> unit
+(** Record one value into a histogram (power-of-two buckets, plus
+    count/sum/min/max). *)
+
+(** {2 Ambient handle}
+
+    Leaf kernels that cannot thread a handle through their signature
+    ([Automaton.successors] is passed around as a bare [int -> int
+    list]) report against the process-wide ambient handle.  The engine
+    boundary installs its handle for the duration of each entry point;
+    the default ambient is {!disabled}. *)
+
+val ambient : unit -> t
+
+val set_ambient : t -> unit
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install a handle, run, restore the previous one (also on
+    exceptions). *)
+
+(** {2 Reading back} *)
+
+type span_tree = {
+  name : string;
+  elapsed_ns : float;
+  children : span_tree list;  (** in completion order *)
+}
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+      (** [(upper_bound, n)] per non-empty power-of-two bucket: [n]
+          observations were [<= upper_bound] (and above the previous
+          bucket's bound) *)
+}
+
+type report = {
+  spans : span_tree list;  (** completed top-level spans, in order *)
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * histogram) list;  (** sorted by name *)
+}
+
+val report : t -> report
+(** Snapshot of everything recorded so far.  Spans still open (a
+    [span] call in progress) are not included. *)
+
+val counter : t -> string -> int
+(** Current value of one counter; [0] if never touched. *)
+
+val span_totals : report -> (string * float) list
+(** Total elapsed nanoseconds per span name, summed across the whole
+    forest (a name appearing at several nesting sites is aggregated),
+    sorted by name. *)
+
+val reset : t -> unit
+(** Drop all recorded state (spans, counters, histograms).  The sink
+    is kept; useful between benchmark iterations. *)
+
+val flush : t -> unit
+(** For {!jsonl} handles: emit one record per counter and per
+    histogram.  No-op on other sinks. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable table: the span tree with elapsed times, then
+    counters, then histograms — the [hpt --stats] output. *)

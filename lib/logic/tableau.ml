@@ -83,7 +83,13 @@ let rec nnf (f : Formula.t) : nnf =
       NRelease (nnf g, NOr (nnf g, nnf f))
   | Ev f -> NUntil (NTrue, nnf f)
   | Alw f -> NRelease (NFalse, nnf f)
-  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ -> assert false
+  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ ->
+      (* [extract_pasts] interned every maximal past-rooted subformula
+         before this pass; a survivor means the extraction invariant is
+         broken *)
+      invalid_arg
+        ("Tableau.nnf: past operator survived past-extraction: "
+        ^ Formula.to_string f)
 
 and neg (f : Formula.t) : nnf =
   match f with
@@ -102,7 +108,10 @@ and neg (f : Formula.t) : nnf =
       NUntil (neg g, NAnd (neg g, neg f))
   | Ev f -> NRelease (NFalse, neg f)
   | Alw f -> NUntil (NTrue, neg f)
-  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ -> assert false
+  | Prev _ | Wprev _ | Since _ | Wsince _ | Once _ | Hist _ ->
+      invalid_arg
+        ("Tableau.neg: past operator survived past-extraction: "
+        ^ Formula.to_string f)
 
 (* ------------------------------------------------------------------ *)
 (* GPVW node graph                                                     *)
@@ -130,9 +139,10 @@ let negated_lit = function
   | NLit (LPast (i, b)) -> Some (NLit (LPast (i, not b)))
   | NTrue | NFalse | NAnd _ | NOr _ | NNext _ | NUntil _ | NRelease _ -> None
 
-let rec expand ~budget g ~incoming ~new_ ~old ~next =
+let rec expand ~budget ~count g ~incoming ~new_ ~old ~next =
   Budget.tick budget;
-  let expand = expand ~budget in
+  incr count;
+  let expand = expand ~budget ~count in
   match NSet.choose_opt new_ with
   | None -> (
       match
@@ -183,10 +193,10 @@ let rec expand ~budget g ~incoming ~new_ ~old ~next =
               ~new_:(NSet.add f1 (NSet.add f2 new_))
               ~old:(NSet.add eta old) ~next)
 
-let build_graph ~budget phi =
+let build_graph ~budget ~count phi =
   let g = { nodes = []; fresh = 0 } in
-  expand ~budget g ~incoming:(ISet.singleton 0) ~new_:(NSet.singleton phi)
-    ~old:NSet.empty ~next:NSet.empty;
+  expand ~budget ~count g ~incoming:(ISet.singleton 0)
+    ~new_:(NSet.singleton phi) ~old:NSet.empty ~next:NSet.empty;
   g.nodes
 
 let rec untils_of = function
@@ -208,10 +218,16 @@ type nba = {
 
 let size a = a.n
 
-let translate ?(budget = Budget.unlimited) alpha f =
+let translate ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
+    alpha f =
+  Telemetry.span telemetry "tableau.translate" @@ fun () ->
   let skeleton, pasts = extract_pasts f in
   let phi = nnf skeleton in
-  let nodes = build_graph ~budget phi in
+  let expansions = ref 0 in
+  let nodes = build_graph ~budget ~count:expansions phi in
+  Telemetry.observe telemetry "tableau.expansions" (float_of_int !expansions);
+  Telemetry.observe telemetry "tableau.graph_nodes"
+    (float_of_int (List.length nodes));
   let tester = Past_tester.make alpha (Array.to_list pasts) in
   let untils = List.sort_uniq Stdlib.compare (untils_of phi) in
   (* concrete states: (node id, tester state), interned; 0 = pre-initial *)
@@ -287,6 +303,7 @@ let translate ?(budget = Budget.unlimited) alpha f =
     end
   done;
   let n = !count in
+  Telemetry.observe telemetry "tableau.states" (float_of_int n);
   let succ = Array.make n [] in
   Hashtbl.iter (fun i sucs -> succ.(i) <- sucs) succ_assoc;
   let acc_sets =
@@ -345,13 +362,17 @@ let nonempty a =
     (Array.map (fun s -> ISet.filter (fun v -> seen.(v)) s) a.acc_sets)
     (fun v -> seen.(v))
 
-let satisfiable ?budget alpha f = nonempty (translate ?budget alpha f)
+let satisfiable ?budget ?telemetry alpha f =
+  nonempty (translate ?budget ?telemetry alpha f)
 
-let valid ?budget alpha f = not (satisfiable ?budget alpha (Formula.Not f))
+let valid ?budget ?telemetry alpha f =
+  not (satisfiable ?budget ?telemetry alpha (Formula.Not f))
 
-let equiv ?budget alpha f g = valid ?budget alpha (Formula.Iff (f, g))
+let equiv ?budget ?telemetry alpha f g =
+  valid ?budget ?telemetry alpha (Formula.Iff (f, g))
 
-let implies ?budget alpha f g = valid ?budget alpha (Formula.Imp (f, g))
+let implies ?budget ?telemetry alpha f g =
+  valid ?budget ?telemetry alpha (Formula.Imp (f, g))
 
 (* ------------------------------------------------------------------ *)
 (* Witness extraction                                                  *)
@@ -394,8 +415,8 @@ let shortest_path succs src dsts =
         Some (build dst [])
   end
 
-let witness ?budget alpha f =
-  let a = translate ?budget alpha f in
+let witness ?budget ?telemetry alpha f =
+  let a = translate ?budget ?telemetry alpha f in
   let seen = reachable_from a 0 in
   let succs v = if seen.(v) then a.succ.(v) else [] in
   let comps =
@@ -425,10 +446,20 @@ let witness ?budget alpha f =
         List.filter (fun (_, w) -> ISet.mem w in_comp) (succs v)
       in
       let anchor = List.hd comp in
+      (* the SCC was selected among states reachable from 0 and is
+         strongly connected with every acceptance set represented, so
+         each path below must exist; name the broken invariant instead
+         of a blind [Assert_failure] *)
+      let internal_error what =
+        invalid_arg
+          (Printf.sprintf
+             "Tableau.witness: internal invariant broken: %s (anchor %d)"
+             what anchor)
+      in
       let prefix_path =
         match shortest_path succs 0 (fun v -> v = anchor) with
         | Some p -> p
-        | None -> assert false
+        | None -> internal_error "accepting SCC unreachable from start"
       in
       (* closed walk from anchor visiting a representative of each
          acceptance set *)
@@ -438,7 +469,7 @@ let witness ?budget alpha f =
              (fun acc ->
                match List.find_opt (fun v -> ISet.mem v acc) comp with
                | Some v -> v
-               | None -> assert false)
+               | None -> internal_error "acceptance set misses the chosen SCC")
              a.acc_sets)
       in
       let rec tour v targets acc =
@@ -456,11 +487,11 @@ let witness ?budget alpha f =
                 (comp_succs v)
             with
             | p :: _ -> acc @ p
-            | [] -> assert false)
+            | [] -> internal_error "no closing step back to anchor")
         | t :: rest -> (
             match shortest_path comp_succs v (fun x -> x = t) with
             | Some p -> tour t rest (acc @ p)
-            | None -> assert false)
+            | None -> internal_error "representative unreachable within SCC")
       in
       let cycle_path = tour anchor reps [] in
       let letters path = Array.of_list (List.map fst path) in

@@ -24,30 +24,60 @@ type nba
     over [alpha] satisfying [f].  [budget] is ticked once per tableau
     node expansion and once per concrete product state, so fuel and
     deadline budgets interrupt the (worst-case exponential)
-    construction with [Budget.Tripped]. *)
-val translate : ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> nba
+    construction with [Budget.Tripped].  [telemetry] wraps the
+    construction in a [tableau.translate] span and records histograms
+    of the expansion count ([tableau.expansions]), tableau graph size
+    ([tableau.graph_nodes]) and concrete product size
+    ([tableau.states]). *)
+val translate :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Finitary.Alphabet.t ->
+  Formula.t ->
+  nba
 
 (** Number of concrete automaton states. *)
 val size : nba -> int
 
 (** Does some infinite word satisfy the formula? *)
-val satisfiable : ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> bool
+val satisfiable :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Finitary.Alphabet.t ->
+  Formula.t ->
+  bool
 
 (** Do all infinite words satisfy it? *)
-val valid : ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> bool
+val valid :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Finitary.Alphabet.t ->
+  Formula.t ->
+  bool
 
 (** [equiv alpha f g]: the paper's [f ~ g] — [f <-> g] is valid (over the
     given alphabet). *)
 val equiv :
-  ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Finitary.Alphabet.t ->
+  Formula.t ->
+  Formula.t ->
+  bool
 
 (** [implies alpha f g]: [f -> g] is valid. *)
 val implies :
-  ?budget:Budget.t -> Finitary.Alphabet.t -> Formula.t -> Formula.t -> bool
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Finitary.Alphabet.t ->
+  Formula.t ->
+  Formula.t ->
+  bool
 
 (** A lasso word satisfying the formula, if any. *)
 val witness :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   Finitary.Alphabet.t ->
   Formula.t ->
   Finitary.Word.lasso option

@@ -136,6 +136,10 @@ let union = product (fun x y -> Acceptance.Or [ x; y ])
 
 let diff a b = inter a (complement b)
 
+let memoize_successors = ref true
+
+let set_successors_memo b = memoize_successors := b
+
 let successors a q =
   if Array.length a.succ_table = 0 then a.succ_table <- Array.make a.n [];
   match a.succ_table.(q) with
@@ -143,10 +147,13 @@ let successors a q =
       (* rows are never empty (automata are complete), so [[]] doubles
          as the not-yet-computed marker; building per row keeps one-shot
          traversals from paying for states they never visit *)
+      Telemetry.incr (Telemetry.ambient ()) "automaton.successors.miss";
       let l = List.sort_uniq Stdlib.compare (Array.to_list a.delta.(q)) in
-      a.succ_table.(q) <- l;
+      if !memoize_successors then a.succ_table.(q) <- l;
       l
-  | l -> l
+  | l ->
+      Telemetry.incr (Telemetry.ambient ()) "automaton.successors.hit";
+      l
 
 let reachable a =
   Graph_kernel.reachable ~n:a.n ~succ:(successors a) ~starts:[ a.start ]

@@ -68,8 +68,16 @@ val diff : t -> t -> t
 val trim : t -> t
 
 (** Successor lists (unlabelled) for graph algorithms; deduplicated and
-    memoized — repeated calls do not re-filter the transition table. *)
+    memoized — repeated calls do not re-filter the transition table.
+    Hits and misses are counted against the ambient {!Telemetry}
+    handle ([automaton.successors.hit]/[.miss]). *)
 val successors : t -> int -> int list
+
+(** [set_successors_memo false] disables the {!successors} memo
+    process-wide (every call recomputes its row).  Test instrumentation
+    for differential cache-consistency checks — not for production
+    use.  Default: enabled. *)
+val set_successors_memo : bool -> unit
 
 (** Strongly connected components (iterative Tarjan via
     {!Graph_kernel}), in topological order of the component DAG. *)

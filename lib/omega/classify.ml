@@ -150,12 +150,14 @@ exception Rank_too_hard of int
    is itself a cycle (then single-element refinement steps are always
    available). *)
 let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
-    ?max_scc (a : Automaton.t) =
+    ?max_scc ?(telemetry = Telemetry.disabled) (a : Automaton.t) =
+  Telemetry.span telemetry "classify.rank_search" @@ fun () ->
   let best = ref 0 in
   List.iter
     (fun group ->
       let cycles = Array.of_list group in
       let m = Array.length cycles in
+      Telemetry.add telemetry "rank.cycles" m;
       let support =
         Array.fold_left (fun s (c, _) -> Iset.union s c) Iset.empty cycles
       in
@@ -220,11 +222,11 @@ let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
           if fi then best := max !best (d.(i) / 2)
         done
       end)
-    (Cycles.enumerate ~budget ?max_scc a);
+    (Cycles.enumerate ~budget ?max_scc ~telemetry a);
   !best
 
-let reactivity_rank ?budget ?max_scc a =
-  let n = reactivity_rank_raw ?budget ?max_scc a in
+let reactivity_rank ?budget ?max_scc ?telemetry a =
+  let n = reactivity_rank_raw ?budget ?max_scc ?telemetry a in
   if n > 0 then n
   else if Lang.is_universal a then 0
   else 1
@@ -290,7 +292,8 @@ type budgeted = {
    of the sequence safety, guarantee, obligation, recurrence,
    persistence, rank — which is exactly what makes the interval
    computation below a case analysis on that prefix. *)
-let classify_budgeted ?(budget = Budget.unlimited) ?max_scc a =
+let classify_budgeted ?(budget = Budget.unlimited) ?max_scc
+    ?(telemetry = Telemetry.disabled) a =
   let exhaustion = ref None in
   let guard what f =
     match !exhaustion with
@@ -298,7 +301,7 @@ let classify_budgeted ?(budget = Budget.unlimited) ?max_scc a =
     | None -> (
         try
           Budget.check budget;
-          Some (f ())
+          Some (Telemetry.span telemetry ("classify." ^ what) f)
         with
         | Budget.Tripped e ->
             exhaustion := Some e;
@@ -326,7 +329,10 @@ let classify_budgeted ?(budget = Budget.unlimited) ?max_scc a =
   let deg = guard "obligation" (fun () -> obligation_degree a) in
   let recu = guard "recurrence" (fun () -> is_recurrence a) in
   let pers = guard "persistence" (fun () -> is_persistence a) in
-  let rank = guard "reactivity" (fun () -> reactivity_rank ~budget ?max_scc a) in
+  let rank =
+    guard "reactivity" (fun () ->
+        reactivity_rank ~budget ?max_scc ~telemetry a)
+  in
   let row =
     [
       (Kappa.Safety, saf);

@@ -55,8 +55,16 @@ val obligation_degree : Automaton.t -> int option
     and {!Rank_too_hard} when the enumerated cycle family is too big —
     use {!reactivity_rank_opt} or {!classify_outcome} for a total
     interface.  [budget] interrupts the enumeration and the chain
-    search with [Budget.Tripped] (caught by {!classify_budgeted}). *)
-val reactivity_rank : ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> int
+    search with [Budget.Tripped] (caught by {!classify_budgeted}).
+    [telemetry] wraps the chain search in a [classify.rank_search]
+    span (with the [cycles.enumerate] span nested inside) and counts
+    the enumerated cycles ([rank.cycles]). *)
+val reactivity_rank :
+  ?budget:Budget.t ->
+  ?max_scc:int ->
+  ?telemetry:Telemetry.t ->
+  Automaton.t ->
+  int
 
 (** [None] when the enumeration budget is exceeded; never raises. *)
 val reactivity_rank_opt : ?max_scc:int -> Automaton.t -> int option
@@ -109,6 +117,12 @@ type budgeted = {
 (** Total: never raises, whatever the budget.  With the default
     unlimited budget, [verdict] is [`Exact (classify a)] unless the
     structural cycle-enumeration limits trip (then the interval's
-    lower bound matches [classify_outcome]'s). *)
+    lower bound matches [classify_outcome]'s).  [telemetry] wraps each
+    membership column that actually runs in a [classify.<column>] span
+    (columns skipped by the sticky guard record nothing). *)
 val classify_budgeted :
-  ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> budgeted
+  ?budget:Budget.t ->
+  ?max_scc:int ->
+  ?telemetry:Telemetry.t ->
+  Automaton.t ->
+  budgeted

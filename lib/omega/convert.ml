@@ -23,9 +23,10 @@ let to_guarantee a =
    good cycles C (accepted by the whole condition) that avoid X and so
    satisfy the clause through its Fin part.  Preserves the language when
    it is a recurrence property (the paper's pumping argument). *)
-let saturate_clauses ?budget (a : Automaton.t) =
+let saturate_clauses ?budget ?(telemetry = Telemetry.disabled) (a : Automaton.t) =
+  Telemetry.span telemetry "convert.saturate" @@ fun () ->
   let clauses = Acceptance.cnf a.acc in
-  let cycle_groups = Cycles.enumerate ?budget a in
+  let cycle_groups = Cycles.enumerate ?budget ~telemetry a in
   let good_cycles =
     List.concat_map
       (fun group ->
@@ -83,25 +84,28 @@ let degeneralize ?(budget = Budget.unlimited) (a : Automaton.t) sets =
       Automaton.make ~alpha:a.alpha ~n ~start:(code a.start 0 false) ~delta
         ~acc:(Acceptance.Inf !accepting)
 
-let to_buchi ?budget a =
+let to_buchi ?budget ?(telemetry = Telemetry.disabled) a =
   require (Classify.is_recurrence a) "recurrence";
   let a = Automaton.trim a in
-  let sets = saturate_clauses ?budget a in
+  let sets = saturate_clauses ?budget ~telemetry a in
+  Telemetry.span telemetry "convert.degeneralize" @@ fun () ->
   Automaton.trim (degeneralize ?budget a sets)
 
-let to_cobuchi ?budget a =
+let to_cobuchi ?budget ?telemetry a =
   require (Classify.is_persistence a) "persistence";
   Automaton.trim
-    (Automaton.complement (to_buchi ?budget (Automaton.complement a)))
+    (Automaton.complement (to_buchi ?budget ?telemetry (Automaton.complement a)))
 
 (* ------------------------------------------------------------------ *)
 (* Simple reactivity: the anticipation construction                     *)
 (* ------------------------------------------------------------------ *)
 
-let to_simple_reactivity ?(budget = Budget.unlimited) (a : Automaton.t) =
+let to_simple_reactivity ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) (a : Automaton.t) =
+  Telemetry.span telemetry "convert.anticipate" @@ fun () ->
   let a = Automaton.trim a in
-  require (Classify.reactivity_rank ~budget a <= 1) "simple reactivity";
-  let groups = Cycles.enumerate ~budget a in
+  require (Classify.reactivity_rank ~budget ~telemetry a <= 1) "simple reactivity";
+  let groups = Cycles.enumerate ~budget ~telemetry a in
   let all_cycles = List.concat groups in
   let accepting = List.filter_map (fun (c, f) -> if f then Some c else None) all_cycles in
   let superset_good j =
@@ -203,10 +207,11 @@ let to_simple_reactivity ?(budget = Budget.unlimited) (a : Automaton.t) =
   Automaton.trim
     (Automaton.make ~alpha:a.alpha ~n:n' ~start:i0 ~delta ~acc)
 
-let to_shape ?budget kappa a =
+let to_shape ?budget ?telemetry kappa a =
   match kappa with
   | Kappa.Safety -> to_safety a
   | Kappa.Guarantee -> to_guarantee a
-  | Kappa.Recurrence -> to_buchi ?budget a
-  | Kappa.Persistence -> to_cobuchi ?budget a
-  | Kappa.Obligation _ | Kappa.Reactivity _ -> to_simple_reactivity ?budget a
+  | Kappa.Recurrence -> to_buchi ?budget ?telemetry a
+  | Kappa.Persistence -> to_cobuchi ?budget ?telemetry a
+  | Kappa.Obligation _ | Kappa.Reactivity _ ->
+      to_simple_reactivity ?budget ?telemetry a

@@ -10,7 +10,10 @@
     The exponential steps (cycle enumeration behind the Buechi
     saturation, the anticipation product) accept a [?budget] and are
     interrupted by [Budget.Tripped] when it runs out; the engine
-    boundary converts that into a structured error. *)
+    boundary converts that into a structured error.  They also accept
+    a [?telemetry] handle wrapping the phases in spans
+    ([convert.saturate], [convert.degeneralize], [convert.anticipate],
+    with the nested [cycles.enumerate]/[classify.rank_search]). *)
 
 exception Not_in_class of string
 
@@ -27,18 +30,26 @@ val to_guarantee : Automaton.t -> Automaton.t
     persistent cycles ([R' = R union A1, P' = empty]), then the
     minex-style product collapsing the generalized Buechi condition to a
     single [Inf]. *)
-val to_buchi : ?budget:Budget.t -> Automaton.t -> Automaton.t
+val to_buchi :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> Automaton.t -> Automaton.t
 
 (** Persistence shape: deterministic co-Buechi ([R = empty]); by duality
     from {!to_buchi}. *)
-val to_cobuchi : ?budget:Budget.t -> Automaton.t -> Automaton.t
+val to_cobuchi :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> Automaton.t -> Automaton.t
 
 (** Simple-reactivity shape: a single Streett pair, via the paper's
     anticipation construction ([Q' = Q x Q^m x 2 x n x 2]): the product
     anticipates, for each superset-closed accepting cycle [A_i], the next
     [A_i]-state to be visited, and tracks whether the run stays inside
     some subset-closed accepting cycle [B_j]. *)
-val to_simple_reactivity : ?budget:Budget.t -> Automaton.t -> Automaton.t
+val to_simple_reactivity :
+  ?budget:Budget.t -> ?telemetry:Telemetry.t -> Automaton.t -> Automaton.t
 
 (** Convert to the shape canonical for the given class. *)
-val to_shape : ?budget:Budget.t -> Kappa.t -> Automaton.t -> Automaton.t
+val to_shape :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Kappa.t ->
+  Automaton.t ->
+  Automaton.t

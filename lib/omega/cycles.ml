@@ -43,15 +43,19 @@ let rec eval_mask acc m =
   | MAnd l -> List.for_all (fun a -> eval_mask a m) l
   | MOr l -> List.exists (fun a -> eval_mask a m) l
 
-let enumerate ?(budget = Budget.unlimited) ?(max_scc = 22) (a : Automaton.t) =
+let enumerate ?(budget = Budget.unlimited) ?(max_scc = 22)
+    ?(telemetry = Telemetry.disabled) (a : Automaton.t) =
+  Telemetry.span telemetry "cycles.enumerate" @@ fun () ->
   let reach = Automaton.reachable a in
   let comps =
     List.filter (fun comp -> reach.(List.hd comp)) (Automaton.sccs a)
   in
+  Telemetry.add telemetry "cycles.sccs" (List.length comps);
   List.filter_map
     (fun comp ->
       Budget.tick budget;
       let size = List.length comp in
+      Telemetry.observe telemetry "cycles.scc_size" (float_of_int size);
       if size > max_scc then raise (Too_large size);
       let states = Array.of_list comp in
       let pos = Hashtbl.create 16 in
@@ -109,6 +113,7 @@ let enumerate ?(budget = Budget.unlimited) ?(max_scc = 22) (a : Automaton.t) =
       in
       let out = ref [] in
       let full = (1 lsl size) - 1 in
+      Telemetry.add telemetry "cycles.subsets" full;
       for m = 1 to full do
         Budget.tick budget;
         if is_cycle_mask m then begin
@@ -119,11 +124,12 @@ let enumerate ?(budget = Budget.unlimited) ?(max_scc = 22) (a : Automaton.t) =
           out := (!c, eval_mask macc m) :: !out
         end
       done;
+      Telemetry.add telemetry "cycles.found" (List.length !out);
       match !out with [] -> None | l -> Some l)
     comps
 
-let accepting_family ?budget ?max_scc a =
+let accepting_family ?budget ?max_scc ?telemetry a =
   List.concat_map
     (fun group ->
       List.filter_map (fun (c, f) -> if f then Some c else None) group)
-    (enumerate ?budget ?max_scc a)
+    (enumerate ?budget ?max_scc ?telemetry a)

@@ -35,13 +35,24 @@ exception Too_large of int
     by SCC.  [max_scc] defaults to 22.  [budget] is ticked once per
     candidate subset — the exponential inner loop — so a fuel or
     deadline budget interrupts the enumeration with [Budget.Tripped]
-    (caught at the classification boundary, like [Too_large]). *)
+    (caught at the classification boundary, like [Too_large]).
+    [telemetry] wraps the whole enumeration in a [cycles.enumerate]
+    span and records [cycles.sccs]/[cycles.subsets]/[cycles.found]
+    counters plus a [cycles.scc_size] histogram. *)
 val enumerate :
-  ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> (Iset.t * bool) list list
+  ?budget:Budget.t ->
+  ?max_scc:int ->
+  ?telemetry:Telemetry.t ->
+  Automaton.t ->
+  (Iset.t * bool) list list
 
 (** The family [F] of accessible accepting cycles (flattened). *)
 val accepting_family :
-  ?budget:Budget.t -> ?max_scc:int -> Automaton.t -> Iset.t list
+  ?budget:Budget.t ->
+  ?max_scc:int ->
+  ?telemetry:Telemetry.t ->
+  Automaton.t ->
+  Iset.t list
 
 (** Is the state set a cycle of the automaton (induced subgraph strongly
     connected, with at least one edge)? *)

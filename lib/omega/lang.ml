@@ -199,12 +199,23 @@ let witness (a : Automaton.t) =
    slot physically-keyed cache removes the duplicate construction. *)
 let complement_cache : (Automaton.t * Automaton.t) option ref = ref None
 
+let use_caches = ref true
+
+let set_caches b =
+  use_caches := b;
+  complement_cache := None
+
 let cached_complement a =
+  let tl = Telemetry.ambient () in
+  Telemetry.incr tl "lang.complement.request";
   match !complement_cache with
-  | Some (key, c) when key == a -> c
+  | Some (key, c) when key == a ->
+      Telemetry.incr tl "lang.complement.hit";
+      c
   | _ ->
+      Telemetry.incr tl "lang.complement.miss";
       let c = Automaton.complement a in
-      complement_cache := Some (a, c);
+      if !use_caches then complement_cache := Some (a, c);
       c
 
 let is_universal a = is_empty (cached_complement a)
@@ -215,13 +226,21 @@ let is_universal a = is_empty (cached_complement a)
    emptiness of [acc_a /\ not acc_b] over that {e same} graph — no
    quadratic product needed. *)
 let included a b =
-  if a.Automaton.delta == b.Automaton.delta && a.Automaton.start = b.Automaton.start
-  then
+  if
+    !use_caches
+    && a.Automaton.delta == b.Automaton.delta
+    && a.Automaton.start = b.Automaton.start
+  then begin
+    Telemetry.incr (Telemetry.ambient ()) "lang.included.same_table";
     is_empty
       (Automaton.with_acc a
          (Acceptance.simplify
             (Acceptance.And [ a.Automaton.acc; Acceptance.dual b.Automaton.acc ])))
-  else is_empty (Automaton.inter a (cached_complement b))
+  end
+  else begin
+    Telemetry.incr (Telemetry.ambient ()) "lang.included.product";
+    is_empty (Automaton.inter a (cached_complement b))
+  end
 
 let equal a b = included a b && included b a
 

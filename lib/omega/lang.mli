@@ -16,10 +16,22 @@ val witness : Automaton.t -> Finitary.Word.lasso option
 val is_universal : Automaton.t -> bool
 
 (** Language inclusion / equality (via product with the complement;
-    deterministic automata complement for free). *)
+    deterministic automata complement for free).  Two caches cut the
+    repeated work: a single-slot physically-keyed complement cache and
+    a same-transition-table fast path that replaces the product with an
+    acceptance-only emptiness check.  Both report hit/miss counters to
+    the ambient {!Telemetry} handle ([lang.complement.request/hit/miss],
+    [lang.included.same_table/product]). *)
 val included : Automaton.t -> Automaton.t -> bool
 
 val equal : Automaton.t -> Automaton.t -> bool
+
+(** [set_caches false] disables the complement cache and the same-table
+    fast path process-wide (and drops the cached slot), forcing the
+    cold product path on every query.  Test instrumentation for
+    differential cache-consistency checks — not for production use.
+    Default: enabled. *)
+val set_caches : bool -> unit
 
 (** A lasso in the symmetric difference, if the languages differ. *)
 val distinguishing_witness :

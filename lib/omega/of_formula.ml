@@ -15,7 +15,8 @@ let init_automaton alpha p =
    of the automaton it builds, so a fuel or deadline budget interrupts
    a blowing-up product chain between steps (the engine boundary turns
    the trip into a structured error). *)
-let rec of_canon ?(budget = Budget.unlimited) alpha c =
+let rec of_canon ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) alpha c =
   Budget.check budget;
   let a =
     match c with
@@ -26,18 +27,24 @@ let rec of_canon ?(budget = Budget.unlimited) alpha c =
     | Rewrite.CEvAlw p -> Build.p (Past_tester.esat alpha p)
     | Rewrite.CAnd (c1, c2) ->
         Automaton.trim
-          (Automaton.inter (of_canon ~budget alpha c1)
-             (of_canon ~budget alpha c2))
+          (Automaton.inter (of_canon ~budget ~telemetry alpha c1)
+             (of_canon ~budget ~telemetry alpha c2))
     | Rewrite.COr (c1, c2) ->
         Automaton.trim
-          (Automaton.union (of_canon ~budget alpha c1)
-             (of_canon ~budget alpha c2))
+          (Automaton.union (of_canon ~budget ~telemetry alpha c1)
+             (of_canon ~budget ~telemetry alpha c2))
   in
   Budget.ticks budget a.Automaton.n;
+  Telemetry.add telemetry "translate.states" a.Automaton.n;
   a
 
-let translate ?budget alpha f =
-  Option.map (of_canon ?budget alpha) (Rewrite.to_canon f)
+let translate ?budget ?(telemetry = Telemetry.disabled) alpha f =
+  Telemetry.span telemetry "translate" @@ fun () ->
+  Option.map
+    (fun c ->
+      Telemetry.span telemetry "translate.of_canon" @@ fun () ->
+      of_canon ?budget ~telemetry alpha c)
+    (Rewrite.to_canon f)
 
 let of_string alpha s =
   match translate alpha (Logic.Parser.parse s) with
@@ -46,5 +53,5 @@ let of_string alpha s =
       invalid_arg
         (Printf.sprintf "Of_formula.of_string: %S is outside the canonical fragment" s)
 
-let classify ?budget alpha f =
-  Option.map Classify.classify (translate ?budget alpha f)
+let classify ?budget ?telemetry alpha f =
+  Option.map Classify.classify (translate ?budget ?telemetry alpha f)

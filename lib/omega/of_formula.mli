@@ -11,14 +11,22 @@
 
 (** Compile a canonical form.  [budget] is charged per automaton state
     constructed, so product blow-ups are interrupted by
-    [Budget.Tripped]. *)
+    [Budget.Tripped].  [telemetry] counts the states constructed
+    ([translate.states], summed over intermediate products). *)
 val of_canon :
-  ?budget:Budget.t -> Finitary.Alphabet.t -> Logic.Rewrite.canon -> Automaton.t
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Finitary.Alphabet.t ->
+  Logic.Rewrite.canon ->
+  Automaton.t
 
 (** Normalize with {!Logic.Rewrite.to_canon}, then compile.  [None] if
-    the formula is outside the canonical fragment. *)
+    the formula is outside the canonical fragment.  [telemetry] wraps
+    the whole step in a [translate] span (compilation proper nested as
+    [translate.of_canon]). *)
 val translate :
   ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   Automaton.t option
@@ -31,4 +39,8 @@ val of_string : Finitary.Alphabet.t -> string -> Automaton.t
     automaton (exact for the denoted property, unlike the syntactic
     class, which is only an upper bound). *)
 val classify :
-  ?budget:Budget.t -> Finitary.Alphabet.t -> Logic.Formula.t -> Kappa.t option
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  Finitary.Alphabet.t ->
+  Logic.Formula.t ->
+  Kappa.t option

@@ -43,3 +43,92 @@ The other subcommands share the engine and its budget flags:
 
   $ hpt witness '<> p & [] q'
   {p,q}{q}({q})ω
+
+The build subcommand applies the paper's operators directly to a
+regular expression:
+
+  $ hpt build R '.* b' --chars ab
+  R(.* b)
+  class        : recurrence  (Borel Π2; topologically G_delta)
+  memberships  : safety=no, guarantee=no, simple obligation=no, recurrence=yes, persistence=no, simple reactivity=yes
+  liveness     : yes (uniform: yes)
+  counter-free : yes (LTL-expressible)
+  states       : 2
+
+Regex errors carry the failing position; unknown operators and
+ambiguous alphabets are structured errors too:
+
+  $ hpt build E '.* x' --chars ab
+  error: Regex.parse: unknown letter "x" at position 3 in ".* x"
+  [1]
+
+  $ hpt build A '{p' --props p
+  error: Regex.parse: unterminated {...} letter name at position 0 in "{p"
+  [1]
+
+  $ hpt build Q 'a*' --chars ab
+  error: unknown operator "Q": expected A, E, R or P
+  [1]
+
+  $ hpt build A 'a*'
+  error: regex alphabet cannot be inferred: give --props or --chars
+  [1]
+
+--stats appends a telemetry report after the verdict.  Span timings
+are nondeterministic, so the cram keeps the counter and histogram
+sections (fully deterministic for a fixed input):
+
+  $ hpt classify --stats '[] (p -> <> q)' | sed -n '/^ counters:/,$p' | grep .
+   counters:
+    automaton.successors.hit             60
+    automaton.successors.miss            14
+    cycles.found                         3
+    cycles.sccs                          2
+    cycles.subsets                       4
+    graph.reach.nodes                    24
+    graph.scc.components                 24
+    graph.scc.nodes                      32
+    lang.included.same_table             4
+    monoid.elements                      3
+    rank.cycles                          3
+    translate.states                     3
+   histograms:
+    cycles.scc_size                      n=2 min=1 max=2 mean=1.5
+
+--trace-json streams the same data as JSON lines — one object per
+completed span (innermost first), then counters and histograms:
+
+  $ hpt classify --trace-json trace.jsonl '[] (p -> <> q)' > /dev/null
+  $ sed 's/"elapsed_ns":[0-9]*/"elapsed_ns":_/' trace.jsonl
+  {"type":"span","name":"translate.of_canon","depth":1,"elapsed_ns":_}
+  {"type":"span","name":"translate","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"classify.safety","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"classify.guarantee","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"classify.obligation","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"classify.recurrence","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"classify.persistence","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"cycles.enumerate","depth":2,"elapsed_ns":_}
+  {"type":"span","name":"classify.rank_search","depth":1,"elapsed_ns":_}
+  {"type":"span","name":"classify.reactivity","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"engine.liveness","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"engine.uniform_liveness","depth":0,"elapsed_ns":_}
+  {"type":"span","name":"monoid.saturate","depth":0,"elapsed_ns":_}
+  {"type":"counter","name":"automaton.successors.hit","total":60}
+  {"type":"counter","name":"automaton.successors.miss","total":14}
+  {"type":"counter","name":"cycles.found","total":3}
+  {"type":"counter","name":"cycles.sccs","total":2}
+  {"type":"counter","name":"cycles.subsets","total":4}
+  {"type":"counter","name":"graph.reach.nodes","total":24}
+  {"type":"counter","name":"graph.scc.components","total":24}
+  {"type":"counter","name":"graph.scc.nodes","total":32}
+  {"type":"counter","name":"lang.included.same_table","total":4}
+  {"type":"counter","name":"monoid.elements","total":3}
+  {"type":"counter","name":"rank.cycles","total":3}
+  {"type":"counter","name":"translate.states","total":3}
+  {"type":"histogram","name":"cycles.scc_size","count":2,"sum":3,"min":1,"max":2}
+
+An unwritable trace path is a structured error, not a backtrace:
+
+  $ hpt classify --trace-json /nonexistent/dir/t.jsonl '[] p'
+  error: /nonexistent/dir/t.jsonl: No such file or directory
+  [1]
