@@ -396,6 +396,45 @@ let observability_breakdown () =
         inputs);
   Telemetry.report telemetry
 
+(* Syntactic class inference (Logic.Shape.infer, the lint fast path)
+   against full semantic classification (translate + classify) over a
+   family of specification-shaped formulas.  The static pass is the
+   whole point of `hpt lint --syntactic-only`, so BENCH_lint.json
+   records the per-formula ratio; CI requires the geomean speedup to
+   stay >= 10x. *)
+let lint_family =
+  [
+    "[] !(p & q)";
+    "p W !q";
+    "[] (p -> O q)";
+    "[] (p -> <> q)";
+    "[]<> p -> []<> q";
+    "<>[] p | []<> q";
+    "([]<> p | <>[] q) & ([]<> q | <>[] p)";
+    "[] (p -> <> (q & O p))";
+  ]
+
+let lint_speed () =
+  let time_ns reps f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Sys.time () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = (Sys.time () -. t0) *. 1e9 /. float_of_int reps in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  List.map
+    (fun s ->
+      let form = Logic.Parser.parse s in
+      let syn = time_ns 200 (fun () -> ignore (Logic.Shape.infer form)) in
+      let sem = time_ns 3 (fun () -> ignore (Of_formula.classify pq form)) in
+      (s, syn, sem))
+    lint_family
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -542,6 +581,43 @@ let json_mode ~check_overhead () =
   in
   Format.printf "telemetry overhead, geomean over classify benches: %.3f@."
     geomean;
+  (* lint fast-path report: syntactic inference vs semantic
+     classification on the specification family *)
+  let lint_rows =
+    (* every formula in the family must translate, so the semantic
+       side does real work; sub-resolution timings are dropped *)
+    List.filter (fun (_, syn, sem) -> syn > 0. && sem > 0.) (lint_speed ())
+  in
+  let lint_geomean =
+    exp
+      (List.fold_left (fun acc (_, syn, sem) -> acc +. log (sem /. syn)) 0.
+         lint_rows
+      /. float_of_int (max 1 (List.length lint_rows)))
+  in
+  let oc = open_out "BENCH_lint.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"note\": \"syntactic = Logic.Shape.infer (the hpt lint \
+     --syntactic-only path); semantic = Omega.Of_formula.classify \
+     (translate to an automaton, then classify); CI requires \
+     geomean_speedup >= 10\",\n";
+  p "  \"benches\": [\n";
+  List.iteri
+    (fun i (name, syn, sem) ->
+      p
+        "    {\"name\": \"%s\", \"syntactic_ns\": %.1f, \"semantic_ns\": \
+         %.1f, \"speedup\": %.1f}%s\n"
+        (json_escape name) syn sem (sem /. syn)
+        (if i < List.length lint_rows - 1 then "," else ""))
+    lint_rows;
+  p "  ],\n";
+  p "  \"geomean_speedup\": %.1f\n" lint_geomean;
+  p "}\n";
+  close_out oc;
+  Format.printf
+    "wrote BENCH_lint.json (%d entries, geomean speedup %.1fx)@."
+    (List.length lint_rows) lint_geomean;
   if check_overhead && geomean > 1.02 then begin
     Format.printf
       "OVERHEAD REGRESSION: disabled-telemetry geomean %.3f > 1.02@." geomean;

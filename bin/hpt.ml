@@ -181,40 +181,127 @@ let views_cmd =
 let lint_cmd =
   let specs_arg =
     let doc = "Requirement of the form NAME=FORMULA (repeatable)." in
-    Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME=FORMULA" ~doc)
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME=FORMULA" ~doc)
   in
-  let run fuel timeout_ms stats trace specs =
+  let file_arg =
+    let doc =
+      "Read requirements from $(docv): one NAME = FORMULA per line; blank \
+       lines and lines starting with # are ignored."
+    in
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) or $(b,json)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let syntactic_arg =
+    let doc =
+      "Skip semantic refinement entirely: only the linear syntactic pass \
+       runs, so any number of atoms is accepted."
+    in
+    Arg.(value & flag & info [ "syntactic-only" ] ~doc)
+  in
+  let semantic_arg =
+    let doc =
+      "Force semantic refinement, including the pairwise \
+       subsumption/conflict checks on large specifications."
+    in
+    Arg.(value & flag & info [ "semantic" ] ~doc)
+  in
+  let run fuel timeout_ms stats trace file format syntactic semantic specs =
     with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
-    let parse spec =
+    let parse_line ~where spec =
       match String.index_opt spec '=' with
       | Some i ->
           Ok
-            ( String.sub spec 0 i,
+            ( String.trim (String.sub spec 0 i),
               String.sub spec (i + 1) (String.length spec - i - 1) )
-      | None -> Error (Engine.Invalid_input (spec ^ ": expected NAME=FORMULA"))
+      | None ->
+          Error (Engine.Invalid_input (where ^ ": expected NAME=FORMULA"))
     in
     let rec parse_all = function
       | [] -> Ok []
-      | s :: rest ->
-          Result.bind (parse s) @@ fun p ->
+      | (where, s) :: rest ->
+          Result.bind (parse_line ~where s) @@ fun p ->
           Result.map (fun ps -> p :: ps) (parse_all rest)
     in
-    Result.bind (parse_all specs) @@ fun specs ->
-    Result.map
-      (fun v ->
-        Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v;
-        0)
-      (Engine.lint ~budget ~telemetry specs)
+    let from_file =
+      match file with
+      | None -> Ok []
+      | Some path ->
+          Result.map
+            (fun lines ->
+              List.filteri
+                (fun _ (_, l) ->
+                  let l = String.trim l in
+                  l <> "" && l.[0] <> '#')
+                (List.mapi
+                   (fun i l -> (Printf.sprintf "%s:%d" path (i + 1), l))
+                   lines))
+            (Engine.protect (fun () ->
+                 let ic = open_in path in
+                 Fun.protect
+                   ~finally:(fun () -> close_in ic)
+                   (fun () ->
+                     let rec go acc =
+                       match input_line ic with
+                       | l -> go (l :: acc)
+                       | exception End_of_file -> List.rev acc
+                     in
+                     go [])))
+    in
+    Result.bind from_file @@ fun file_specs ->
+    let cli_specs = List.map (fun s -> (s, s)) specs in
+    let all = file_specs @ cli_specs in
+    if all = [] then
+      Error (Engine.Invalid_input "no requirements: give NAME=FORMULA or --file")
+    else
+      let mode =
+        match (syntactic, semantic) with
+        | true, true ->
+            (* contradictory flags: the stricter one wins nothing; refuse *)
+            None
+        | true, false -> Some Hierarchy.Lint.Syntactic_only
+        | false, true -> Some Hierarchy.Lint.Semantic
+        | false, false -> Some Hierarchy.Lint.Auto
+      in
+      match mode with
+      | None ->
+          Error
+            (Engine.Invalid_input
+               "--syntactic-only and --semantic are mutually exclusive")
+      | Some mode ->
+          Result.bind (parse_all all) @@ fun parsed ->
+          Result.map
+            (fun v ->
+              (match format with
+              | `Text -> Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v
+              | `Json -> print_endline (Hierarchy.Lint.to_json v));
+              (* errors in the spec are reflected in the exit code, so
+                 CI can gate on a clean lint *)
+              if
+                List.exists
+                  (fun d ->
+                    Hierarchy.Lint.severity_of_code d.Hierarchy.Lint.code
+                    = Hierarchy.Lint.Error)
+                  v.Hierarchy.Lint.diagnostics
+              then 1
+              else 0)
+            (Engine.lint ~budget ~telemetry ~mode parsed)
   in
   let info =
     Cmd.info "lint"
       ~doc:
-        "Classify each requirement of a specification and warn about \
-         underspecification"
+        "Analyze a specification: classify each requirement, report coded \
+         diagnostics (underspecification, vacuity, conflicts, redundancy, \
+         class downgrades)"
   in
   Cmd.v info
     Term.(const run $ fuel_arg $ timeout_arg $ stats_arg $ trace_arg
-          $ specs_arg)
+          $ file_arg $ format_arg $ syntactic_arg $ semantic_arg $ specs_arg)
 
 (* ---------------- equiv ---------------- *)
 

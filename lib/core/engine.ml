@@ -153,7 +153,9 @@ let report_of ~budget ~telemetry ~syntactic (a : Omega.Automaton.t) =
 let classify_automaton ?(budget = Budget.unlimited)
     ?(telemetry = Telemetry.disabled) ?formula a =
   protect ~budget ~telemetry @@ fun () ->
-  let syntactic = Option.bind formula Logic.Rewrite.classify in
+  let syntactic =
+    Option.bind formula (fun f -> Logic.Shape.upper (Logic.Shape.infer f))
+  in
   report_of ~budget ~telemetry ~syntactic a
 
 let outside_fragment ~telemetry ~syntactic ~exhausted =
@@ -174,7 +176,7 @@ let outside_fragment ~telemetry ~syntactic ~exhausted =
 let classify_formula ?(budget = Budget.unlimited)
     ?(telemetry = Telemetry.disabled) alpha f =
   protect ~budget ~telemetry @@ fun () ->
-  let syntactic = Logic.Rewrite.classify f in
+  let syntactic = Logic.Shape.upper (Logic.Shape.infer f) in
   let translation =
     (* degrade, don't fail, when the budget trips inside translation:
        the syntactic class still bounds the verdict from above *)
@@ -283,8 +285,9 @@ let witness ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
   protect ~budget ~telemetry @@ fun () ->
   Logic.Tableau.witness ~budget ~telemetry alpha f
 
-let lint ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) specs =
-  protect ~budget ~telemetry @@ fun () -> Lint.lint_strings ~budget specs
+let lint ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) ?mode
+    specs =
+  protect ~budget ~telemetry @@ fun () -> Lint.lint_strings ~budget ?mode specs
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

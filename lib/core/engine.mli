@@ -28,7 +28,9 @@ type verdict =
 type report = {
   verdict : verdict;
   syntactic : Kappa.t option;
-      (** class of the canonical formula, when one was supplied *)
+      (** the {!Logic.Shape} syntactic class bound, when a formula was
+          supplied and the bound is finite: the meet of the canonical
+          form's class and the structural-recursion bound *)
   memberships : (Kappa.t * bool option) list;
       (** one row of Figure 1's membership matrix; [None] past the
           point where the budget tripped *)
@@ -164,9 +166,12 @@ val witness :
 val lint :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?mode:Lint.mode ->
   (string * string) list ->
   (Lint.verdict, error) result
-(** Parse and lint a named-requirement specification. *)
+(** Parse and lint a named-requirement specification.  [mode] selects
+    how much semantic refinement {!Lint} performs (default
+    {!Lint.Auto}). *)
 
 (** {2 Parsing and alphabets} *)
 

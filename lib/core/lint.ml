@@ -1,93 +1,442 @@
+(* The diagnostics engine.  Every finding is a coded diagnostic; the
+   numbering groups by severity: E0xx errors, W1xx warnings, H2xx
+   hints.  The syntactic pass (Logic.Shape) always runs; the semantic
+   pass (tableau + automaton classification) refines it when the
+   alphabet is small enough and the mode allows. *)
+
+type severity = Error | Warning | Hint
+
+type code =
+  | E001  (* requirement unsatisfiable *)
+  | E002  (* two requirements conflict *)
+  | W101  (* requirement valid: constrains nothing *)
+  | W102  (* all-safety specification: the underspecification trap *)
+  | W103  (* conjunction collapses to safety *)
+  | W104  (* semantic refinement skipped *)
+  | W105  (* requirement subsumed by another *)
+  | H201  (* written in a higher class than it denotes *)
+  | H202  (* outside the canonical fragment *)
+  | H203  (* constant subformula *)
+
+let severity_of_code = function
+  | E001 | E002 -> Error
+  | W101 | W102 | W103 | W104 | W105 -> Warning
+  | H201 | H202 | H203 -> Hint
+
+let code_name = function
+  | E001 -> "E001"
+  | E002 -> "E002"
+  | W101 -> "W101"
+  | W102 -> "W102"
+  | W103 -> "W103"
+  | W104 -> "W104"
+  | W105 -> "W105"
+  | H201 -> "H201"
+  | H202 -> "H202"
+  | H203 -> "H203"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+type diagnostic = {
+  code : code;
+  requirement : string option;
+  span : Logic.Parser.span option;
+  message : string;
+}
+
 type item = {
   iname : string;
   formula : Logic.Formula.t;
+  source : string option;
+  shape : Logic.Shape.t;
+  interval : Kappa.interval;
   klass : Kappa.t option;
-  satisfiable : bool;
-  valid : bool;
+  satisfiable : bool option;
+  valid : bool option;
 }
+
+type mode = Syntactic_only | Auto | Semantic
 
 type verdict = {
   items : item list;
-  warnings : string list;
+  diagnostics : diagnostic list;
   conjunction_class : Kappa.t option;
+  conjunction_interval : Kappa.interval;
+  semantic : bool;
 }
 
-let lint ?budget specs =
+let max_semantic_atoms = 14
+
+(* the pairwise O(n^2) tableau checks are only "cheap" for small
+   specifications; [Semantic] mode runs them regardless *)
+let max_auto_pairwise = 8
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let strictly_below a b = Kappa.leq a b && not (Kappa.equal a b)
+
+(* best sound upper bound we know for an item's exact class *)
+let best_bound it =
+  match it.klass with Some k -> Some k | None -> it.interval.Kappa.upper
+
+(* maximal proper subformulas that constant-fold, with their spans;
+   only meaningful when the requirement itself is not constant *)
+let constant_subterms spanned =
+  let rec walk acc (s : Logic.Parser.spanned) =
+    match Logic.Shape.constant s.Logic.Parser.f with
+    | Some b -> (s.Logic.Parser.span, b) :: acc
+    | None -> List.fold_left walk acc s.Logic.Parser.children
+  in
+  match spanned with
+  | None -> []
+  | Some s ->
+      if Logic.Shape.constant s.Logic.Parser.f <> None then []
+      else List.rev (List.fold_left walk [] s.Logic.Parser.children)
+
+let lint_parsed ?budget ?(mode = Auto)
+    (specs : (string * Logic.Formula.t * (string * Logic.Parser.spanned) option) list) =
   let atoms =
     List.sort_uniq compare
-      (List.concat_map (fun (_, f) -> Logic.Formula.atoms f) specs)
+      (List.concat_map (fun (_, f, _) -> Logic.Formula.atoms f) specs)
   in
-  if atoms = [] then invalid_arg "Lint.lint: no atoms in specification";
-  if List.length atoms > 14 then
-    invalid_arg "Lint.lint: too many distinct atoms";
-  let alpha = Finitary.Alphabet.of_props atoms in
+  let n_atoms = List.length atoms in
+  let want_semantic = mode <> Syntactic_only in
+  let semantic = want_semantic && n_atoms <= max_semantic_atoms in
+  (* the truth of an atom-free requirement does not depend on the
+     alphabet, so a dummy proposition lets the semantic pass run *)
+  let alpha =
+    if semantic then
+      Some (Finitary.Alphabet.of_props (if atoms = [] then [ "p" ] else atoms))
+    else None
+  in
+  let diags = ref [] in
+  let diag ?requirement ?span code fmt =
+    Printf.ksprintf
+      (fun message -> diags := { code; requirement; span; message } :: !diags)
+      fmt
+  in
+  if want_semantic && not semantic then
+    diag W104
+      "specification has %d distinct atoms (more than %d): semantic \
+       refinement skipped, syntactic intervals reported"
+      n_atoms max_semantic_atoms;
   let items =
     List.map
-      (fun (iname, formula) ->
+      (fun (iname, formula, src) ->
+        let shape = Logic.Shape.infer formula in
+        let klass =
+          match alpha with
+          | Some alpha -> Omega.Of_formula.classify ?budget alpha formula
+          | None -> None
+        in
+        let satisfiable, valid =
+          match alpha with
+          | Some alpha ->
+              ( Some (Logic.Tableau.satisfiable ?budget alpha formula),
+                Some (Logic.Tableau.valid ?budget alpha formula) )
+          | None ->
+              (* without the tableau, only the syntactic constant
+                 certificate decides these: a constant-true formula is
+                 satisfiable and valid, a constant-false one neither *)
+              (shape.Logic.Shape.constant, shape.Logic.Shape.constant)
+        in
+        let interval =
+          (* when the exact class is known it subsumes the syntactic
+             interval (refining against it can even be inconsistent:
+             for a clopen language the classifier reports safety while
+             the syntax may be guarantee-shaped — both memberships
+             hold, but the two classes are lattice-incomparable) *)
+          match klass with
+          | Some k -> Kappa.exactly k
+          | None -> shape.Logic.Shape.interval
+        in
         {
           iname;
           formula;
-          klass = Omega.Of_formula.classify ?budget alpha formula;
-          satisfiable = Logic.Tableau.satisfiable ?budget alpha formula;
-          valid = Logic.Tableau.valid ?budget alpha formula;
+          source = Option.map fst src;
+          shape;
+          interval;
+          klass;
+          satisfiable;
+          valid;
         })
       specs
   in
-  let warnings = ref [] in
-  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let spanned_of =
+    let tbl = List.map (fun (n, _, src) -> (n, Option.map snd src)) specs in
+    fun iname -> Option.join (List.assoc_opt iname tbl)
+  in
+  (* per-requirement diagnostics *)
   List.iter
     (fun it ->
-      if not it.satisfiable then
-        warn "requirement %S is unsatisfiable: no implementation can exist"
+      let whole =
+        Option.map (fun s -> s.Logic.Parser.span) (spanned_of it.iname)
+      in
+      let degenerate =
+        it.satisfiable = Some false || it.valid = Some true
+      in
+      if it.satisfiable = Some false then
+        diag ~requirement:it.iname ?span:whole E001
+          "requirement %S is unsatisfiable: no implementation can exist"
           it.iname
-      else if it.valid then
-        warn "requirement %S is valid: it constrains nothing" it.iname;
-      if it.klass = None then
-        warn "requirement %S is outside the canonical fragment" it.iname)
+      else if it.valid = Some true then
+        diag ~requirement:it.iname ?span:whole W101
+          "requirement %S is valid: it constrains nothing" it.iname;
+      if semantic && it.klass = None && not degenerate then
+        diag ~requirement:it.iname ?span:whole H202
+          "requirement %S is outside the canonical fragment: syntactic \
+           bound %s"
+          it.iname
+          (Kappa.interval_name it.interval);
+      (if not degenerate then
+         match (it.shape.Logic.Shape.canonical, best_bound it) with
+         | Some written, Some actual when strictly_below actual written ->
+             diag ~requirement:it.iname ?span:whole H201
+               "requirement %S is written as %s but denotes a %s property"
+               it.iname (Kappa.name written) (Kappa.name actual)
+         | (Some _ | None), (Some _ | None) -> ());
+      if not degenerate then
+        List.iter
+          (fun (span, b) ->
+            let slice =
+              match it.source with
+              | Some src -> Printf.sprintf " %S" (Logic.Parser.text src span)
+              | None -> ""
+            in
+            diag ~requirement:it.iname ~span H203
+              "in requirement %S, subformula%s is constantly %b" it.iname
+              slice b)
+          (constant_subterms (spanned_of it.iname)))
     items;
+  (* pairwise subsumption and conflict *)
+  (match alpha with
+  | Some alpha
+    when (mode = Semantic || List.length items <= max_auto_pairwise)
+         && List.length items > 1 ->
+      let eligible it =
+        it.satisfiable <> Some false && it.valid <> Some true
+      in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                if eligible a && eligible b then begin
+                  let open Logic.Formula in
+                  if
+                    not
+                      (Logic.Tableau.satisfiable ?budget alpha
+                         (And (a.formula, b.formula)))
+                  then
+                    diag ~requirement:b.iname E002
+                      "requirements %S and %S are in conflict: their \
+                       conjunction is unsatisfiable"
+                      a.iname b.iname
+                  else if
+                    Logic.Tableau.valid ?budget alpha
+                      (Imp (a.formula, b.formula))
+                  then
+                    diag ~requirement:b.iname W105
+                      "requirement %S is implied by %S: redundant" b.iname
+                      a.iname
+                  else if
+                    Logic.Tableau.valid ?budget alpha
+                      (Imp (b.formula, a.formula))
+                  then
+                    diag ~requirement:a.iname W105
+                      "requirement %S is implied by %S: redundant" a.iname
+                      b.iname
+                end)
+              rest;
+            pairs rest
+      in
+      pairs items
+  | Some _ | None -> ());
+  (* specification-level diagnostics *)
   let all_safety =
     items <> []
     && List.for_all
          (fun it ->
-           match it.klass with
+           match best_bound it with
            | Some k -> Kappa.leq k Kappa.Safety
            | None -> false)
          items
   in
   if all_safety then
-    warn
+    diag W102
       "every requirement is a safety property: the specification admits \
        do-nothing implementations (the paper's underspecification trap); \
        consider adding a guarantee, recurrence or reactivity requirement";
-  let conjunction_class =
-    let conj = Logic.Formula.conj (List.map (fun (_, f) -> f) specs) in
-    Omega.Of_formula.classify ?budget alpha conj
+  let conj =
+    Logic.Formula.conj (List.map (fun (_, f, _) -> f) specs)
   in
-  (match conjunction_class with
-  | Some k ->
-      if (not all_safety) && Kappa.leq k Kappa.Safety then
-        warn
-          "the conjunction of all requirements collapses to a safety \
-           property"
-  | None -> ());
-  { items; warnings = List.rev !warnings; conjunction_class }
+  let conj_shape = Logic.Shape.infer conj in
+  let conjunction_class =
+    match alpha with
+    | Some alpha -> Omega.Of_formula.classify ?budget alpha conj
+    | None -> None
+  in
+  let conjunction_interval =
+    match conjunction_class with
+    | Some k -> Kappa.exactly k
+    | None -> conj_shape.Logic.Shape.interval
+  in
+  (if not all_safety then
+     match
+       ( conjunction_class,
+         conjunction_interval.Kappa.upper )
+     with
+     | Some k, _ when Kappa.leq k Kappa.Safety ->
+         diag W103
+           "the conjunction of all requirements collapses to a safety \
+            property"
+     | None, Some u when Kappa.leq u Kappa.Safety ->
+         diag W103
+           "the conjunction of all requirements collapses to a safety \
+            property"
+     | (Some _ | None), (Some _ | None) -> ());
+  {
+    items;
+    diagnostics = List.rev !diags;
+    conjunction_class;
+    conjunction_interval;
+    semantic;
+  }
 
-let lint_strings ?budget specs =
-  lint ?budget (List.map (fun (n, s) -> (n, Logic.Parser.parse s)) specs)
+let lint ?budget ?mode specs =
+  lint_parsed ?budget ?mode (List.map (fun (n, f) -> (n, f, None)) specs)
+
+let lint_strings ?budget ?mode specs =
+  lint_parsed ?budget ?mode
+    (List.map
+       (fun (n, s) ->
+         let sp = Logic.Parser.parse_spanned s in
+         (n, sp.Logic.Parser.f, Some (s, sp)))
+       specs)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let item_class_name it =
+  match it.klass with
+  | Some k -> Kappa.name k
+  | None -> Kappa.interval_name it.interval
 
 let pp_verdict ppf v =
-  Fmt.pf ppf "@[<v>";
-  List.iter
-    (fun it ->
-      Fmt.pf ppf "%-24s %-18s %s@," it.iname
-        (match it.klass with Some k -> Kappa.name k | None -> "(unclassified)")
-        (Logic.Formula.to_string it.formula))
-    v.items;
-  (match v.conjunction_class with
-  | Some k -> Fmt.pf ppf "conjunction: %s@," (Kappa.name k)
-  | None -> ());
-  if v.warnings = [] then Fmt.pf ppf "no warnings@]"
-  else begin
-    List.iter (fun w -> Fmt.pf ppf "warning: %s@," w) v.warnings;
-    Fmt.pf ppf "@]"
-  end
+  let lines =
+    List.map
+      (fun it ->
+        Printf.sprintf "%-24s %-18s %s" it.iname (item_class_name it)
+          (Logic.Formula.to_string it.formula))
+      v.items
+    @ (match (v.conjunction_class, v.conjunction_interval) with
+      | Some k, _ -> [ "conjunction: " ^ Kappa.name k ]
+      | None, i when i <> Kappa.top_interval ->
+          [ "conjunction: " ^ Kappa.interval_name i ]
+      | None, _ -> [])
+    @
+    if v.diagnostics = [] then [ "no diagnostics" ]
+    else
+      List.map
+        (fun d ->
+          Printf.sprintf "%s %s: %s"
+            (severity_name (severity_of_code d.code))
+            (code_name d.code) d.message)
+        v.diagnostics
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut string) lines
+
+(* JSON: hand-rolled, deterministic field order, no dependencies. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_opt f = function None -> "null" | Some x -> f x
+
+let json_bool b = if b then "true" else "false"
+
+let json_class k = json_string (Kappa.name k)
+
+let json_interval { Kappa.lower; upper } =
+  Printf.sprintf "{\"lower\":%s,\"upper\":%s}" (json_opt json_class lower)
+    (json_opt json_class upper)
+
+let json_span { Logic.Parser.start; stop } =
+  Printf.sprintf "{\"start\":%d,\"stop\":%d}" start stop
+
+let json_item it =
+  String.concat ""
+    [
+      "{\"name\":";
+      json_string it.iname;
+      ",\"formula\":";
+      json_string (Logic.Formula.to_string it.formula);
+      ",\"class\":";
+      json_opt json_class it.klass;
+      ",\"interval\":";
+      json_interval it.interval;
+      ",\"canonical\":";
+      json_opt json_class it.shape.Logic.Shape.canonical;
+      ",\"structural\":";
+      json_opt json_class it.shape.Logic.Shape.structural;
+      ",\"invariant\":";
+      json_bool it.shape.Logic.Shape.invariant;
+      ",\"satisfiable\":";
+      json_opt json_bool it.satisfiable;
+      ",\"valid\":";
+      json_opt json_bool it.valid;
+      "}";
+    ]
+
+let json_diagnostic d =
+  String.concat ""
+    [
+      "{\"code\":";
+      json_string (code_name d.code);
+      ",\"severity\":";
+      json_string (severity_name (severity_of_code d.code));
+      ",\"requirement\":";
+      json_opt json_string d.requirement;
+      ",\"span\":";
+      json_opt json_span d.span;
+      ",\"message\":";
+      json_string d.message;
+      "}";
+    ]
+
+let to_json v =
+  String.concat ""
+    [
+      "{\"items\":[";
+      String.concat "," (List.map json_item v.items);
+      "],\"conjunction\":{\"class\":";
+      json_opt json_class v.conjunction_class;
+      ",\"interval\":";
+      json_interval v.conjunction_interval;
+      "},\"semantic\":";
+      json_bool v.semantic;
+      ",\"diagnostics\":[";
+      String.concat "," (List.map json_diagnostic v.diagnostics);
+      "]}";
+    ]

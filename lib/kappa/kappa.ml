@@ -91,6 +91,80 @@ let join a b =
 let basic =
   [ Safety; Guarantee; Obligation 1; Recurrence; Persistence; Reactivity 1 ]
 
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type interval = { lower : t option; upper : t option }
+
+let top_interval = { lower = None; upper = None }
+
+let exactly k =
+  check k;
+  { lower = Some k; upper = Some k }
+
+let at_most k =
+  check k;
+  { lower = None; upper = Some k }
+
+let at_least k =
+  check k;
+  { lower = Some k; upper = None }
+
+let mem { lower; upper } k =
+  (match lower with Some l -> leq l k | None -> true)
+  && match upper with Some u -> leq k u | None -> true
+
+let meet a b =
+  if leq a b then Some a
+  else if leq b a then Some b
+  else
+    (* the only incomparable pairs are {Safety, Guarantee} and
+       {Recurrence, Persistence} (possibly against a too-large
+       obligation index); Recurrence/Persistence share every obligation
+       class as a lower bound, Safety/Guarantee share nothing *)
+    match (a, b) with
+    | (Safety | Guarantee), (Safety | Guarantee) -> None
+    | (Recurrence | Persistence), (Recurrence | Persistence) -> None
+    | Obligation j, Obligation k -> Some (Obligation (min j k))
+    | Reactivity j, Reactivity k -> Some (Reactivity (min j k))
+    | (Safety | Guarantee | Obligation _ | Recurrence | Persistence
+      | Reactivity _), _ ->
+        None
+
+let refine a b =
+  {
+    lower =
+      (match (a.lower, b.lower) with
+      | Some x, Some y -> Some (join x y)
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | None, None -> None);
+    upper =
+      (match (a.upper, b.upper) with
+      | Some x, Some y -> Some (Option.value (meet x y) ~default:x)
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | None, None -> None);
+  }
+
+(* The closure laws lifted to intervals.  Only the upper bound
+   survives a boolean combination: a lower bound on the operands says
+   nothing about the combination (either side may collapse the
+   other), so the result's lower bound is always open. *)
+let lift2 op a b =
+  {
+    lower = None;
+    upper =
+      (match (a.upper, b.upper) with
+      | Some x, Some y -> Some (op x y)
+      | (Some _ | None), (Some _ | None) -> None);
+  }
+
+let and_i = lift2 and_
+
+let or_i = lift2 or_
+
+let not_i a = { lower = None; upper = Option.map not_ a.upper }
+
 let name = function
   | Safety -> "safety"
   | Guarantee -> "guarantee"
@@ -100,6 +174,16 @@ let name = function
   | Persistence -> "persistence"
   | Reactivity 1 -> "simple reactivity"
   | Reactivity k -> Printf.sprintf "reactivity(%d)" k
+
+let interval_name { lower; upper } =
+  match (lower, upper) with
+  | Some l, Some u when equal l u -> name l
+  | None, None -> "unknown"
+  | Some l, None -> "at least " ^ name l
+  | None, Some u -> "at most " ^ name u
+  | Some l, Some u -> Printf.sprintf "between %s and %s" (name l) (name u)
+
+let pp_interval ppf i = Fmt.string ppf (interval_name i)
 
 let borel_name = function
   | Safety -> "Π1"

@@ -56,6 +56,57 @@ val join : t -> t -> t
 (** The six classes with index 1 where applicable, in hierarchy order. *)
 val basic : t list
 
+(** {2 Class intervals}
+
+    A sound enclosure of a property's (unknown) exact class [k]:
+    [lower <= k <= upper] in {!leq} whenever the respective bound is
+    present, [None] meaning unbounded on that side.  This is the
+    common currency of the static analyses ({!Logic.Shape}, the
+    budget-degraded automaton classifier): an analysis that cannot
+    pin the class down still returns an interval that provably
+    contains it. *)
+
+type interval = { lower : t option; upper : t option }
+
+(** The vacuous enclosure [{None; None}]. *)
+val top_interval : interval
+
+val exactly : t -> interval
+
+val at_most : t -> interval
+
+val at_least : t -> interval
+
+(** [mem i k]: does the interval contain the class? *)
+val mem : interval -> t -> bool
+
+(** Greatest lower bound when one exists.  [Safety]/[Guarantee] and
+    [Recurrence]/[Persistence] are the incomparable pairs; the former
+    has no common lower class at all, the latter only meets in the
+    obligation sub-hierarchy (not representable without an index), so
+    both yield [None]. *)
+val meet : t -> t -> t option
+
+(** Intersection of two enclosures of the {e same} class: lower bounds
+    join, upper bounds meet (keeping the first when incomparable). *)
+val refine : interval -> interval -> interval
+
+(** The closure laws {!and_}/{!or_}/{!not_} lifted to intervals.
+    Only upper bounds survive a boolean combination — a lower bound on
+    the operands says nothing about the combination — so the result's
+    lower bound is always [None]. *)
+val and_i : interval -> interval -> interval
+
+val or_i : interval -> interval -> interval
+
+val not_i : interval -> interval
+
+(** ["safety"], ["at most recurrence"], ["between x and y"],
+    ["unknown"]. *)
+val interval_name : interval -> string
+
+val pp_interval : interval Fmt.t
+
 (** Hierarchy name as used in the paper: "safety", "guarantee", ... *)
 val name : t -> string
 

@@ -16,3 +16,25 @@
 
 (** Raises [Invalid_argument] with a position message on syntax errors. *)
 val parse : string -> Formula.t
+
+(** {2 Position-tracking mode}
+
+    {!parse_spanned} accepts exactly the language of {!parse} (and fails
+    with the identical messages) but additionally attributes to every
+    subformula its byte extent in the source string, so diagnostics can
+    point at the offending subterm rather than the whole requirement. *)
+
+(** Byte extent [start, stop) in the source string.  A parenthesized
+    subformula's span includes the parentheses. *)
+type span = { start : int; stop : int }
+
+(** A formula together with its span and its immediate subterms.
+    [f] is the complete formula of the node; [children] are the operand
+    nodes in source order (empty for atoms, constants, and the [first]
+    keyword, which parses as a leaf). *)
+type spanned = { f : Formula.t; span : span; children : spanned list }
+
+val parse_spanned : string -> spanned
+
+(** [text src span] is the source slice the span covers. *)
+val text : string -> span -> string

@@ -1,0 +1,286 @@
+open Formula
+
+(* The abstract value of the structural recursion.  [ub] bounds the
+   class of the subformula's property uniformly at every position (and
+   every prefix-state): [Bot] means clopen — determined by finitely
+   many letters around the evaluation position, hence both safety and
+   guarantee — and [Unknown] means no finite syntactic bound (the
+   property is still some reactivity, the index is just not readable
+   off the syntax).  [inv] records suffix-invariance: for a fixed word
+   the formula has the same truth value at every position (the []<> /
+   <>[] shapes and their boolean combinations).  [const] is syntactic
+   constant propagation: [Some b] when the folds below prove the
+   formula equivalent to [b]. *)
+type bound = Bot | K of Kappa.t | Unknown
+
+type info = { ub : bound; inv : bool; const : bool option }
+
+let tt = { ub = Bot; inv = true; const = Some true }
+
+let ff = { ub = Bot; inv = true; const = Some false }
+
+(* Boolean combinations: clopen is an identity for both laws (closed
+   and open sets distribute through the CNF/DNF normal forms), classes
+   combine by the paper's closure laws. *)
+let and_ub a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | K j, K k -> K (Kappa.and_ j k)
+  | Unknown, (K _ | Unknown) | K _, Unknown -> Unknown
+
+let or_ub a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | K j, K k -> K (Kappa.or_ j k)
+  | Unknown, (K _ | Unknown) | K _, Unknown -> Unknown
+
+let neg_ub = function
+  | Bot -> Bot
+  | K k -> K (Kappa.not_ k)
+  | Unknown -> Unknown
+
+(* <> of an open set is open; <> of anything up to F_sigma is a
+   countable union of F_sigma sets, still F_sigma.  Beyond that
+   (G_delta and up) the union climbs out of the hierarchy's reach. *)
+let ev_ub = function
+  | Bot | K Kappa.Guarantee -> K Kappa.Guarantee
+  | K (Kappa.Safety | Kappa.Obligation _ | Kappa.Persistence) ->
+      K Kappa.Persistence
+  | K (Kappa.Recurrence | Kappa.Reactivity _) | Unknown -> Unknown
+
+(* Dually, [] of a closed set is closed and [] of anything up to
+   G_delta is a countable intersection of G_delta sets. *)
+let alw_ub = function
+  | Bot | K Kappa.Safety -> K Kappa.Safety
+  | K (Kappa.Guarantee | Kappa.Obligation _ | Kappa.Recurrence) ->
+      K Kappa.Recurrence
+  | K (Kappa.Persistence | Kappa.Reactivity _) | Unknown -> Unknown
+
+let safety_ish = function Bot | K Kappa.Safety -> true | K _ | Unknown -> false
+
+let guarantee_ish = function
+  | Bot | K Kappa.Guarantee -> true
+  | K _ | Unknown -> false
+
+let neg i = { ub = neg_ub i.ub; inv = i.inv; const = Option.map not i.const }
+
+let conj_info a b =
+  match (a.const, b.const) with
+  | Some false, _ | _, Some false -> ff
+  | Some true, _ -> b
+  | _, Some true -> a
+  | None, None -> { ub = and_ub a.ub b.ub; inv = a.inv && b.inv; const = None }
+
+let disj_info a b =
+  match (a.const, b.const) with
+  | Some true, _ | _, Some true -> tt
+  | Some false, _ -> b
+  | _, Some false -> a
+  | None, None -> { ub = or_ub a.ub b.ub; inv = a.inv && b.inv; const = None }
+
+(* <>f: constants fold, a suffix-invariant body absorbs the modality
+   (<>f = f), otherwise the topological bound above.  [] is dual.
+   [Alw (Ev _)] and [Ev (Alw _)] are suffix-invariant for ANY body —
+   "infinitely often" and "almost always" do not depend on the
+   evaluation position. *)
+let ev_info ~body_is_alw f =
+  match f.const with
+  | Some _ -> f
+  | None ->
+      if f.inv then f
+      else { ub = ev_ub f.ub; inv = body_is_alw; const = None }
+
+let alw_info ~body_is_ev f =
+  match f.const with
+  | Some _ -> f
+  | None ->
+      if f.inv then f
+      else { ub = alw_ub f.ub; inv = body_is_ev; const = None }
+
+(* f U g.  In order of precision: constant folds; an invariant g
+   absorbs the operator (g true somewhere iff true now); an invariant
+   f unrolls to g \/ (f /\ <>g); the syntactic guarantee fragment
+   (both operands open); the syntactic safety fragment via
+   f U g = (f W g) /\ <>g with f W g safety; otherwise no bound. *)
+let until_info f g =
+  match (f.const, g.const) with
+  | _, Some true -> tt
+  | _, Some false -> ff
+  | Some false, _ -> g
+  | Some true, _ -> ev_info ~body_is_alw:false g
+  | None, None ->
+      if g.inv then g
+      else if f.inv then disj_info g (conj_info f (ev_info ~body_is_alw:false g))
+      else if guarantee_ish f.ub && guarantee_ish g.ub then
+        { ub = K Kappa.Guarantee; inv = false; const = None }
+      else if safety_ish f.ub && safety_ish g.ub then
+        { ub = and_ub (ev_ub g.ub) (K Kappa.Safety); inv = false; const = None }
+      else { ub = Unknown; inv = false; const = None }
+
+(* f W g = []f \/ (f U g); safety when both operands are closed
+   (Sistla's syntactic safety fragment, with past payloads). *)
+let wuntil_info f g =
+  match (f.const, g.const) with
+  | _, Some true -> tt
+  | Some true, _ -> tt
+  | _, Some false -> alw_info ~body_is_ev:false f
+  | Some false, _ -> g
+  | None, None ->
+      if f.inv then disj_info f g
+      else if safety_ish f.ub && safety_ish g.ub then
+        { ub = K Kappa.Safety; inv = false; const = None }
+      else
+        disj_info (alw_info ~body_is_ev:false f) (until_info f g)
+
+(* Constant folding over the pure-past fragment.  Position-uniform:
+   [Some b] only when the formula is [b] at {e every} position of every
+   word, so [Prev true] (false at position 0) does not fold. *)
+let rec past_const f =
+  let conj a b =
+    match (a, b) with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, c | c, Some true -> c
+    | None, None -> None
+  in
+  let disj a b =
+    match (a, b) with
+    | Some true, _ | _, Some true -> Some true
+    | Some false, c | c, Some false -> c
+    | None, None -> None
+  in
+  match f with
+  | True -> Some true
+  | False -> Some false
+  | Atom _ -> None
+  | Not g -> Option.map not (past_const g)
+  | And (g, h) -> conj (past_const g) (past_const h)
+  | Or (g, h) -> disj (past_const g) (past_const h)
+  | Imp (g, h) -> disj (Option.map not (past_const g)) (past_const h)
+  | Iff (g, h) -> (
+      match (past_const g, past_const h) with
+      | Some a, Some b -> Some (a = b)
+      | (Some _ | None), (Some _ | None) -> None)
+  | Prev g -> ( (* strict: false at position 0, so only [false] folds *)
+      match past_const g with Some false -> Some false | Some true | None -> None)
+  | Wprev g -> (
+      match past_const g with Some true -> Some true | Some false | None -> None)
+  | Once g | Hist g | Since (_, g) -> past_const g
+  | Wsince (g, h) -> (
+      (* g B h = [-]g \/ (g S h) *)
+      match (past_const g, past_const h) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, c -> c (* reduces to h *)
+      | c, Some false -> c (* reduces to [-]g *)
+      | None, None -> None)
+  | Next _ | Ev _ | Alw _ | Until _ | Wuntil _ -> None
+
+let rec analyze f =
+  match f with
+  | True -> tt
+  | False -> ff
+  | _ when is_past f -> (
+      match past_const f with
+      | Some true -> tt
+      | Some false -> ff
+      | None -> { ub = Bot; inv = false; const = None })
+  | Not g -> neg (analyze g)
+  | And (g, h) -> conj_info (analyze g) (analyze h)
+  | Or (g, h) -> disj_info (analyze g) (analyze h)
+  | Imp (g, h) -> disj_info (neg (analyze g)) (analyze h)
+  | Iff (g, h) ->
+      let a = analyze g and b = analyze h in
+      disj_info (conj_info a b) (conj_info (neg a) (neg b))
+  | Next g -> analyze g (* the shift is continuous and class-preserving *)
+  | Ev g ->
+      ev_info ~body_is_alw:(match g with Alw _ -> true | _ -> false)
+        (analyze g)
+  | Alw g ->
+      alw_info ~body_is_ev:(match g with Ev _ -> true | _ -> false)
+        (analyze g)
+  | Until (g, h) -> until_info (analyze g) (analyze h)
+  | Wuntil (g, h) -> wuntil_info (analyze g) (analyze h)
+  | Prev g -> (
+      (* a past operator over a future body: no uniform bound, but the
+         constants still fold (strict Prev is false at position 0, so
+         only [Prev false = false] folds) *)
+      match (analyze g).const with
+      | Some false -> ff
+      | Some true | None -> { ub = Unknown; inv = false; const = None })
+  | Wprev g -> (
+      match (analyze g).const with
+      | Some true -> tt
+      | Some false | None -> { ub = Unknown; inv = false; const = None })
+  | Once g | Since (_, g) -> (
+      match (analyze g).const with
+      | Some false -> ff
+      | Some true -> tt
+      | None -> { ub = Unknown; inv = false; const = None })
+  | Hist g -> (
+      match (analyze g).const with
+      | Some true -> tt
+      | Some false -> ff
+      | None -> { ub = Unknown; inv = false; const = None })
+  | Wsince (g, h) -> (
+      (* g B h = [-]g \/ (g S h) *)
+      match ((analyze g).const, (analyze h).const) with
+      | Some true, _ | _, Some true -> tt
+      | None, _ | _, (Some false | None) ->
+          { ub = Unknown; inv = false; const = None })
+  | Atom _ -> { ub = Bot; inv = false; const = None }
+
+type t = {
+  interval : Kappa.interval;
+  canonical : Kappa.t option;
+  structural : Kappa.t option;
+  invariant : bool;
+  constant : bool option;
+  past : bool;
+}
+
+let infer f =
+  let i = analyze f in
+  let structural =
+    match i.ub with
+    | Bot -> Some Kappa.Safety
+    | K k -> Some k
+    | Unknown -> None
+  in
+  let canonical = Rewrite.classify f in
+  let upper =
+    match (structural, canonical) with
+    | Some a, Some b -> Some (Option.value (Kappa.meet a b) ~default:b)
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | None, None -> None
+  in
+  let interval =
+    (* the empty and universal properties, and any boolean combination
+       of position-0 past tests (clopen), are classified as safety by
+       the automaton side's both-safety-and-guarantee convention *)
+    match (i.const, i.ub) with
+    | Some _, _ | None, Bot -> Kappa.exactly Kappa.Safety
+    | None, (K _ | Unknown) -> { Kappa.lower = None; upper }
+  in
+  {
+    interval;
+    canonical;
+    structural;
+    invariant = i.inv;
+    constant = i.const;
+    past = is_past f;
+  }
+
+let upper t = t.interval.Kappa.upper
+
+let constant f = (analyze f).const
+
+let pp ppf t =
+  Fmt.pf ppf "%s" (Kappa.interval_name t.interval);
+  (match (t.canonical, t.structural) with
+  | Some c, Some s when not (Kappa.equal c s) ->
+      Fmt.pf ppf " (canonical %s, structural %s)" (Kappa.name c) (Kappa.name s)
+  | (Some _ | None), (Some _ | None) -> ());
+  if t.invariant then Fmt.pf ppf " [suffix-invariant]";
+  match t.constant with
+  | Some b -> Fmt.pf ppf " [constant %b]" b
+  | None -> ()

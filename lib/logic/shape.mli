@@ -1,0 +1,70 @@
+(** Purely syntactic class inference — section 4 of the paper read as a
+    static analysis.
+
+    The canonical shapes [[]p], [<>p], [[]<>p], [<>[]p] (p past) let the
+    hierarchy class of a formula be read off its syntax, and the closure
+    laws of Figure 1 say how classes combine under [/\], [\/] and [~].
+    {!infer} runs a structural recursion over any formula — no automaton,
+    no tableau, no atom limit — and returns a {e sound}
+    {!Kappa.interval}: the denoted property is always a {e member} of the
+    upper bound's class.  The least class reported by
+    [Omega.Of_formula.classify] therefore lies inside the interval, with
+    one systematic exception: a clopen language is both safety and
+    guarantee, the classifier prefers to report safety, and the two
+    classes are lattice-incomparable — so an open-shaped formula denoting
+    a clopen property reads back as safety against an [at_most Guarantee]
+    interval.  Both memberships hold; the bound is still sound.
+
+    Two independent upper bounds are combined:
+
+    - the {e canonical} bound, {!Rewrite.classify}: the class of the §4
+      normal form when the formula normalizes into the canonical
+      fragment;
+    - the {e structural} bound: a recursion with the topological reading
+      of the operators (past and state subformulae are clopen; [<>] of
+      open is open, of anything up to F_sigma is F_sigma; [[]] dually;
+      [U]/[W] over the syntactic guarantee/safety fragments stay
+      guarantee/safety; boolean connectives combine by
+      {!Kappa.and_}/{!Kappa.or_}/{!Kappa.not_}), sharpened by
+      suffix-invariance ([[]<>]/[<>[]] shapes absorb further modalities)
+      and syntactic constant folding.
+
+    The two are incomparable in general — each wins on some inputs
+    (e.g. [p W q] over past [p, q] is canonical obligation but
+    structurally safety, which is exact) — so {!infer} keeps the
+    {!Kappa.meet} of the two when they are comparable.
+
+    Soundness is enforced differentially in the test suite: for random
+    canonical-fragment formulas the exact class from
+    [Omega.Of_formula.classify] is checked to lie in the interval. *)
+
+type t = {
+  interval : Kappa.interval;
+      (** sound enclosure of the exact semantic class *)
+  canonical : Kappa.t option;
+      (** class of the §4 canonical form, when the formula normalizes
+          ({!Rewrite.classify}): how the formula is {e written} *)
+  structural : Kappa.t option;
+      (** the structural-recursion bound, when finite *)
+  invariant : bool;
+      (** suffix-invariant: same truth value at every position of any
+          fixed word (boolean combinations of [[]<>]/[<>[]] shapes) *)
+  constant : bool option;
+      (** [Some b] when constant folding proves the formula is [b] —
+          a syntactic validity/unsatisfiability certificate *)
+  past : bool;  (** pure past/state formula (clopen at position 0) *)
+}
+
+(** Infer a sound class interval for any formula.  Linear in the
+    formula except for the canonical normalization, which can expand
+    on adversarial inputs; never raises. *)
+val infer : Formula.t -> t
+
+(** [interval.upper]: the syntactic class bound, when finite. *)
+val upper : t -> Kappa.t option
+
+(** Just the constant-folding component of the analysis, without the
+    canonical normalization: cheap enough to run on every subformula. *)
+val constant : Formula.t -> bool option
+
+val pp : t Fmt.t

@@ -1,0 +1,92 @@
+The diagnostics engine on the paper's running example.  The
+accessibility-free mutex spec trips the section 1 underspecification
+trap (W102): every requirement is a safety property, so a do-nothing
+protocol satisfies the whole specification.
+
+  $ hpt lint --file ../examples/specs/mutex.spec
+  mutual-exclusion         safety             [] !(c1 & c2)
+  no-preemption            at most safety     [] (c1 -> c1 W !t1)
+  order                    safety             [] (c2 -> O c1)
+  conjunction: at most safety
+  hint H202: requirement "no-preemption" is outside the canonical fragment: syntactic bound at most safety
+  warning W102: every requirement is a safety property: the specification admits do-nothing implementations (the paper's underspecification trap); consider adding a guarantee, recurrence or reactivity requirement
+
+Adding the accessibility requirements repairs it:
+
+  $ hpt lint --file ../examples/specs/mutex_full.spec
+  mutual-exclusion         safety             [] !(c1 & c2)
+  accessibility-1          recurrence         [] (t1 -> <> c1)
+  accessibility-2          recurrence         [] (t2 -> <> c2)
+  conjunction: recurrence
+  no diagnostics
+
+A fairness specification sits at the reactivity level:
+
+  $ hpt lint --file ../examples/specs/fairness.spec
+  fair-1                   simple reactivity  [] <> e1 -> [] <> t1
+  fair-2                   simple reactivity  [] <> e2 -> [] <> t2
+  stabilize                persistence        <> [] q
+  conjunction: simple reactivity
+  no diagnostics
+
+Requirements can also be given on the command line.  An atom-free
+requirement lints cleanly (it used to crash the whole spec), and a
+formula written with a weak-until is hinted down to its actual class:
+
+  $ hpt lint 'trivial=[] true' 'wait=p W q'
+  trivial                  safety             [] true
+  wait                     safety             p W q
+  conjunction: safety
+  warning W101: requirement "trivial" is valid: it constrains nothing
+  hint H201: requirement "wait" is written as simple obligation but denotes a safety property
+  warning W102: every requirement is a safety property: the specification admits do-nothing implementations (the paper's underspecification trap); consider adding a guarantee, recurrence or reactivity requirement
+
+Unsatisfiable and conflicting requirements are errors, redundant ones
+warnings — and errors set the exit code so CI can gate on a clean lint:
+
+  $ hpt lint 'strong=[] (p & q)' 'weak=[] p' 'clash=<> !p'
+  strong                   safety             [] (p & q)
+  weak                     safety             [] p
+  clash                    guarantee          <> !p
+  conjunction: safety
+  warning W105: requirement "weak" is implied by "strong": redundant
+  error E002: requirements "strong" and "clash" are in conflict: their conjunction is unsatisfiable
+  error E002: requirements "weak" and "clash" are in conflict: their conjunction is unsatisfiable
+  warning W103: the conjunction of all requirements collapses to a safety property
+  [1]
+
+A constant subformula is reported with its source span:
+
+  $ hpt lint 'sub=[] ((p | true) -> <> q)'
+  sub                      recurrence         [] (p | true -> <> q)
+  conjunction: recurrence
+  hint H203: in requirement "sub", subformula "(p | true)" is constantly true
+
+--format json emits one machine-readable object, spans included:
+
+  $ hpt lint --format json 'wait=p W q'
+  {"items":[{"name":"wait","formula":"p W q","class":"safety","interval":{"lower":"safety","upper":"safety"},"canonical":"simple obligation","structural":"safety","invariant":false,"satisfiable":true,"valid":false}],"conjunction":{"class":"safety","interval":{"lower":"safety","upper":"safety"}},"semantic":true,"diagnostics":[{"code":"H201","severity":"hint","requirement":"wait","span":{"start":0,"stop":5},"message":"requirement \"wait\" is written as simple obligation but denotes a safety property"},{"code":"W102","severity":"warning","requirement":null,"span":null,"message":"every requirement is a safety property: the specification admits do-nothing implementations (the paper's underspecification trap); consider adding a guarantee, recurrence or reactivity requirement"}]}
+
+Past the 14-atom semantic ceiling the linter degrades to the syntactic
+pass instead of refusing (W104); --syntactic-only skips semantics
+silently at any size:
+
+  $ for i in 1 2 3 4 5 6 7 8; do echo "r$i = [] (a$i -> <> b$i)"; done > big.spec
+  $ hpt lint --file big.spec | tail -n 2
+  conjunction: at most recurrence
+  warning W104: specification has 16 distinct atoms (more than 14): semantic refinement skipped, syntactic intervals reported
+
+  $ hpt lint --syntactic-only --file big.spec | tail -n 3
+  r8                       at most recurrence [] (a8 -> <> b8)
+  conjunction: at most recurrence
+  no diagnostics
+
+Mode flags are mutually exclusive, and empty input is an error:
+
+  $ hpt lint --syntactic-only --semantic 'a=p'
+  error: --syntactic-only and --semantic are mutually exclusive
+  [1]
+
+  $ hpt lint
+  error: no requirements: give NAME=FORMULA or --file
+  [1]

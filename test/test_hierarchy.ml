@@ -99,13 +99,14 @@ let lint_tests =
           Hierarchy.Lint.lint_strings
             [ ("mutex", "[] !(c1 & c2)"); ("order", "[] (c2 -> O c1)") ]
         in
-        check "warning issued" true
+        check "W102 issued" true
           (List.exists
-             (fun w ->
-               (* the underspecification warning mentions safety *)
-               String.length w > 0
-               && List.exists (fun it -> it.Hierarchy.Lint.klass = Some Kappa.Safety) v.items)
-             v.warnings);
+             (fun d -> d.Hierarchy.Lint.code = Hierarchy.Lint.W102)
+             v.diagnostics);
+        check "items classified safety" true
+          (List.for_all
+             (fun it -> it.Hierarchy.Lint.klass = Some Kappa.Safety)
+             v.items);
         check "conjunction safety" true
           (v.conjunction_class = Some Kappa.Safety));
     Alcotest.test_case "adding accessibility silences the warning" `Quick
@@ -117,7 +118,7 @@ let lint_tests =
               ("accessibility", "[] (t1 -> <> c1)");
             ]
         in
-        check "no warnings" true (v.warnings = []);
+        check "no diagnostics" true (v.diagnostics = []);
         check "conjunction recurrence" true
           (v.conjunction_class = Some Kappa.Recurrence));
     Alcotest.test_case "vacuous and inconsistent requirements flagged" `Quick
@@ -130,7 +131,63 @@ let lint_tests =
               ("fine", "[] (c1 -> <> c2)");
             ]
         in
-        check "two warnings at least" true (List.length v.warnings >= 2));
+        let has c =
+          List.exists (fun d -> d.Hierarchy.Lint.code = c) v.diagnostics
+        in
+        check "E001 on the unsatisfiable requirement" true
+          (has Hierarchy.Lint.E001);
+        check "W101 on the valid requirement" true (has Hierarchy.Lint.W101));
+    Alcotest.test_case "atom-free and huge specs lint without raising" `Quick
+      (fun () ->
+        (* satellite: [] true used to crash the whole lint with
+           invalid_arg "no atoms in specification" *)
+        let v = Hierarchy.Lint.lint_strings [ ("trivial", "[] true") ] in
+        check "valid flagged" true
+          (List.exists
+             (fun d -> d.Hierarchy.Lint.code = Hierarchy.Lint.W101)
+             v.diagnostics);
+        (* satellite: > 14 atoms used to crash; now degrades to the
+           syntactic pass with W104 *)
+        let big =
+          List.init 16 (fun i ->
+              (Printf.sprintf "r%d" i, Printf.sprintf "[] (a%d -> <> b%d)" i i))
+        in
+        let v = Hierarchy.Lint.lint_strings big in
+        check "semantic pass skipped" false v.semantic;
+        check "W104 issued" true
+          (List.exists
+             (fun d -> d.Hierarchy.Lint.code = Hierarchy.Lint.W104)
+             v.diagnostics);
+        check "syntactic intervals still bound every item" true
+          (List.for_all
+             (fun it ->
+               it.Hierarchy.Lint.interval.Kappa.upper
+               = Some Kappa.Recurrence)
+             v.items));
+    Alcotest.test_case "redundancy, conflict and downgrade diagnostics" `Quick
+      (fun () ->
+        let v =
+          Hierarchy.Lint.lint_strings
+            [
+              ("strong", "[] (p & q)");
+              ("weak", "[] p");
+              ("clash", "<> !p");
+            ]
+        in
+        let codes =
+          List.map (fun d -> d.Hierarchy.Lint.code) v.diagnostics
+        in
+        check "weak is subsumed (W105)" true
+          (List.mem Hierarchy.Lint.W105 codes);
+        check "strong vs clash conflict (E002)" true
+          (List.mem Hierarchy.Lint.E002 codes);
+        (* p W q over atoms is written as an obligation but denotes a
+           safety property: the class-downgrade hint *)
+        let v = Hierarchy.Lint.lint_strings [ ("wait", "p W q") ] in
+        check "H201 issued" true
+          (List.exists
+             (fun d -> d.Hierarchy.Lint.code = Hierarchy.Lint.H201)
+             v.diagnostics));
   ]
 
 (* The responsiveness ladder of section 4, end to end. *)

@@ -93,7 +93,10 @@ let esat_tests =
                   (Finitary.Dfa.accepts d word))
               (Finitary.Word.enumerate ab ~max_len:5))
           [ f "O b"; f "H a"; f "a S b"; f "Y a"; f "first"; f "b & Z H a";
-            f "a B b"; f "Y Y b"; f "O (a & Y b)" ]);
+            f "a B b"; f "Y Y b"; f "O (a & Y b)";
+            (* weak operators nested and at position 0 *)
+            f "Z (a S b)"; f "a B (b & Y a)"; f "H (a B b)"; f "Z Z a";
+            f "O (Z b & a)" ]);
     Alcotest.test_case "esat of once = E_f of letter" `Quick (fun () ->
         let d = Past_tester.esat ab (f "O b") in
         let expected = Finitary.Lang_ops.e_f (Finitary.Regex.compile ab ".* b") in
@@ -118,6 +121,79 @@ let esat_tests =
         check "Y b on ba" true (Semantics.end_satisfies ab (f "Y b") (w "ba"));
         check "first on a" true (Semantics.end_satisfies ab (f "first") (w "a"));
         check "first on aa" false (Semantics.end_satisfies ab (f "first") (w "aa")));
+    Alcotest.test_case "weak operators at position 0" `Quick (fun () ->
+        (* Z is weak previous: vacuously true at the first position,
+           where Y is false; B is weak since: H g | (g S h) *)
+        check "Z a on b" true (Semantics.end_satisfies ab (f "Z a") (w "b"));
+        check "Y a on b" false (Semantics.end_satisfies ab (f "Y a") (w "b"));
+        check "Z a on ba" false (Semantics.end_satisfies ab (f "Z a") (w "ba"));
+        check "Z b on ba" true (Semantics.end_satisfies ab (f "Z b") (w "ba"));
+        check "a B b on aa" true
+          (Semantics.end_satisfies ab (f "a B b") (w "aa")));
+    Alcotest.test_case "weak-operator laws, pointwise" `Quick (fun () ->
+        (* p B q = H p | p S q  and  Z p = !Y !p, on every short word *)
+        let same s1 s2 =
+          let g1 = f s1 and g2 = f s2 in
+          List.iter
+            (fun word ->
+              check
+                (s1 ^ " = " ^ s2)
+                (Semantics.end_satisfies ab g1 word)
+                (Semantics.end_satisfies ab g2 word))
+            (Finitary.Word.enumerate ab ~max_len:5)
+        in
+        same "a B b" "H a | a S b";
+        same "Z a" "! Y ! a";
+        same "Z (a S b)" "! Y ! (a S b)");
+  ]
+
+(* canonical-form rewriting on the edges Shape leans on: the weak
+   operators W/B/Z and past nested under future modalities *)
+let rewrite_tests =
+  [
+    Alcotest.test_case "classify on weak and nested-past shapes" `Quick
+      (fun () ->
+        List.iter
+          (fun (s, expected) ->
+            Alcotest.(check (option string))
+              s
+              (Option.map Kappa.name expected)
+              (Option.map Kappa.name (Rewrite.classify (f s))))
+          [
+            ("p W q", Some (Kappa.Obligation 1));
+            ("p B q", Some Kappa.Safety);
+            ("Z p", Some Kappa.Safety);
+            ("<> (p B q)", Some Kappa.Guarantee);
+            ("[] (p -> O q)", Some Kappa.Safety);
+            ("[]<> O p", Some Kappa.Recurrence);
+            ("[] (p -> <> (q & O p))", Some Kappa.Recurrence);
+            ("X O p", Some Kappa.Guarantee);
+            (* nested future under [] is outside the canonical fragment *)
+            ("[] (p W q)", None);
+            ("p W (q W p)", None);
+          ]);
+    Alcotest.test_case "to_canon is equivalence-preserving" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            let form = f s in
+            match Rewrite.to_canon form with
+            | None -> Alcotest.fail (s ^ " should normalize")
+            | Some c ->
+                check s true
+                  (Tableau.equiv pq (Rewrite.to_formula c) form);
+                check (s ^ " dual") true
+                  (Tableau.equiv pq
+                     (Rewrite.to_formula (Rewrite.dual c))
+                     (Formula.Not form)))
+          [
+            "p W q";
+            "p B q";
+            "Z p";
+            "X O p";
+            "[] (p -> O q)";
+            "<> (p S q) & p W q";
+            "[] (first -> p)";
+          ]);
   ]
 
 (* tableau basics (the equivalences battery is its own executable) *)
@@ -158,5 +234,6 @@ let () =
       ("parser", parser_tests);
       ("formula", formula_tests);
       ("esat", esat_tests);
+      ("rewrite", rewrite_tests);
       ("tableau", tableau_tests);
     ]

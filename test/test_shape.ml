@@ -1,0 +1,252 @@
+(* Logic.Shape, the syntactic class-inference pass — differentially
+   verified against the semantic classifier: for any formula the exact
+   class computed by Omega.Of_formula.classify must lie inside the
+   inferred interval, and on the section 4 canonical witnesses the two
+   must agree exactly.  The suite also checks the two syntactic
+   certificates Shape emits (suffix-invariance and constancy) against
+   the tableau. *)
+
+open Logic
+
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+let check = Alcotest.(check bool)
+let f = Parser.parse
+
+let upper_of s =
+  match Shape.upper s with
+  | Some u -> u
+  | None -> Alcotest.fail "expected a finite syntactic bound"
+
+(* ------------------------------------------------------------------ *)
+(* Canonical witnesses: syntactic = semantic, exactly                  *)
+(* ------------------------------------------------------------------ *)
+
+let witness_tests =
+  let exact s expected =
+    Alcotest.test_case s `Quick (fun () ->
+        let form = f s in
+        let shape = Shape.infer form in
+        check "upper = expected" true
+          (Kappa.equal (upper_of shape) expected);
+        match Omega.Of_formula.classify pq form with
+        | None -> Alcotest.fail "witness should be classifiable"
+        | Some k ->
+            check "semantic = expected" true (Kappa.equal k expected);
+            check "contained" true (Kappa.mem shape.Shape.interval k))
+  in
+  [
+    exact "[] p" Kappa.Safety;
+    exact "<> p" Kappa.Guarantee;
+    exact "[] (O p)" Kappa.Safety;
+    exact "<> (p S q)" Kappa.Guarantee;
+    exact "[] p | <> q" (Kappa.Obligation 1);
+    exact "[]<> p" Kappa.Recurrence;
+    exact "<>[] p" Kappa.Persistence;
+    exact "[]<> p | <>[] q" (Kappa.Reactivity 1);
+    Alcotest.test_case "([]<> p | <>[] q) & ([]<> q | <>[] p)" `Quick
+      (fun () ->
+        (* the syntactic bound is the CNF count; the denoted property
+           may sit lower (here the classifier finds simple reactivity),
+           but must stay inside the interval *)
+        let form = f "([]<> p | <>[] q) & ([]<> q | <>[] p)" in
+        let shape = Shape.infer form in
+        check "upper = reactivity(2)" true
+          (Kappa.equal (upper_of shape) (Kappa.Reactivity 2));
+        match Omega.Of_formula.classify pq form with
+        | None -> Alcotest.fail "should be classifiable"
+        | Some k -> check "contained" true (Kappa.mem shape.Shape.interval k));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural wins: bounds the canonical pass cannot see               *)
+(* ------------------------------------------------------------------ *)
+
+let structural_tests =
+  [
+    Alcotest.test_case "p W q: structural safety beats canonical obligation"
+      `Quick (fun () ->
+        let s = Shape.infer (f "p W q") in
+        check "canonical is obligation" true
+          (s.Shape.canonical = Some (Kappa.Obligation 1));
+        check "structural is safety" true
+          (s.Shape.structural = Some Kappa.Safety);
+        check "upper is the meet" true (upper_of s = Kappa.Safety));
+    Alcotest.test_case "no atom limit: 32-atom formula still bounded" `Quick
+      (fun () ->
+        let big =
+          String.concat " & "
+            (List.init 16 (fun i ->
+                 Printf.sprintf "[] (a%d -> <> b%d)" i i))
+        in
+        check "at most recurrence" true
+          (Shape.upper (Shape.infer (f big)) = Some Kappa.Recurrence));
+    Alcotest.test_case "nested U/W fragments" `Quick (fun () ->
+        check "(p U q) U r stays guarantee" true
+          (Shape.upper (Shape.infer (f "(p U q) U r")) = Some Kappa.Guarantee);
+        check "[] (p W q) stays safety" true
+          (Shape.upper (Shape.infer (f "[] (p W q)")) = Some Kappa.Safety);
+        check "p U ([] q) is not bounded by guarantee" true
+          (match Shape.upper (Shape.infer (f "p U [] q")) with
+          | Some k -> not (Kappa.leq k Kappa.Guarantee)
+          | None -> true));
+    Alcotest.test_case "suffix-invariant body absorbs modalities" `Quick
+      (fun () ->
+        check "<> [] <> p is recurrence" true
+          (Shape.upper (Shape.infer (f "<> [] <> p")) = Some Kappa.Recurrence);
+        check "[] ([]<> p | <>[] q) is reactivity" true
+          (Shape.upper (Shape.infer (f "[] ([]<> p | <>[] q)"))
+          = Some (Kappa.Reactivity 1)));
+    Alcotest.test_case "constants fold through every layer" `Quick (fun () ->
+        List.iter
+          (fun (s, expected) ->
+            check s true
+              ((Shape.infer (f s)).Shape.constant = expected))
+          [
+            ("[] true", Some true);
+            ("<> (p & false)", Some false);
+            ("[] <> (p & false) | <>[] q", None);
+            ("p U true", Some true);
+            ("false W p", None);
+            ("O false", Some false);
+            ("H (p | true)", Some true);
+            ("Y true", None) (* strict Prev is false at position 0 *);
+            ("Z false", None) (* weak Prev is true at position 0 *);
+          ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential qcheck                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Random formulas over p, q: canonical-fragment shapes, arbitrary
+   future operators, past payloads (including the weak W/B/Z), and
+   constants, so the generator also exercises formulas Shape can only
+   bound and Rewrite cannot normalize. *)
+let arb_formula =
+  let open QCheck.Gen in
+  let past =
+    oneofl
+      (List.map f
+         [
+           "p";
+           "q";
+           "true";
+           "false";
+           "O p";
+           "p S q";
+           "p B q";
+           "Y p";
+           "Z p";
+           "H (p | q)";
+           "!q & O p";
+           "first & p";
+         ])
+  in
+  let g =
+    sized_size (int_bound 4)
+    @@ fix (fun self n ->
+           if n = 0 then past
+           else
+             let sub = self (n / 2) in
+             oneof
+               [
+                 past;
+                 map (fun a -> Formula.Alw a) sub;
+                 map (fun a -> Formula.Ev a) sub;
+                 map (fun a -> Formula.Next a) sub;
+                 map (fun a -> Formula.Not a) sub;
+                 map2 (fun a b -> Formula.And (a, b)) sub (self (n / 2));
+                 map2 (fun a b -> Formula.Or (a, b)) sub (self (n / 2));
+                 map2 (fun a b -> Formula.Until (a, b)) sub (self (n / 2));
+                 map2 (fun a b -> Formula.Wuntil (a, b)) sub (self (n / 2));
+               ])
+  in
+  QCheck.make ~print:Formula.to_string g
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make
+        ~name:"differential: the denoted property is a member of the bound"
+        ~count:300 arb_formula
+        (fun form ->
+          (* soundness of the upper bound is class MEMBERSHIP, not
+             least-class comparison: a clopen language is reported as
+             safety by the classifier's preference order even when the
+             sound syntactic bound is guarantee (both memberships hold,
+             but the two classes are lattice-incomparable) *)
+          match Omega.Of_formula.translate pq form with
+          | None -> QCheck.assume_fail ()
+          | Some a -> (
+              match Shape.upper (Shape.infer form) with
+              | None -> QCheck.assume_fail ()
+              | Some u -> (
+                  let open Omega.Classify in
+                  match u with
+                  | Kappa.Safety -> is_safety a
+                  | Kappa.Guarantee -> is_guarantee a
+                  | Kappa.Obligation k -> (
+                      match obligation_degree a with
+                      | Some d -> d <= k
+                      | None -> false)
+                  | Kappa.Recurrence -> is_recurrence a
+                  | Kappa.Persistence -> is_persistence a
+                  | Kappa.Reactivity k -> reactivity_rank a <= k)));
+      QCheck.Test.make
+        ~name:"differential: exact class inside the interval, up to clopen"
+        ~count:300 arb_formula
+        (fun form ->
+          match Omega.Of_formula.classify pq form with
+          | None -> QCheck.assume_fail ()
+          | Some exact ->
+              let interval = (Shape.infer form).Shape.interval in
+              Kappa.mem interval exact
+              || (* the one systematic exception: clopen languages are
+                    reported as safety, an open-shaped bound stays *)
+              (Kappa.equal exact Kappa.Safety
+              && interval.Kappa.upper = Some Kappa.Guarantee));
+      QCheck.Test.make ~name:"inferred intervals are well-formed" ~count:300
+        arb_formula
+        (fun form ->
+          let { Kappa.lower; upper } = (Shape.infer form).Shape.interval in
+          match (lower, upper) with
+          | Some l, Some u -> Kappa.leq l u
+          | (Some _ | None), (Some _ | None) -> true);
+      QCheck.Test.make
+        ~name:"suffix-invariance certificate: <>f ~ f and []f ~ f" ~count:60
+        arb_formula
+        (fun form ->
+          let s = Shape.infer form in
+          if not s.Shape.invariant then QCheck.assume_fail ()
+          else
+            Tableau.equiv pq (Formula.Ev form) form
+            && Tableau.equiv pq (Formula.Alw form) form);
+      QCheck.Test.make
+        ~name:"constancy certificate agrees with the tableau" ~count:100
+        arb_formula
+        (fun form ->
+          match (Shape.infer form).Shape.constant with
+          | None -> QCheck.assume_fail ()
+          | Some true -> Tableau.valid pq form
+          | Some false -> not (Tableau.satisfiable pq form));
+      QCheck.Test.make
+        ~name:"infer never raises, even far outside every fragment"
+        ~count:300
+        QCheck.(
+          pair arb_formula arb_formula)
+        (fun (a, b) ->
+          (* mix past over future and deep nesting on purpose *)
+          let ugly =
+            Formula.(Once (Until (a, Since (b, Next a))))
+          in
+          ignore (Shape.infer ugly);
+          true);
+    ]
+
+let () =
+  Alcotest.run "shape"
+    [
+      ("canonical witnesses", witness_tests);
+      ("structural bounds", structural_tests);
+      ("differential", qcheck_tests);
+    ]

@@ -54,6 +54,11 @@ let arb_formula =
         return (f "Y p");
         return (f "H (p | q)");
         return (f "!q & O p");
+        (* the weak past operators and position-0 tests *)
+        return (f "p B q");
+        return (f "Z p");
+        return (f "Z (p S q)");
+        return (f "first & O p");
       ]
   in
   let modal =
