@@ -271,6 +271,27 @@ let pr2_baseline =
     ("translate: [](p -> <>q) to automaton", 15271.9);
   ]
 
+(* PR-4 tree timings (ns/run, same machine, same bench) recorded
+   immediately before the domain pool landed; --parallel-json writes
+   the comparison to BENCH_parallel.json.  The pool must not tax the
+   path that does not use it: CI requires the jobs=1 sweep within 3%
+   of the no-pool run and, on machines with at least 4 cores, a
+   >= 1.5x sweep speedup at jobs=4. *)
+let pr4_baseline =
+  [
+    ("classify: response formula automaton", 5246.6);
+    ("classify: staircase k=2", 35912.7);
+    ("classify: staircase k=4", 433418.2);
+    ("counter-freedom of R(.* b)", 1423.6);
+    ("language equality (safety closure check)", 1613.3);
+    ("lasso semantics of response", 865.9);
+    ("minex product", 3240.9);
+    ("model check Peterson accessibility", 115030.5);
+    ("omega product + emptiness", 2277.0);
+    ("tableau: satisfiability of response", 23927.0);
+    ("translate: [](p -> <>q) to automaton", 15117.5);
+  ]
+
 let run_benches () =
   let open Bechamel in
   let open Toolkit in
@@ -624,10 +645,117 @@ let json_mode ~check_overhead () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* --parallel-json: the domain pool, sequential vs jobs = 1, 2, 4      *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock (not [Sys.time], which sums CPU across domains), best of
+   a few runs. *)
+let wall_ns ?(reps = 3) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* Twelve requirements over three shared atoms: small enough for the
+   semantic pass, large enough that the 66-pair conflict/subsumption
+   matrix dominates. *)
+let parallel_lint_specs =
+  List.init 12 (fun i ->
+      let a = [| "p"; "q"; "r" |].(i mod 3)
+      and b = [| "q"; "r"; "p" |].(i mod 3) in
+      ( Printf.sprintf "r%d" i,
+        match i mod 4 with
+        | 0 -> Printf.sprintf "[] (%s -> <> %s)" a b
+        | 1 -> Printf.sprintf "[] !(%s & %s)" a b
+        | 2 -> Printf.sprintf "[]<> %s -> []<> %s" a b
+        | _ -> Printf.sprintf "<>[] %s | []<> %s" a b ))
+
+let parallel_json () =
+  let cores = Domain.recommended_domain_count () in
+  let n = 10_000 in
+  let delta = Array.init n (fun q -> [| (q + 1) mod n; q |]) in
+  let mk () =
+    Automaton.make ~alpha:ab ~n ~start:0 ~delta
+      ~acc:(Acceptance.Inf (Iset.singleton 0))
+  in
+  let workloads =
+    [
+      ( "sweep: classify 10k-state single-SCC automaton",
+        fun pool () -> ignore (Classify.classify ?pool (mk ())) );
+      ( "lint: 12-requirement pairwise matrix",
+        fun pool () ->
+          ignore
+            (Hierarchy.Lint.lint_strings ~mode:Hierarchy.Lint.Semantic ?pool
+               parallel_lint_specs) );
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, wf) ->
+        let seq = wall_ns (wf None) in
+        let at jobs = Pool.with_pool ~jobs (fun p -> wall_ns (wf (Some p))) in
+        (name, seq, at 1, at 2, at 4))
+      workloads
+  in
+  let micro = run_benches () in
+  let oc = open_out "BENCH_parallel.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"cores\": %d,\n" cores;
+  p "  \"baseline\": \"PR-4 tree, before the domain pool landed\",\n";
+  p "  \"note\": \"gates: overhead_jobs1 <= 1.03 always; speedup_jobs4 >= \
+     1.5 on the sweep when cores >= 4; micro ratio vs pr4_ns within \
+     noise of 1.0 (the pool is off on the micro benches)\",\n";
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, seq, j1, j2, j4) ->
+      p
+        "    {\"name\": \"%s\", \"seq_ns\": %.0f, \"jobs1_ns\": %.0f, \
+         \"jobs2_ns\": %.0f, \"jobs4_ns\": %.0f, \"overhead_jobs1\": %.3f, \
+         \"speedup_jobs2\": %.2f, \"speedup_jobs4\": %.2f}%s\n"
+        (json_escape name) seq j1 j2 j4 (j1 /. seq) (seq /. j2) (seq /. j4)
+        (if i < List.length measured - 1 then "," else ""))
+    measured;
+  p "  ],\n";
+  let micro_entries =
+    List.filter_map
+      (fun (name, est) ->
+        match (List.assoc_opt name pr4_baseline, est) with
+        | Some pr4, Some e -> Some (name, pr4, e)
+        | _ -> None)
+      micro
+  in
+  p "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, pr4, e) ->
+      p "    {\"name\": \"%s\", \"pr4_ns\": %.1f, \"ns\": %.1f, \"ratio\": %.3f}%s\n"
+        (json_escape name) pr4 e (e /. pr4)
+        (if i < List.length micro_entries - 1 then "," else ""))
+    micro_entries;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_parallel.json (cores=%d)@." cores;
+  List.iter
+    (fun (name, seq, j1, j2, j4) ->
+      Format.printf
+        "  %-44s seq %8.1fms  j1 %8.1fms (x%.3f)  j2 %8.1fms (%.2fx)  j4 \
+         %8.1fms (%.2fx)@."
+        name (seq /. 1e6) (j1 /. 1e6) (j1 /. seq) (j2 /. 1e6) (seq /. j2)
+        (j4 /. 1e6) (seq /. j4))
+    measured
+
 let () =
   let flag f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = flag "--tables-only" in
-  if flag "--json" then json_mode ~check_overhead:(flag "--check-overhead") ()
+  if flag "--parallel-json" then parallel_json ()
+  else if flag "--json" then json_mode ~check_overhead:(flag "--check-overhead") ()
   else begin
     fig1 ();
     operators ();

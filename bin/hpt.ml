@@ -48,6 +48,14 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run on $(docv) domains (a fixed fork-join pool).  The result is \
+     identical to the sequential run at every job count; $(docv)=1 \
+     exercises the pool's guaranteed-sequential path."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let formula_arg =
   let doc = "Temporal formula, e.g. '[] (p -> <> q)'." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
@@ -55,6 +63,17 @@ let formula_arg =
 let fail e =
   Fmt.epr "error: %a@." Engine.pp_error e;
   Engine.exit_code e
+
+(* [--jobs N] builds a pool for the duration of the run; without the
+   flag the legacy in-process path runs (not even the pool's jobs=1
+   path), so existing outputs and degradation behaviour are untouched.
+   [Pool.create] validates N through the engine boundary. *)
+let with_jobs jobs f =
+  match jobs with
+  | None -> f None
+  | Some n ->
+      Result.join
+        (Engine.protect (fun () -> Pool.with_pool ~jobs:n (fun p -> f (Some p))))
 
 (* Build the budget and the telemetry handle, run [f] on them, and map
    the result to an exit code.  [Budget.make] validates its arguments
@@ -88,14 +107,31 @@ let with_observability fuel timeout_ms stats trace f =
 (* ---------------- classify ---------------- *)
 
 let classify_cmd =
-  let run props chars fuel timeout_ms stats trace formula_s =
+  let formulas_arg =
+    let doc =
+      "Temporal formula, e.g. '[] (p -> <> q)'.  Repeatable: with \
+       several formulas each is classified (and with --jobs, the batch \
+       runs on the pool) and the worst exit code wins."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FORMULA" ~doc)
+  in
+  let run props chars fuel timeout_ms stats trace jobs formulas =
     with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
-    Result.map
-      (fun (r : Engine.report) ->
-        Fmt.pr "%s@.%a@." formula_s Engine.pp_report r;
-        (* degraded partial verdict: still printed, but signalled *)
-        match r.Engine.exhausted with Some _ -> 2 | None -> 0)
-      (Engine.classify ~budget ~telemetry ?props ?chars formula_s)
+    with_jobs jobs @@ fun pool ->
+    let results =
+      Engine.classify_batch ~budget ~telemetry ?pool ?props ?chars formulas
+    in
+    let code_of formula_s = function
+      | Ok (r : Engine.report) ->
+          Fmt.pr "%s@.%a@." formula_s Engine.pp_report r;
+          (* degraded partial verdict: still printed, but signalled *)
+          (match r.Engine.exhausted with Some _ -> 2 | None -> 0)
+      | Error e -> fail e
+    in
+    Ok
+      (List.fold_left2
+         (fun acc f r -> max acc (code_of f r))
+         0 formulas results)
   in
   let info =
     Cmd.info "classify"
@@ -103,7 +139,7 @@ let classify_cmd =
   in
   Cmd.v info
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
-          $ stats_arg $ trace_arg $ formula_arg)
+          $ stats_arg $ trace_arg $ jobs_arg $ formulas_arg)
 
 (* ---------------- build ---------------- *)
 
@@ -211,8 +247,10 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "semantic" ] ~doc)
   in
-  let run fuel timeout_ms stats trace file format syntactic semantic specs =
+  let run fuel timeout_ms stats trace jobs file format syntactic semantic specs
+      =
     with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
+    with_jobs jobs @@ fun pool ->
     let parse_line ~where spec =
       match String.index_opt spec '=' with
       | Some i ->
@@ -290,7 +328,7 @@ let lint_cmd =
                   v.Hierarchy.Lint.diagnostics
               then 1
               else 0)
-            (Engine.lint ~budget ~telemetry ~mode parsed)
+            (Engine.lint ~budget ~telemetry ~mode ?pool parsed)
   in
   let info =
     Cmd.info "lint"
@@ -301,7 +339,8 @@ let lint_cmd =
   in
   Cmd.v info
     Term.(const run $ fuel_arg $ timeout_arg $ stats_arg $ trace_arg
-          $ file_arg $ format_arg $ syntactic_arg $ semantic_arg $ specs_arg)
+          $ jobs_arg $ file_arg $ format_arg $ syntactic_arg $ semantic_arg
+          $ specs_arg)
 
 (* ---------------- equiv ---------------- *)
 

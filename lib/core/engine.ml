@@ -96,8 +96,8 @@ let alphabet ?props ?chars formulas =
    degrades the verdict columns; the three SL/expressibility bits are
    guarded the same way here so a trip mid-bit yields [None] for it and
    everything after, never an exception. *)
-let report_of ~budget ~telemetry ~syntactic (a : Omega.Automaton.t) =
-  let b = Omega.Classify.classify_budgeted ~budget ~telemetry a in
+let report_of ~budget ~telemetry ?pool ~syntactic (a : Omega.Automaton.t) =
+  let b = Omega.Classify.classify_budgeted ~budget ~telemetry ?pool a in
   let exhausted = ref b.Omega.Classify.exhaustion in
   let record e = if !exhausted = None then exhausted := Some e in
   let opt f =
@@ -151,12 +151,12 @@ let report_of ~budget ~telemetry ~syntactic (a : Omega.Automaton.t) =
   }
 
 let classify_automaton ?(budget = Budget.unlimited)
-    ?(telemetry = Telemetry.disabled) ?formula a =
+    ?(telemetry = Telemetry.disabled) ?pool ?formula a =
   protect ~budget ~telemetry @@ fun () ->
   let syntactic =
     Option.bind formula (fun f -> Logic.Shape.upper (Logic.Shape.infer f))
   in
-  report_of ~budget ~telemetry ~syntactic a
+  report_of ~budget ~telemetry ?pool ~syntactic a
 
 let outside_fragment ~telemetry ~syntactic ~exhausted =
   {
@@ -174,7 +174,7 @@ let outside_fragment ~telemetry ~syntactic ~exhausted =
   }
 
 let classify_formula ?(budget = Budget.unlimited)
-    ?(telemetry = Telemetry.disabled) alpha f =
+    ?(telemetry = Telemetry.disabled) ?pool alpha f =
   protect ~budget ~telemetry @@ fun () ->
   let syntactic = Logic.Shape.upper (Logic.Shape.infer f) in
   let translation =
@@ -186,19 +186,39 @@ let classify_formula ?(budget = Budget.unlimited)
   match translation with
   | `Tripped e -> outside_fragment ~telemetry ~syntactic ~exhausted:(Some e)
   | `Done None -> outside_fragment ~telemetry ~syntactic ~exhausted:None
-  | `Done (Some a) -> report_of ~budget ~telemetry ~syntactic a
+  | `Done (Some a) -> report_of ~budget ~telemetry ?pool ~syntactic a
 
-let classify ?budget ?telemetry ?props ?chars s =
+let classify ?budget ?telemetry ?pool ?props ?chars s =
   Result.bind (parse s) @@ fun f ->
   Result.bind (alphabet ?props ?chars [ f ]) @@ fun alpha ->
-  classify_formula ?budget ?telemetry alpha f
+  classify_formula ?budget ?telemetry ?pool alpha f
+
+(* One result per input, in input order.  Without a pool this is a
+   plain [List.map] over {!classify} with the shared budget (so inputs
+   degrade cumulatively, exactly as a shell loop over [hpt classify]
+   would).  With a pool, each input runs as one task on a task-replica
+   budget ([Budget.split]) and its own telemetry collector; the task
+   body is Result-typed — an error on one input never cancels the
+   others — and the collectors merge into [telemetry] in input order,
+   so the result list is identical at every job count. *)
+let classify_batch ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) ?pool ?props ?chars inputs =
+  match pool with
+  | None ->
+      List.map (fun s -> classify ~budget ~telemetry ?props ?chars s) inputs
+  | Some p ->
+      Pool.map ~budget ~telemetry p
+        (fun ctx s ->
+          classify ~budget:ctx.Pool.budget ~telemetry:ctx.Pool.telemetry
+            ?props ?chars s)
+        inputs
 
 (* Classify [op(regex)] for one of the paper's four finitary-to-
    infinitary operators: the [hpt build] path.  The alphabet must be
    given explicitly ([--props] or [--chars]); regex letters cannot be
    inferred. *)
-let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?props ?chars ~op
-    re =
+let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?pool ?props
+    ?chars ~op re =
   let operator =
     match String.lowercase_ascii op with
     | "a" -> Ok Omega.Build.A
@@ -227,7 +247,7 @@ let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?props ?chars ~op
     Telemetry.span telemetry "engine.build" @@ fun () ->
     Omega.Build.of_op operator (Finitary.Regex.compile alpha re)
   in
-  report_of ~budget ~telemetry ~syntactic:None a
+  report_of ~budget ~telemetry ?pool ~syntactic:None a
 
 (* ------------------------------------------------------------------ *)
 (* Views, equivalence, witnesses, lint                                 *)
@@ -286,8 +306,9 @@ let witness ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
   Logic.Tableau.witness ~budget ~telemetry alpha f
 
 let lint ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) ?mode
-    specs =
-  protect ~budget ~telemetry @@ fun () -> Lint.lint_strings ~budget ?mode specs
+    ?pool specs =
+  protect ~budget ~telemetry @@ fun () ->
+  Lint.lint_strings ~budget ?mode ?pool specs
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

@@ -85,15 +85,20 @@ val protect :
 val classify_automaton :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   ?formula:Logic.Formula.t ->
   Omega.Automaton.t ->
   (report, error) result
 (** Classify a property given as a deterministic omega-automaton.  On
-    budget exhaustion the report degrades to an interval verdict. *)
+    budget exhaustion the report degrades to an interval verdict.
+    With [?pool] the membership columns run on the pool (see
+    {!Omega.Classify.classify_budgeted}); the report is identical at
+    every job count. *)
 
 val classify_formula :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   (report, error) result
@@ -104,6 +109,7 @@ val classify_formula :
 val classify :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   ?props:string ->
   ?chars:string ->
   string ->
@@ -111,9 +117,27 @@ val classify :
 (** Parse, infer the alphabet ([--props] / [--chars] style, or the
     formula's atoms), translate, classify. *)
 
+val classify_batch :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  ?props:string ->
+  ?chars:string ->
+  string list ->
+  (report, error) result list
+(** One {!classify} result per input, in input order — the engine
+    behind [hpt classify --jobs N f1 f2 ...].  Without a pool: a plain
+    sequential map sharing [budget] across inputs (cumulative
+    degradation, like a shell loop).  With a pool: one task per input
+    on a task-replica budget ({!Budget.split}) with a per-task
+    telemetry collector; tasks are Result-typed, so one input's error
+    never cancels the others, and the result list is identical at
+    every job count. *)
+
 val classify_regex :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   ?props:string ->
   ?chars:string ->
   op:string ->
@@ -167,11 +191,13 @@ val lint :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
   ?mode:Lint.mode ->
+  ?pool:Pool.t ->
   (string * string) list ->
   (Lint.verdict, error) result
 (** Parse and lint a named-requirement specification.  [mode] selects
     how much semantic refinement {!Lint} performs (default
-    {!Lint.Auto}). *)
+    {!Lint.Auto}).  With [?pool] the per-item pass and the pairwise
+    matrix parallelize with a byte-identical verdict (see {!Lint.lint}). *)
 
 (** {2 Parsing and alphabets} *)
 

@@ -98,7 +98,7 @@ let constant_subterms spanned =
       if Logic.Shape.constant s.Logic.Parser.f <> None then []
       else List.rev (List.fold_left walk [] s.Logic.Parser.children)
 
-let lint_parsed ?budget ?(mode = Auto)
+let lint_parsed ?budget ?(mode = Auto) ?pool
     (specs : (string * Logic.Formula.t * (string * Logic.Parser.spanned) option) list) =
   let atoms =
     List.sort_uniq compare
@@ -125,47 +125,55 @@ let lint_parsed ?budget ?(mode = Auto)
       "specification has %d distinct atoms (more than %d): semantic \
        refinement skipped, syntactic intervals reported"
       n_atoms max_semantic_atoms;
+  let build_item ?budget (iname, formula, src) =
+    let shape = Logic.Shape.infer formula in
+    let klass =
+      match alpha with
+      | Some alpha -> Omega.Of_formula.classify ?budget alpha formula
+      | None -> None
+    in
+    let satisfiable, valid =
+      match alpha with
+      | Some alpha ->
+          ( Some (Logic.Tableau.satisfiable ?budget alpha formula),
+            Some (Logic.Tableau.valid ?budget alpha formula) )
+      | None ->
+          (* without the tableau, only the syntactic constant
+             certificate decides these: a constant-true formula is
+             satisfiable and valid, a constant-false one neither *)
+          (shape.Logic.Shape.constant, shape.Logic.Shape.constant)
+    in
+    let interval =
+      (* when the exact class is known it subsumes the syntactic
+         interval (refining against it can even be inconsistent:
+         for a clopen language the classifier reports safety while
+         the syntax may be guarantee-shaped — both memberships
+         hold, but the two classes are lattice-incomparable) *)
+      match klass with
+      | Some k -> Kappa.exactly k
+      | None -> shape.Logic.Shape.interval
+    in
+    {
+      iname;
+      formula;
+      source = Option.map fst src;
+      shape;
+      interval;
+      klass;
+      satisfiable;
+      valid;
+    }
+  in
   let items =
-    List.map
-      (fun (iname, formula, src) ->
-        let shape = Logic.Shape.infer formula in
-        let klass =
-          match alpha with
-          | Some alpha -> Omega.Of_formula.classify ?budget alpha formula
-          | None -> None
-        in
-        let satisfiable, valid =
-          match alpha with
-          | Some alpha ->
-              ( Some (Logic.Tableau.satisfiable ?budget alpha formula),
-                Some (Logic.Tableau.valid ?budget alpha formula) )
-          | None ->
-              (* without the tableau, only the syntactic constant
-                 certificate decides these: a constant-true formula is
-                 satisfiable and valid, a constant-false one neither *)
-              (shape.Logic.Shape.constant, shape.Logic.Shape.constant)
-        in
-        let interval =
-          (* when the exact class is known it subsumes the syntactic
-             interval (refining against it can even be inconsistent:
-             for a clopen language the classifier reports safety while
-             the syntax may be guarantee-shaped — both memberships
-             hold, but the two classes are lattice-incomparable) *)
-          match klass with
-          | Some k -> Kappa.exactly k
-          | None -> shape.Logic.Shape.interval
-        in
-        {
-          iname;
-          formula;
-          source = Option.map fst src;
-          shape;
-          interval;
-          klass;
-          satisfiable;
-          valid;
-        })
-      specs
+    (* the per-requirement semantic pass (one classification + two
+       tableau runs each) is independent per item: one pool task per
+       requirement, with the budget split deterministically by index *)
+    match pool with
+    | None -> List.map (build_item ?budget) specs
+    | Some p ->
+        Pool.map ?budget p
+          (fun ctx spec -> build_item ~budget:ctx.Pool.budget spec)
+          specs
   in
   let spanned_of =
     let tbl = List.map (fun (n, _, src) -> (n, Option.map snd src)) specs in
@@ -221,41 +229,57 @@ let lint_parsed ?budget ?(mode = Auto)
       let eligible it =
         it.satisfiable <> Some false && it.valid <> Some true
       in
-      let rec pairs = function
-        | [] -> ()
-        | a :: rest ->
-            List.iter
-              (fun b ->
-                if eligible a && eligible b then begin
-                  let open Logic.Formula in
-                  if
-                    not
-                      (Logic.Tableau.satisfiable ?budget alpha
-                         (And (a.formula, b.formula)))
-                  then
-                    diag ~requirement:b.iname E002
-                      "requirements %S and %S are in conflict: their \
-                       conjunction is unsatisfiable"
-                      a.iname b.iname
-                  else if
-                    Logic.Tableau.valid ?budget alpha
-                      (Imp (a.formula, b.formula))
-                  then
-                    diag ~requirement:b.iname W105
-                      "requirement %S is implied by %S: redundant" b.iname
-                      a.iname
-                  else if
-                    Logic.Tableau.valid ?budget alpha
-                      (Imp (b.formula, a.formula))
-                  then
-                    diag ~requirement:a.iname W105
-                      "requirement %S is implied by %S: redundant" a.iname
-                      b.iname
-                end)
-              rest;
-            pairs rest
+      (* the conflict/subsumption matrix in its canonical order:
+         (a, b) for every b after a *)
+      let rec pair_list = function
+        | [] -> []
+        | a :: rest -> List.map (fun b -> (a, b)) rest @ pair_list rest
       in
-      pairs items
+      (* per-pair verdict, preserving the within-pair short-circuit
+         (conflict beats either implication; a->b beats b->a) *)
+      let judge ?budget (a, b) =
+        if not (eligible a && eligible b) then `Nothing
+        else
+          let open Logic.Formula in
+          if
+            not
+              (Logic.Tableau.satisfiable ?budget alpha
+                 (And (a.formula, b.formula)))
+          then `Conflict
+          else if Logic.Tableau.valid ?budget alpha (Imp (a.formula, b.formula))
+          then `Implies_ab
+          else if Logic.Tableau.valid ?budget alpha (Imp (b.formula, a.formula))
+          then `Implies_ba
+          else `Nothing
+      in
+      let pairs = pair_list items in
+      let verdicts =
+        (* one pool task per pair; diagnostics are emitted after the
+           join, in pair order, so the report is byte-identical to the
+           sequential scan at every job count *)
+        match pool with
+        | None -> List.map (judge ?budget) pairs
+        | Some p ->
+            Pool.map ?budget p
+              (fun ctx pair -> judge ~budget:ctx.Pool.budget pair)
+              pairs
+      in
+      List.iter2
+        (fun (a, b) verdict ->
+          match verdict with
+          | `Nothing -> ()
+          | `Conflict ->
+              diag ~requirement:b.iname E002
+                "requirements %S and %S are in conflict: their conjunction \
+                 is unsatisfiable"
+                a.iname b.iname
+          | `Implies_ab ->
+              diag ~requirement:b.iname W105
+                "requirement %S is implied by %S: redundant" b.iname a.iname
+          | `Implies_ba ->
+              diag ~requirement:a.iname W105
+                "requirement %S is implied by %S: redundant" a.iname b.iname)
+        pairs verdicts
   | Some _ | None -> ());
   (* specification-level diagnostics *)
   let all_safety =
@@ -308,11 +332,11 @@ let lint_parsed ?budget ?(mode = Auto)
     semantic;
   }
 
-let lint ?budget ?mode specs =
-  lint_parsed ?budget ?mode (List.map (fun (n, f) -> (n, f, None)) specs)
+let lint ?budget ?mode ?pool specs =
+  lint_parsed ?budget ?mode ?pool (List.map (fun (n, f) -> (n, f, None)) specs)
 
-let lint_strings ?budget ?mode specs =
-  lint_parsed ?budget ?mode
+let lint_strings ?budget ?mode ?pool specs =
+  lint_parsed ?budget ?mode ?pool
     (List.map
        (fun (n, s) ->
          let sp = Logic.Parser.parse_spanned s in

@@ -98,14 +98,28 @@ type verdict = {
     atom-free or many-atom specifications — the semantic pass degrades
     to the syntactic one (with W104) as needed.  [budget] is shared by
     all semantic constructions and interrupts them with
-    [Budget.Tripped]. *)
+    [Budget.Tripped].
+
+    With [?pool] the per-item semantic pass and the pairwise
+    conflict/subsumption matrix run as pool tasks (one per item, one
+    per pair); diagnostics are emitted after the join in the canonical
+    sequential order, so the verdict is byte-identical at every job
+    count. *)
 val lint :
-  ?budget:Budget.t -> ?mode:mode -> (string * Logic.Formula.t) list -> verdict
+  ?budget:Budget.t ->
+  ?mode:mode ->
+  ?pool:Pool.t ->
+  (string * Logic.Formula.t) list ->
+  verdict
 
 (** Parse each requirement (keeping source spans for diagnostics), then
     lint. *)
 val lint_strings :
-  ?budget:Budget.t -> ?mode:mode -> (string * string) list -> verdict
+  ?budget:Budget.t ->
+  ?mode:mode ->
+  ?pool:Pool.t ->
+  (string * string) list ->
+  verdict
 
 val pp_verdict : verdict Fmt.t
 

@@ -8,13 +8,13 @@ let closure = Omega.Lang.safety_closure
 
 let interior a = Automaton.complement (closure (Automaton.complement a))
 
-let is_closed = Omega.Classify.is_safety
+let is_closed a = Omega.Classify.is_safety a
 
-let is_open = Omega.Classify.is_guarantee
+let is_open a = Omega.Classify.is_guarantee a
 
-let is_g_delta = Omega.Classify.is_recurrence
+let is_g_delta a = Omega.Classify.is_recurrence a
 
-let is_f_sigma = Omega.Classify.is_persistence
+let is_f_sigma a = Omega.Classify.is_persistence a
 
 let is_dense = Omega.Lang.is_liveness
 

@@ -14,6 +14,10 @@ type t = {
   injected : bool;
   deadline : float;  (* absolute wall-clock time; [infinity] means none *)
   mutable tripped : exhaustion option;
+  poll : (unit -> unit) option;
+      (* cancellation hook installed by [Pool] on task-local budgets;
+         consulted on the slow (fuel- or deadline-limited) tick path
+         only, so the unlimited fast path stays two loads *)
 }
 
 let unlimited =
@@ -23,6 +27,7 @@ let unlimited =
     injected = false;
     deadline = infinity;
     tripped = None;
+    poll = None;
   }
 
 let make ?fuel ?timeout_ms () =
@@ -40,7 +45,7 @@ let make ?fuel ?timeout_ms () =
         if ms <= 0. then invalid_arg "Budget.make: timeout must be positive";
         Unix.gettimeofday () +. (ms /. 1000.)
   in
-  { remaining; used = 0; injected = false; deadline; tripped = None }
+  { remaining; used = 0; injected = false; deadline; tripped = None; poll = None }
 
 let inject_trip_at n =
   {
@@ -49,7 +54,45 @@ let inject_trip_at n =
     injected = true;
     deadline = infinity;
     tripped = None;
+    poll = None;
   }
+
+(* Task-local replica for one forked task.  The share depends only on
+   the parent's state at the split and on [index]/[among], never on how
+   the tasks are later scheduled, so a given task trips at the same
+   tick at every job count — the pool's determinism contract rests on
+   this.  Injected (fault-injection) budgets replicate their remaining
+   trip point instead of splitting it, so every task observes the trip
+   its test asked for. *)
+let split b ~among ~index ?poll () =
+  if among <= 0 then invalid_arg "Budget.split: among must be positive";
+  if index < 0 || index >= among then invalid_arg "Budget.split: bad index";
+  let remaining =
+    if b.remaining == max_int || b.injected then b.remaining
+    else
+      let q = b.remaining / among and r = b.remaining mod among in
+      q + (if index < r then 1 else 0)
+  in
+  {
+    remaining;
+    used = 0;
+    injected = b.injected;
+    deadline = b.deadline;
+    tripped = b.tripped;
+    poll;
+  }
+
+let absorb b ~spent:n =
+  if n < 0 then invalid_arg "Budget.absorb: negative spent";
+  if b != unlimited then begin
+    b.used <- b.used + n;
+    (* Charge the fuel too (injected budgets trip positionally, so
+       their allowance is left alone).  Remaining may reach [<= 0]
+       without raising here: the next tick trips, exactly as if the
+       absorbed work had been ticked against [b] directly. *)
+    if (not b.injected) && b.remaining <> max_int then
+      b.remaining <- b.remaining - n
+  end
 
 let trip b reason =
   let e =
@@ -77,6 +120,9 @@ let tick b =
           b.remaining <- b.remaining - 1;
           if b.remaining <= 0 then trip b (fuel_reason b)
         end;
+        (match b.poll with
+        | Some f when b.used land 63 = 0 -> f ()
+        | Some _ | None -> ());
         if
           b.deadline < infinity
           && b.used land 255 = 0

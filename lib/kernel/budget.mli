@@ -59,6 +59,29 @@ val inject_trip_at : int -> t
 (** [inject_trip_at n] trips with reason {!Injected} on the [n]-th
     tick (1-based; [n <= 0] trips on the first tick). *)
 
+val split : t -> among:int -> index:int -> ?poll:(unit -> unit) -> unit -> t
+(** [split b ~among ~index () ] is the task-local replica of [b] for
+    the [index]-th of [among] forked tasks.  Finite fuel is divided
+    deterministically — task [index] receives
+    [remaining / among + (1 if index < remaining mod among)] — so a
+    task's trip point depends only on the parent's state at the split
+    and its index, never on scheduling.  {!unlimited} and
+    {!inject_trip_at} budgets replicate their remaining allowance
+    instead of dividing it (fault-injection tests must observe the trip
+    they asked for in {e every} task).  The deadline and any sticky
+    trip are inherited.  [?poll] installs a cancellation hook consulted
+    every 64 ticks on the slow (fuel- or deadline-limited) path; the
+    unlimited fast path never calls it.  Raises [Invalid_argument]
+    unless [0 <= index < among]. *)
+
+val absorb : t -> spent:int -> unit
+(** [absorb b ~spent] charges a completed sub-task's tick count back
+    to [b]: the {!spent} counter grows and, on fuel-limited budgets,
+    the remaining fuel shrinks by the same amount (it does not raise
+    even if that exhausts the fuel — the next {!tick} trips).
+    Injected budgets keep their positional trip point.  No-op on
+    {!unlimited}. *)
+
 val tick : t -> unit
 (** Consume one unit of fuel; raise {!Tripped} if the budget is
     exhausted.  The wall clock is consulted every 256 ticks. *)

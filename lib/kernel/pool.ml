@@ -1,0 +1,304 @@
+(* Fixed-size fork-join domain pool.  See pool.mli for the
+   determinism contract; the invariants the implementation leans on:
+
+   - [halt_from] is a monotone-min watermark over task indexes.  Only
+     a task that tripped, raised, or matched at index [i] ever lowers
+     it to [i] (+1 for matches), so a task that was cancelled or
+     skipped at index [j] proves some *stopping* task exists at an
+     index [< j] — which is why discarding everything after the final
+     stop index reconstructs exactly the sequential prefix.
+   - Result slots are plain arrays.  A slot is written by whichever
+     domain executes the task, then published by that domain's
+     fetch-and-add on the batch completion counter; the joiner reads
+     the slots only after observing the counter at its final value,
+     so the atomic pair provides the needed happens-before edges.
+   - The joiner executes chunks itself and, while waiting, drains the
+     shared queue (help-while-join).  Any blocked joiner therefore
+     coexists with at least one domain making progress on a claimed
+     chunk, so nested [run] calls cannot deadlock. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type ctx = { budget : Budget.t; telemetry : Telemetry.t; index : int }
+
+type 'a outcome = Done of 'a | Tripped of Budget.exhaustion | Skipped
+
+(* Internal per-slot state: [Raised] is resolved at the join (re-raise
+   at the stop index, discard otherwise) and never escapes. *)
+type 'a slot =
+  | SPending
+  | SDone of 'a
+  | STripped of Budget.exhaustion
+  | SRaised of exn * Printexc.raw_backtrace
+
+exception Cancelled
+
+let jobs t = t.jobs
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      if t.stop then None
+      else
+        match Queue.take_opt t.queue with
+        | Some _ as thunk -> thunk
+        | None ->
+            Condition.wait t.cond t.mutex;
+            next ()
+    in
+    let thunk = next () in
+    Mutex.unlock t.mutex;
+    match thunk with
+    | None -> ()
+    | Some thunk ->
+        (try thunk () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ds = t.domains in
+  t.stop <- true;
+  t.domains <- [];
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ds
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let rec lower_to a i =
+  let cur = Atomic.get a in
+  if i < cur && not (Atomic.compare_and_set a cur i) then lower_to a i
+
+(* ------------------------------------------------------------------ *)
+(* The core engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* [stop_on] marks results that end the scan (find_first's [Some]);
+   plain [run]/[map] pass [fun _ -> false]. *)
+let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
+    ~(stop_on : b -> bool) (t : t) (f : ctx -> a -> b) (items : a list) :
+    b slot array =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  let telemetry =
+    match telemetry with Some h -> h | None -> Telemetry.ambient ()
+  in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let slots = Array.make n SPending in
+  if n = 0 then slots
+  else begin
+    let spent = Array.make n 0 in
+    let reports = Array.make n None in
+    let record = Telemetry.enabled telemetry in
+    (* Monotone-min cancellation watermark: tasks with index >= it may
+       be skipped or interrupted; tasks below it never are. *)
+    let halt_from = Atomic.make n in
+    let exec_task i =
+      if Atomic.get halt_from <= i then slots.(i) <- SPending (* skipped *)
+      else begin
+        let poll () = if Atomic.get halt_from <= i then raise Cancelled in
+        let tb = Budget.split budget ~among:n ~index:i ~poll () in
+        let tc = if record then Telemetry.collector () else Telemetry.disabled in
+        (match
+           Telemetry.with_ambient tc (fun () ->
+               f { budget = tb; telemetry = tc; index = i } arr.(i))
+         with
+        | v ->
+            slots.(i) <- SDone v;
+            if stop_on v then lower_to halt_from (i + 1)
+        | exception Budget.Tripped e ->
+            slots.(i) <- STripped e;
+            lower_to halt_from i
+        | exception Cancelled -> slots.(i) <- SPending
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            slots.(i) <- SRaised (e, bt);
+            lower_to halt_from i);
+        spent.(i) <- Budget.spent tb;
+        if record then reports.(i) <- Some (Telemetry.report tc)
+      end
+    in
+    if t.jobs = 1 || n = 1 then begin
+      (* Guaranteed-sequential path: index order on the calling
+         domain, stopping as soon as the watermark says so — but with
+         the same replica-budget algebra as the parallel path. *)
+      let i = ref 0 in
+      while !i < n && Atomic.get halt_from > !i do
+        exec_task !i;
+        incr i
+      done
+    end
+    else begin
+      let chunk = max 1 (n / (t.jobs * 8)) in
+      let nchunks = (n + chunk - 1) / chunk in
+      let claim = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let run_chunks () =
+        let rec loop () =
+          let c = Atomic.fetch_and_add claim 1 in
+          if c < nchunks then begin
+            let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+            for i = lo to hi - 1 do
+              exec_task i
+            done;
+            if Atomic.fetch_and_add completed 1 = nchunks - 1 then begin
+              (* last chunk: wake a joiner blocked on the condition *)
+              Mutex.lock t.mutex;
+              Condition.broadcast t.cond;
+              Mutex.unlock t.mutex
+            end;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let helpers = min (t.jobs - 1) nchunks in
+      if helpers > 0 then begin
+        Mutex.lock t.mutex;
+        for _ = 1 to helpers do
+          Queue.push run_chunks t.queue
+        done;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex
+      end;
+      run_chunks ();
+      (* Help-while-join: drain queued work (possibly other batches'
+         chunks) until every chunk of this batch has completed. *)
+      let rec join () =
+        if Atomic.get completed < nchunks then begin
+          Mutex.lock t.mutex;
+          match Queue.take_opt t.queue with
+          | Some thunk ->
+              Mutex.unlock t.mutex;
+              (try thunk () with _ -> ());
+              join ()
+          | None ->
+              if Atomic.get completed < nchunks then Condition.wait t.cond t.mutex;
+              Mutex.unlock t.mutex;
+              join ()
+        end
+      in
+      join ()
+    end;
+    (* The stop index: first trip, raise, or match.  Everything after
+       it is discarded — racing completions must not be observable. *)
+    let stop_idx = ref n in
+    (try
+       for i = 0 to n - 1 do
+         match slots.(i) with
+         | STripped _ | SRaised _ ->
+             stop_idx := i;
+             raise Exit
+         | SDone v when stop_on v ->
+             stop_idx := i;
+             raise Exit
+         | SDone _ | SPending -> ()
+       done
+     with Exit -> ());
+    for i = !stop_idx + 1 to n - 1 do
+      slots.(i) <- SPending
+    done;
+    (* Charge the deterministic prefix back to the parent budget and
+       merge its collectors in index order. *)
+    for i = 0 to min !stop_idx (n - 1) do
+      match slots.(i) with
+      | SDone _ | STripped _ | SRaised _ ->
+          Budget.absorb budget ~spent:spent.(i);
+          if record then
+            Option.iter (Telemetry.absorb telemetry) reports.(i)
+      | SPending -> ()
+    done;
+    (match slots.(min !stop_idx (n - 1)) with
+    | SRaised (e, bt) -> Printexc.raise_with_backtrace e bt
+    | _ -> ());
+    slots
+  end
+
+let outcome_of_slot = function
+  | SDone v -> Done v
+  | STripped e -> Tripped e
+  | SPending -> Skipped
+  | SRaised _ -> assert false (* resolved at the join *)
+
+let run ?budget ?telemetry t f items =
+  let slots =
+    run_core ?budget ?telemetry ~stop_on:(fun _ -> false) t f items
+  in
+  Array.to_list (Array.map outcome_of_slot slots)
+
+let trip_of_slots slots =
+  Array.fold_left
+    (fun acc s -> match (acc, s) with None, STripped e -> Some e | _ -> acc)
+    None slots
+
+let map ?budget ?telemetry t f items =
+  let slots =
+    run_core ?budget ?telemetry ~stop_on:(fun _ -> false) t f items
+  in
+  (match trip_of_slots slots with
+  | Some e -> raise (Budget.Tripped e)
+  | None -> ());
+  Array.to_list
+    (Array.map
+       (function SDone v -> v | SPending | STripped _ | SRaised _ -> assert false)
+       slots)
+
+let filter_map ?budget ?telemetry t f items =
+  List.filter_map Fun.id (map ?budget ?telemetry t f items)
+
+let find_first ?budget ?telemetry t f items =
+  let slots =
+    run_core ?budget ?telemetry
+      ~stop_on:(fun v -> Option.is_some v)
+      t f items
+  in
+  let rec scan i =
+    if i >= Array.length slots then None
+    else
+      match slots.(i) with
+      | SDone (Some _ as v) -> v
+      | STripped e -> raise (Budget.Tripped e)
+      | SDone None -> scan (i + 1)
+      | SPending -> scan (i + 1)
+      | SRaised _ -> assert false
+  in
+  scan 0
+
+let exists ?budget ?telemetry t p items =
+  find_first ?budget ?telemetry t
+    (fun ctx x -> if p ctx x then Some () else None)
+    items
+  |> Option.is_some
+
+let for_all ?budget ?telemetry t p items =
+  find_first ?budget ?telemetry t
+    (fun ctx x -> if p ctx x then None else Some ())
+    items
+  |> Option.is_none

@@ -1,0 +1,151 @@
+(** Deterministic fork-join domain pool.
+
+    A fixed-size pool of OCaml 5 domains (hand-rolled over
+    [Domain.spawn] + [Mutex]/[Condition] — no dependency beyond the
+    stdlib) with fork-join combinators whose {e results are
+    bit-identical at every job count}.  Parallelism changes wall-clock
+    time, never verdicts: the classification columns, inclusion
+    batches and lint matrices built on top of this module return the
+    same values at [jobs = 1], [2] and [4], including under injected
+    budget trips and with telemetry enabled.
+
+    {2 Determinism contract}
+
+    Each of the [n] submitted tasks is identified by its list index.
+    Everything observable is defined {e purely in index terms}:
+
+    - Task [i] runs on a {e replica} budget [Budget.split b ~among:n
+      ~index:i], whose trip point depends only on the parent budget
+      and [i] — never on which domain runs the task or when.
+    - The {e stop index} is the smallest [i] whose task tripped,
+      raised, or (for the searching combinators) matched.  Tasks
+      before it always complete; tasks after it are reported
+      {!Skipped} — even if a racing domain happened to finish them —
+      exactly as the sequential path, which never starts them.
+    - A non-budget exception at the stop index re-raises at the join,
+      with its original backtrace.
+    - Each task records into a {e fresh} telemetry collector (also
+      installed as the task's domain-local ambient handle); completed
+      collectors up to the stop index are merged into the caller's
+      handle in index order, and the replicas' consumed fuel is
+      charged back to the parent budget in the same prefix.
+
+    Sibling cancellation is a pure optimisation: a trip at index [i]
+    raises a monotone cancellation watermark that later-indexed tasks
+    observe at task start and — via the budget's slow-path poll hook —
+    mid-task.  Cancelled work is discarded, so cancellation timing
+    cannot leak into results.
+
+    {2 Scheduling}
+
+    [run] slices the index space into contiguous chunks claimed from a
+    shared atomic counter (self-scheduling: idle domains steal the
+    next chunk, so uneven task costs balance).  The submitting caller
+    executes chunks itself and, while joining, {e helps} with any
+    queued work — so nested [run] calls from inside a task (the
+    classification columns fan out again inside the recurrence check)
+    cannot deadlock.  At [jobs = 1] no domains are spawned and every
+    combinator is guaranteed to run sequentially, in index order, on
+    the calling domain. *)
+
+type t
+(** A pool handle.  One pool may serve many [run] calls, sequentially
+    or nested; the handle itself is domain-safe. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains (none when
+    [jobs = 1]).  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Calling a
+    combinator on a pool after [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] — also on exceptions. *)
+
+type ctx = {
+  budget : Budget.t;  (** this task's replica budget — tick this *)
+  telemetry : Telemetry.t;
+      (** this task's fresh collector (also the ambient handle while
+          the task runs) *)
+  index : int;  (** the task's position in the submitted list *)
+}
+(** What a task body receives alongside its item.  Task bodies must
+    charge work to [ctx.budget] (not the parent's) and must not share
+    mutable state across items. *)
+
+type 'a outcome =
+  | Done of 'a  (** completed; always the case before the stop index *)
+  | Tripped of Budget.exhaustion
+      (** the replica budget tripped at the stop index *)
+  | Skipped
+      (** after the stop index: never started, cancelled, or its
+          result was discarded for determinism *)
+
+val run :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  t ->
+  (ctx -> 'a -> 'b) ->
+  'a list ->
+  'b outcome list
+(** The primitive: one outcome per input, in input order.  [?budget]
+    defaults to [Budget.unlimited]; [?telemetry] defaults to
+    [Telemetry.ambient ()].  At most one {!Tripped} appears, at the
+    stop index; everything after it is {!Skipped}.  A non-budget
+    exception at the stop index is re-raised here instead. *)
+
+val map :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  t ->
+  (ctx -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** All-or-nothing [run]: returns the mapped list, or raises
+    [Budget.Tripped] with the stop-index exhaustion — the same
+    exception a sequential fold over a shared budget would let
+    escape. *)
+
+val filter_map :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  t ->
+  (ctx -> 'a -> 'b option) ->
+  'a list ->
+  'b list
+(** [map] composed with [Option] filtering, preserving input order. *)
+
+val find_first :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  t ->
+  (ctx -> 'a -> 'b option) ->
+  'a list ->
+  'b option
+(** The [Some] of lowest index, or [None].  Later tasks are cancelled
+    once a match is found (their results could not win).  Raises
+    [Budget.Tripped] only if a trip precedes every match — a match at
+    a lower index makes later trips unobservable, exactly as in a
+    sequential left-to-right scan that stops at the first match. *)
+
+val exists :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  t ->
+  (ctx -> 'a -> bool) ->
+  'a list ->
+  bool
+
+val for_all :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  t ->
+  (ctx -> 'a -> bool) ->
+  'a list ->
+  bool
+(** [exists]/[for_all] are {!find_first} on the (counter)witness:
+    short-circuiting, deterministic, trip-raising only when the trip
+    precedes the deciding witness. *)

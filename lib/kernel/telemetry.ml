@@ -182,19 +182,75 @@ let observe t name v =
       h.hbuckets.(i) <- h.hbuckets.(i) + 1
 
 (* ------------------------------------------------------------------ *)
+(* Merging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold a completed child report into [t], used by the pool to merge
+   per-task collectors on join.  Spans land under the innermost open
+   frame (or as roots), counters add, histogram cells are rebuilt from
+   the reported power-of-two bucket upper bounds (2^i - 1 maps back to
+   bucket i exactly).  Deterministic: the result depends only on the
+   order of [absorb] calls, which the pool fixes to task order. *)
+let absorb t (r : report) =
+  match t.sink with
+  | Noop -> ()
+  | Memory | Lines _ ->
+      let depth = List.length t.stack in
+      List.iter (fun s -> emit_span t ~depth s) r.spans;
+      (match t.stack with
+      | fr :: _ -> fr.fchildren <- List.rev_append r.spans fr.fchildren
+      | [] -> t.roots <- List.rev_append r.spans t.roots);
+      List.iter (fun (name, n) -> add t name n) r.counters;
+      List.iter
+        (fun (name, (h : histogram)) ->
+          let cell =
+            match Hashtbl.find_opt t.hst name with
+            | Some cell -> cell
+            | None ->
+                let cell =
+                  {
+                    hcount = 0;
+                    hsum = 0.;
+                    hmin = infinity;
+                    hmax = neg_infinity;
+                    hbuckets = Array.make 63 0;
+                  }
+                in
+                Hashtbl.add t.hst name cell;
+                cell
+          in
+          cell.hcount <- cell.hcount + h.count;
+          cell.hsum <- cell.hsum +. h.sum;
+          if h.count > 0 then begin
+            if h.min < cell.hmin then cell.hmin <- h.min;
+            if h.max > cell.hmax then cell.hmax <- h.max
+          end;
+          List.iter
+            (fun (upper, n) ->
+              let i = bucket_index upper in
+              cell.hbuckets.(i) <- cell.hbuckets.(i) + n)
+            h.buckets)
+        r.histograms
+
+(* ------------------------------------------------------------------ *)
 (* Ambient handle                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let ambient_r = ref disabled
+(* Domain-local, so pool workers each get their own ambient slot: a
+   worker installing its per-task collector can never clobber the
+   orchestrating domain's handle.  Within one domain the discipline is
+   unchanged (dynamic scoping via [with_ambient]). *)
+let ambient_key = Domain.DLS.new_key (fun () -> ref disabled)
 
-let ambient () = !ambient_r
+let ambient () = !(Domain.DLS.get ambient_key)
 
-let set_ambient t = ambient_r := t
+let set_ambient t = Domain.DLS.get ambient_key := t
 
 let with_ambient t f =
-  let old = !ambient_r in
-  ambient_r := t;
-  Fun.protect ~finally:(fun () -> ambient_r := old) f
+  let cell = Domain.DLS.get ambient_key in
+  let old = !cell in
+  cell := t;
+  Fun.protect ~finally:(fun () -> cell := old) f
 
 (* ------------------------------------------------------------------ *)
 (* Reading back                                                        *)

@@ -84,9 +84,12 @@ val observe : t -> string -> float -> unit
 
     Leaf kernels that cannot thread a handle through their signature
     ([Automaton.successors] is passed around as a bare [int -> int
-    list]) report against the process-wide ambient handle.  The engine
-    boundary installs its handle for the duration of each entry point;
-    the default ambient is {!disabled}. *)
+    list]) report against the ambient handle.  The engine boundary
+    installs its handle for the duration of each entry point; the
+    default ambient is {!disabled}.  The slot is {e domain-local}
+    ([Domain.DLS]): each pool worker sees its own ambient, so a task
+    installing its per-task collector cannot clobber another domain's
+    handle. *)
 
 val ambient : unit -> t
 
@@ -127,6 +130,13 @@ val report : t -> report
 
 val counter : t -> string -> int
 (** Current value of one counter; [0] if never touched. *)
+
+val absorb : t -> report -> unit
+(** [absorb t r] folds a completed child report into [t]: [r]'s
+    top-level spans become children of [t]'s innermost open span (or
+    new roots), counters add, histograms merge bucket-by-bucket.  The
+    pool calls this once per finished task, in task order, so merged
+    reports are identical at every job count.  No-op on {!disabled}. *)
 
 val span_totals : report -> (string * float) list
 (** Total elapsed nanoseconds per span name, summed across the whole

@@ -7,9 +7,17 @@ type t = {
   start : int;
   delta : int array array;
   acc : Acceptance.t;
-  mutable succ_table : int list array;
+  succ_table : int list array Atomic.t;
       (* per-state deduplicated successor lists, built lazily on the
-         first [successors] call; [[||]] means "not yet computed" *)
+         first [successors] call; [[||]] means "not yet computed".
+         Domain-safety: the table itself is installed by CAS (losers
+         adopt the winner's array); row fills are plain idempotent
+         writes — racing domains compute equal lists, and initializing
+         writes of freshly allocated immutable lists are published
+         with the pointer under the OCaml memory model, so a racy
+         reader sees either [] (recompute) or a complete equal list.
+         [{a with acc}] copies share the cell, so acceptance variants
+         of one structure share the memo. *)
 }
 
 let make ~alpha ~n ~start ~delta ~acc =
@@ -29,7 +37,7 @@ let make ~alpha ~n ~start ~delta ~acc =
     not
       (Iset.for_all (fun q -> q >= 0 && q < n) (Acceptance.states acc))
   then invalid_arg "Automaton.make: acceptance mentions unknown state";
-  { alpha; n; start; delta; acc; succ_table = [||] }
+  { alpha; n; start; delta; acc; succ_table = Atomic.make [||] }
 
 let with_acc a acc =
   if
@@ -45,7 +53,7 @@ let const alpha acc =
     start = 0;
     delta = [| Array.make k 0 |];
     acc;
-    succ_table = [||];
+    succ_table = Atomic.make [||];
   }
 
 let empty_lang alpha = const alpha Acceptance.False
@@ -127,7 +135,7 @@ let product combine a b =
     start = code a.start b.start;
     delta;
     acc;
-    succ_table = [||];
+    succ_table = Atomic.make [||];
   }
 
 let inter = product (fun x y -> Acceptance.And [ x; y ])
@@ -136,20 +144,43 @@ let union = product (fun x y -> Acceptance.Or [ x; y ])
 
 let diff a b = inter a (complement b)
 
-let memoize_successors = ref true
+let memoize_successors = Atomic.make true
 
-let set_successors_memo b = memoize_successors := b
+let set_successors_memo b = Atomic.set memoize_successors b
+
+(* Deduplicated, sorted successor list of one state.  Below 64 states
+   the dedup runs through a single int bitmask — [List.sort_uniq]'s
+   closure and list churn is measurable on the tiny-graph benches. *)
+let succ_row a q =
+  let row = a.delta.(q) in
+  if a.n <= 63 then begin
+    let seen = ref 0 in
+    Array.iter (fun q' -> seen := !seen lor (1 lsl q')) row;
+    let l = ref [] in
+    for q' = a.n - 1 downto 0 do
+      if !seen land (1 lsl q') <> 0 then l := q' :: !l
+    done;
+    !l
+  end
+  else List.sort_uniq Stdlib.compare (Array.to_list row)
 
 let successors a q =
-  if Array.length a.succ_table = 0 then a.succ_table <- Array.make a.n [];
-  match a.succ_table.(q) with
+  let table =
+    let cur = Atomic.get a.succ_table in
+    if Array.length cur > 0 then cur
+    else
+      let fresh = Array.make a.n [] in
+      if Atomic.compare_and_set a.succ_table cur fresh then fresh
+      else Atomic.get a.succ_table
+  in
+  match table.(q) with
   | [] ->
       (* rows are never empty (automata are complete), so [[]] doubles
          as the not-yet-computed marker; building per row keeps one-shot
          traversals from paying for states they never visit *)
       Telemetry.incr (Telemetry.ambient ()) "automaton.successors.miss";
-      let l = List.sort_uniq Stdlib.compare (Array.to_list a.delta.(q)) in
-      if !memoize_successors then a.succ_table.(q) <- l;
+      let l = succ_row a q in
+      if Atomic.get memoize_successors then table.(q) <- l;
       l
   | l ->
       Telemetry.incr (Telemetry.ambient ()) "automaton.successors.hit";
@@ -185,7 +216,7 @@ let trim a =
              s)
          a.acc)
   in
-  { a with n; start = remap.(a.start); delta; acc; succ_table = [||] }
+  { a with n; start = remap.(a.start); delta; acc; succ_table = Atomic.make [||] }
 
 let sccs a = Graph_kernel.sccs ~n:a.n ~succ:(successors a)
 

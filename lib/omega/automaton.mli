@@ -14,10 +14,11 @@ type t = private {
   start : int;
   delta : int array array;  (** [delta.(q).(a)] *)
   acc : Acceptance.t;
-  mutable succ_table : int list array;
+  succ_table : int list array Atomic.t;
       (** memoized {!successors} table, filled lazily row by row;
           [[||]] until the first query (the type is private: only this
-          module mutates it) *)
+          module mutates it).  Domain-safe: the array is installed by
+          CAS and row fills are idempotent — see {!successors}. *)
 }
 
 val make :
@@ -70,13 +71,18 @@ val trim : t -> t
 (** Successor lists (unlabelled) for graph algorithms; deduplicated and
     memoized — repeated calls do not re-filter the transition table.
     Hits and misses are counted against the ambient {!Telemetry}
-    handle ([automaton.successors.hit]/[.miss]). *)
+    handle ([automaton.successors.hit]/[.miss]).  Safe to call from
+    several domains at once: the memo table is CAS-installed and rows
+    are filled with idempotent writes (racing domains compute equal
+    lists), so concurrent callers always see either a complete row or
+    recompute it — never a torn one. *)
 val successors : t -> int -> int list
 
 (** [set_successors_memo false] disables the {!successors} memo
     process-wide (every call recomputes its row).  Test instrumentation
     for differential cache-consistency checks — not for production
-    use.  Default: enabled. *)
+    use.  Default: enabled.  The toggle is an [Atomic] read on the
+    fill path, so flipping it cannot race with concurrent fills. *)
 val set_successors_memo : bool -> unit
 
 (** Strongly connected components (iterative Tarjan via

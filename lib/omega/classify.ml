@@ -1,6 +1,6 @@
-let is_safety a = Lang.equal a (Lang.safety_closure a)
+let is_safety ?pool a = Lang.equal ?pool a (Lang.safety_closure a)
 
-let is_guarantee a = is_safety (Automaton.complement a)
+let is_guarantee ?pool a = is_safety ?pool (Automaton.complement a)
 
 (* ------------------------------------------------------------------ *)
 (* Polynomial cycle-structure checks (Wagner / Landweber, section 5.1)  *)
@@ -45,45 +45,54 @@ let reachable_set (a : Automaton.t) =
    accepting one, so does the whole SCC S of (graph minus x) around A:
    S avoids x, still meets every y, and is itself a (rejecting) cycle
    containing the accepting witness.  So scanning those SCCs is exact. *)
-let is_recurrence (a : Automaton.t) =
+let is_recurrence ?pool (a : Automaton.t) =
   let reach = reachable_set a in
   List.for_all
     (fun (x, ys) ->
       let allowed = Iset.diff reach x in
-      List.for_all
-        (fun comp ->
-          let s = Iset.of_list comp in
-          (not (nontrivial a allowed comp))
-          || List.exists (fun y -> Iset.disjoint s y) ys
-          || not (exists_cycle_satisfying a a.acc s))
-        (sccs_within a allowed))
+      let comp_ok comp =
+        let s = Iset.of_list comp in
+        (not (nontrivial a allowed comp))
+        || List.exists (fun y -> Iset.disjoint s y) ys
+        || not (exists_cycle_satisfying a a.acc s)
+      in
+      let comps = sccs_within a allowed in
+      (* the per-clause SCC scan is the hot loop of the whole
+         classification stack (one restricted Tarjan per component);
+         each component check is independent, so it fans out *)
+      match pool with
+      | None -> List.for_all comp_ok comps
+      | Some p -> Pool.for_all p (fun _ctx comp -> comp_ok comp) comps)
     (Acceptance.cnf a.acc)
 
-let is_persistence a = is_recurrence (Automaton.complement a)
+let is_persistence ?pool a = is_recurrence ?pool (Automaton.complement a)
 
 (* Obligation: no reachable SCC carries both an accepting and a rejecting
    cycle. *)
-let scc_flags (a : Automaton.t) =
+let scc_flags ?pool (a : Automaton.t) =
   let reach = reachable_set a in
-  List.filter_map
-    (fun comp ->
-      if not (nontrivial a reach comp) then None
-      else
-        let s = Iset.of_list comp in
-        let acc = exists_cycle_satisfying a a.acc s in
-        let rej = exists_cycle_satisfying a (Acceptance.dual a.acc) s in
-        Some (s, acc, rej))
-    (sccs_within a reach)
+  let flag comp =
+    if not (nontrivial a reach comp) then None
+    else
+      let s = Iset.of_list comp in
+      let acc = exists_cycle_satisfying a a.acc s in
+      let rej = exists_cycle_satisfying a (Acceptance.dual a.acc) s in
+      Some (s, acc, rej)
+  in
+  let comps = sccs_within a reach in
+  match pool with
+  | None -> List.filter_map flag comps
+  | Some p -> Pool.filter_map p (fun _ctx comp -> flag comp) comps
 
-let is_obligation a =
-  List.for_all (fun (_, acc, rej) -> not (acc && rej)) (scc_flags a)
+let is_obligation ?pool a =
+  List.for_all (fun (_, acc, rej) -> not (acc && rej)) (scc_flags ?pool a)
 
 (* Obligation degree: with pure SCC flags, the separating pattern for the
    k-th conjunctive level is a flag-alternating reachability chain
    notF (F notF)^k; the degree is one more than the best accepting count
    of a chain starting and ending with rejecting SCCs. *)
-let obligation_degree (a : Automaton.t) =
-  let flags = scc_flags a in
+let obligation_degree ?pool (a : Automaton.t) =
+  let flags = scc_flags ?pool a in
   if List.exists (fun (_, acc, rej) -> acc && rej) flags then None
   else begin
     let flagged =
@@ -150,11 +159,13 @@ exception Rank_too_hard of int
    is itself a cycle (then single-element refinement steps are always
    available). *)
 let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
-    ?max_scc ?(telemetry = Telemetry.disabled) (a : Automaton.t) =
+    ?max_scc ?(telemetry = Telemetry.disabled) ?pool (a : Automaton.t) =
   Telemetry.span telemetry "classify.rank_search" @@ fun () ->
-  let best = ref 0 in
-  List.iter
-    (fun group ->
+  (* best alternating-chain half-length over one cycle group; [budget]
+     and [telemetry] are parameters so the pool path can charge each
+     group's DP to its own task replica *)
+  let group_best budget telemetry group =
+      let best = ref 0 in
       let cycles = Array.of_list group in
       let m = Array.length cycles in
       Telemetry.add telemetry "rank.cycles" m;
@@ -221,12 +232,23 @@ let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
           done;
           if fi then best := max !best (d.(i) / 2)
         done
-      end)
-    (Cycles.enumerate ~budget ?max_scc ~telemetry a);
-  !best
+      end;
+      !best
+  in
+  let groups = Cycles.enumerate ~budget ?max_scc ~telemetry a in
+  match pool with
+  | None ->
+      List.fold_left (fun acc g -> max acc (group_best budget telemetry g)) 0 groups
+  | Some p ->
+      (* one task per cycle group; a [Rank_too_hard] in any group
+         re-raises at the join from the lowest such index *)
+      List.fold_left max 0
+        (Pool.map ~budget ~telemetry p
+           (fun ctx g -> group_best ctx.Pool.budget ctx.Pool.telemetry g)
+           groups)
 
-let reactivity_rank ?budget ?max_scc ?telemetry a =
-  let n = reactivity_rank_raw ?budget ?max_scc ?telemetry a in
+let reactivity_rank ?budget ?max_scc ?telemetry ?pool a =
+  let n = reactivity_rank_raw ?budget ?max_scc ?telemetry ?pool a in
   if n > 0 then n
   else if Lang.is_universal a then 0
   else 1
@@ -252,24 +274,58 @@ type outcome =
   | Classified of Kappa.t
   | Cycle_limited of { states : int; lower_bound : Kappa.t }
 
-let classify_outcome ?max_scc a =
-  if is_safety a then Classified Kappa.Safety
-  else if is_guarantee a then Classified Kappa.Guarantee
-  else if is_obligation a then
-    Classified
-      (Kappa.Obligation (max 1 (Option.value ~default:1 (obligation_degree a))))
-  else if is_recurrence a then Classified Kappa.Recurrence
-  else if is_persistence a then Classified Kappa.Persistence
-  else
-    match reactivity_rank ?max_scc a with
-    | r -> Classified (Kappa.Reactivity (max 1 r))
-    | exception Cycles.Too_large n ->
-        Cycle_limited { states = n; lower_bound = Kappa.Reactivity 1 }
-    | exception Rank_too_hard n ->
-        Cycle_limited { states = n; lower_bound = Kappa.Reactivity 1 }
+let rank_outcome ?max_scc ?pool a =
+  match reactivity_rank ?max_scc ?pool a with
+  | r -> Classified (Kappa.Reactivity (max 1 r))
+  | exception Cycles.Too_large n ->
+      Cycle_limited { states = n; lower_bound = Kappa.Reactivity 1 }
+  | exception Rank_too_hard n ->
+      Cycle_limited { states = n; lower_bound = Kappa.Reactivity 1 }
 
-let classify a =
-  match classify_outcome a with
+let classify_outcome ?max_scc ?pool a =
+  match pool with
+  | None ->
+      if is_safety a then Classified Kappa.Safety
+      else if is_guarantee a then Classified Kappa.Guarantee
+      else if is_obligation a then
+        Classified
+          (Kappa.Obligation
+             (max 1 (Option.value ~default:1 (obligation_degree a))))
+      else if is_recurrence a then Classified Kappa.Recurrence
+      else if is_persistence a then Classified Kappa.Persistence
+      else rank_outcome ?max_scc a
+  | Some p ->
+      (* all columns race; the verdict is the lowest-index decided one,
+         so the short-circuit semantics above is preserved exactly — a
+         structural blow-up in the rank search is unobservable when a
+         lower column decides, just as sequentially it is never
+         reached.  Each column fans out again internally. *)
+      let decide _ctx col =
+        match col with
+        | `Saf -> if is_safety ~pool:p a then Some (Classified Kappa.Safety) else None
+        | `Gua ->
+            if is_guarantee ~pool:p a then Some (Classified Kappa.Guarantee)
+            else None
+        | `Obl -> (
+            match obligation_degree ~pool:p a with
+            | Some d -> Some (Classified (Kappa.Obligation (max 1 d)))
+            | None -> None)
+        | `Rec ->
+            if is_recurrence ~pool:p a then Some (Classified Kappa.Recurrence)
+            else None
+        | `Per ->
+            if is_persistence ~pool:p a then Some (Classified Kappa.Persistence)
+            else None
+        | `Rank -> Some (rank_outcome ?max_scc ~pool:p a)
+      in
+      (match
+         Pool.find_first p decide [ `Saf; `Gua; `Obl; `Rec; `Per; `Rank ]
+       with
+      | Some o -> o
+      | None -> invalid_arg "Classify.classify_outcome: rank column is total")
+
+let classify ?pool a =
+  match classify_outcome ?pool a with
   | Classified k -> k
   | Cycle_limited { lower_bound; _ } -> lower_bound
 
@@ -285,94 +341,170 @@ type budgeted = {
   exhaustion : Budget.exhaustion option;
 }
 
+(* The interval verdict as a function of the option row — shared by the
+   sequential guard pass and the pool pass, so the two cannot drift. *)
+let verdict_of (saf, gua, deg, recu, pers, rank) =
+  (* same priority order as [classify_outcome]; a [None] column means
+     the budget tripped there, and every class below it was excluded,
+     which yields the sound lower bound of the degraded interval *)
+  match (saf, gua, deg, recu, pers, rank) with
+  | Some true, _, _, _, _, _ -> `Exact Kappa.Safety
+  | None, _, _, _, _, _ -> `Interval { at_least = None; at_most = None }
+  | Some false, Some true, _, _, _, _ -> `Exact Kappa.Guarantee
+  | Some false, None, _, _, _, _ ->
+      `Interval { at_least = Some Kappa.Guarantee; at_most = None }
+  | Some false, Some false, Some (Some d), _, _, _ ->
+      `Exact (Kappa.Obligation (max 1 d))
+  | Some false, Some false, None, _, _, _ ->
+      `Interval { at_least = Some (Kappa.Obligation 1); at_most = None }
+  | Some false, Some false, Some None, Some true, _, _ ->
+      `Exact Kappa.Recurrence
+  | Some false, Some false, Some None, None, _, _ ->
+      (* not an obligation, so at least recurrence or persistence;
+         the strongest single lower bound below both is obligation *)
+      `Interval { at_least = Some (Kappa.Obligation 1); at_most = None }
+  | Some false, Some false, Some None, Some false, Some true, _ ->
+      `Exact Kappa.Persistence
+  | Some false, Some false, Some None, Some false, None, _ ->
+      `Interval { at_least = Some Kappa.Persistence; at_most = None }
+  | Some false, Some false, Some None, Some false, Some false, Some r ->
+      `Exact (Kappa.Reactivity (max 1 r))
+  | Some false, Some false, Some None, Some false, Some false, None ->
+      `Interval { at_least = Some (Kappa.Reactivity 1); at_most = None }
+
+let row_of (saf, gua, deg, recu, pers, rank) =
+  [
+    (Kappa.Safety, saf);
+    (Kappa.Guarantee, gua);
+    ( Kappa.Obligation 1,
+      Option.map (function Some d -> d <= 1 | None -> false) deg );
+    (Kappa.Recurrence, recu);
+    (Kappa.Persistence, pers);
+    (Kappa.Reactivity 1, Option.map (fun r -> r <= 1) rank);
+  ]
+
+(* Internal per-column result for the pool pass: the six columns have
+   three distinct result types, so they travel in one variant. *)
+type col_result = RBool of bool | RDeg of int option | RRank of int
+
 (* One pass over the membership columns in hierarchy order, each column
    guarded against budget trips and the legacy structural limits.  The
    guard is sticky: once anything trips, every later column is skipped
    (reported as [None]), so the completed columns always form a prefix
    of the sequence safety, guarantee, obligation, recurrence,
    persistence, rank — which is exactly what makes the interval
-   computation below a case analysis on that prefix. *)
-let classify_budgeted ?(budget = Budget.unlimited) ?max_scc
-    ?(telemetry = Telemetry.disabled) a =
-  let exhaustion = ref None in
-  let guard what f =
-    match !exhaustion with
-    | Some _ -> None
-    | None -> (
-        try
-          Budget.check budget;
-          Some (Telemetry.span telemetry ("classify." ^ what) f)
-        with
-        | Budget.Tripped e ->
-            exhaustion := Some e;
-            None
-        | Cycles.Too_large n ->
-            exhaustion :=
-              Some
-                (Budget.structural budget
-                   ~what:(what ^ ": SCC too large for cycle enumeration")
-                   ~size:n);
-            None
-        | Rank_too_hard n ->
-            exhaustion :=
-              Some
-                (Budget.structural budget
-                   ~what:(what ^ ": cycle family too large for rank search")
-                   ~size:n);
-            None)
-  in
-  let saf = guard "safety" (fun () -> is_safety a) in
-  let gua = guard "guarantee" (fun () -> is_guarantee a) in
-  (* [obligation_degree] is [Some d] iff the property is an obligation
-     (of degree d), so one guarded call decides both the class test and
-     the degree *)
-  let deg = guard "obligation" (fun () -> obligation_degree a) in
-  let recu = guard "recurrence" (fun () -> is_recurrence a) in
-  let pers = guard "persistence" (fun () -> is_persistence a) in
-  let rank =
-    guard "reactivity" (fun () ->
-        reactivity_rank ~budget ?max_scc ~telemetry a)
-  in
-  let row =
-    [
-      (Kappa.Safety, saf);
-      (Kappa.Guarantee, gua);
-      ( Kappa.Obligation 1,
-        Option.map (function Some d -> d <= 1 | None -> false) deg );
-      (Kappa.Recurrence, recu);
-      (Kappa.Persistence, pers);
-      (Kappa.Reactivity 1, Option.map (fun r -> r <= 1) rank);
-    ]
-  in
-  let verdict =
-    (* same priority order as [classify_outcome]; a [None] column means
-       the budget tripped there, and every class below it was excluded,
-       which yields the sound lower bound of the degraded interval *)
-    match (saf, gua, deg, recu, pers, rank) with
-    | Some true, _, _, _, _, _ -> `Exact Kappa.Safety
-    | None, _, _, _, _, _ -> `Interval { at_least = None; at_most = None }
-    | Some false, Some true, _, _, _, _ -> `Exact Kappa.Guarantee
-    | Some false, None, _, _, _, _ ->
-        `Interval { at_least = Some Kappa.Guarantee; at_most = None }
-    | Some false, Some false, Some (Some d), _, _, _ ->
-        `Exact (Kappa.Obligation (max 1 d))
-    | Some false, Some false, None, _, _, _ ->
-        `Interval { at_least = Some (Kappa.Obligation 1); at_most = None }
-    | Some false, Some false, Some None, Some true, _, _ ->
-        `Exact Kappa.Recurrence
-    | Some false, Some false, Some None, None, _, _ ->
-        (* not an obligation, so at least recurrence or persistence;
-           the strongest single lower bound below both is obligation *)
-        `Interval { at_least = Some (Kappa.Obligation 1); at_most = None }
-    | Some false, Some false, Some None, Some false, Some true, _ ->
-        `Exact Kappa.Persistence
-    | Some false, Some false, Some None, Some false, None, _ ->
-        `Interval { at_least = Some Kappa.Persistence; at_most = None }
-    | Some false, Some false, Some None, Some false, Some false, Some r ->
-        `Exact (Kappa.Reactivity (max 1 r))
-    | Some false, Some false, Some None, Some false, Some false, None ->
-        `Interval { at_least = Some (Kappa.Reactivity 1); at_most = None }
-  in
-  { verdict; row; exhaustion = !exhaustion }
+   computation a case analysis on that prefix.
 
-let memberships a = (classify_budgeted a).row
+   With [?pool] the six columns run as pool tasks.  The pool's stop
+   index reproduces the sticky prefix: the first trip (or structural
+   limit, converted to a [Budget.structural] trip inside the task)
+   defines the cut, and every later column reports [Skipped]/[None]
+   even if a racing domain finished it.  Each column splits its task
+   budget further across its internal fan-out. *)
+let classify_budgeted ?(budget = Budget.unlimited) ?max_scc
+    ?(telemetry = Telemetry.disabled) ?pool a =
+  let structural_trip budget what = function
+    | `Scc n ->
+        Budget.structural budget
+          ~what:(what ^ ": SCC too large for cycle enumeration")
+          ~size:n
+    | `Rank n ->
+        Budget.structural budget
+          ~what:(what ^ ": cycle family too large for rank search")
+          ~size:n
+  in
+  match pool with
+  | None ->
+      let exhaustion = ref None in
+      let guard what f =
+        match !exhaustion with
+        | Some _ -> None
+        | None -> (
+            try
+              Budget.check budget;
+              Some (Telemetry.span telemetry ("classify." ^ what) f)
+            with
+            | Budget.Tripped e ->
+                exhaustion := Some e;
+                None
+            | Cycles.Too_large n ->
+                exhaustion := Some (structural_trip budget what (`Scc n));
+                None
+            | Rank_too_hard n ->
+                exhaustion := Some (structural_trip budget what (`Rank n));
+                None)
+      in
+      let saf = guard "safety" (fun () -> is_safety a) in
+      let gua = guard "guarantee" (fun () -> is_guarantee a) in
+      (* [obligation_degree] is [Some d] iff the property is an
+         obligation (of degree d), so one guarded call decides both the
+         class test and the degree *)
+      let deg = guard "obligation" (fun () -> obligation_degree a) in
+      let recu = guard "recurrence" (fun () -> is_recurrence a) in
+      let pers = guard "persistence" (fun () -> is_persistence a) in
+      let rank =
+        guard "reactivity" (fun () ->
+            reactivity_rank ~budget ?max_scc ~telemetry a)
+      in
+      let cols = (saf, gua, deg, recu, pers, rank) in
+      { verdict = verdict_of cols; row = row_of cols; exhaustion = !exhaustion }
+  | Some p ->
+      let task ctx (what, col) =
+        let guarded f =
+          try
+            Budget.check ctx.Pool.budget;
+            Telemetry.span ctx.Pool.telemetry ("classify." ^ what) f
+          with
+          | Cycles.Too_large n ->
+              raise
+                (Budget.Tripped (structural_trip ctx.Pool.budget what (`Scc n)))
+          | Rank_too_hard n ->
+              raise
+                (Budget.Tripped (structural_trip ctx.Pool.budget what (`Rank n)))
+        in
+        match col with
+        | `Saf -> RBool (guarded (fun () -> is_safety ~pool:p a))
+        | `Gua -> RBool (guarded (fun () -> is_guarantee ~pool:p a))
+        | `Obl -> RDeg (guarded (fun () -> obligation_degree ~pool:p a))
+        | `Rec -> RBool (guarded (fun () -> is_recurrence ~pool:p a))
+        | `Per -> RBool (guarded (fun () -> is_persistence ~pool:p a))
+        | `Rank ->
+            RRank
+              (guarded (fun () ->
+                   reactivity_rank ~budget:ctx.Pool.budget ?max_scc
+                     ~telemetry:ctx.Pool.telemetry ~pool:p a))
+      in
+      let outcomes =
+        Pool.run ~budget ~telemetry p task
+          [
+            ("safety", `Saf);
+            ("guarantee", `Gua);
+            ("obligation", `Obl);
+            ("recurrence", `Rec);
+            ("persistence", `Per);
+            ("reactivity", `Rank);
+          ]
+      in
+      let exhaustion = ref None in
+      let opt = function
+        | Pool.Done v -> Some v
+        | Pool.Tripped e ->
+            if !exhaustion = None then exhaustion := Some e;
+            None
+        | Pool.Skipped -> None
+      in
+      let cols =
+        match List.map opt outcomes with
+        | [ saf; gua; deg; recu; pers; rank ] ->
+            let b = Option.map (function RBool v -> v | _ -> assert false) in
+            ( b saf,
+              b gua,
+              Option.map (function RDeg v -> v | _ -> assert false) deg,
+              b recu,
+              b pers,
+              Option.map (function RRank v -> v | _ -> assert false) rank )
+        | _ -> assert false
+      in
+      { verdict = verdict_of cols; row = row_of cols; exhaustion = !exhaustion }
+
+let memberships ?pool a = (classify_budgeted ?pool a).row

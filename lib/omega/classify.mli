@@ -34,19 +34,24 @@ type outcome =
   | Classified of Kappa.t
   | Cycle_limited of { states : int; lower_bound : Kappa.t }
 
-val is_safety : Automaton.t -> bool
+(** Every membership predicate accepts [?pool]: with one, its internal
+    fan-out (the two inclusion directions for safety/guarantee, the
+    per-SCC-component cycle checks for the others) runs on the pool —
+    results are identical at every job count, see {!Pool}. *)
 
-val is_guarantee : Automaton.t -> bool
+val is_safety : ?pool:Pool.t -> Automaton.t -> bool
 
-val is_recurrence : Automaton.t -> bool
+val is_guarantee : ?pool:Pool.t -> Automaton.t -> bool
 
-val is_persistence : Automaton.t -> bool
+val is_recurrence : ?pool:Pool.t -> Automaton.t -> bool
 
-val is_obligation : Automaton.t -> bool
+val is_persistence : ?pool:Pool.t -> Automaton.t -> bool
+
+val is_obligation : ?pool:Pool.t -> Automaton.t -> bool
 
 (** Minimal [k] with the property in [Obl_k]; [None] if not an
     obligation property.  [Some 0] means the empty property. *)
-val obligation_degree : Automaton.t -> int option
+val obligation_degree : ?pool:Pool.t -> Automaton.t -> int option
 
 (** Minimal number of Streett pairs ([Some 0] iff universal); every
     omega-regular property has a finite rank (the reactivity normal-form
@@ -63,6 +68,7 @@ val reactivity_rank :
   ?budget:Budget.t ->
   ?max_scc:int ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   Automaton.t ->
   int
 
@@ -75,20 +81,26 @@ val reactivity_rank_opt : ?max_scc:int -> Automaton.t -> int option
     guarantee is reported as safety.  Total: everything up to
     persistence is decided by polynomial closure/SCC checks however
     large the automaton; only the reactivity rank enumerates cycles,
-    and past the budget the outcome degrades to [Cycle_limited]. *)
-val classify_outcome : ?max_scc:int -> Automaton.t -> outcome
+    and past the budget the outcome degrades to [Cycle_limited].
+
+    With [?pool] the six membership columns race on the pool and the
+    lowest-index decided column wins, which reproduces the sequential
+    short-circuit exactly: a structural blow-up in the rank search is
+    unobservable when a lower column decides, just as the sequential
+    scan never reaches it. *)
+val classify_outcome : ?max_scc:int -> ?pool:Pool.t -> Automaton.t -> outcome
 
 (** [classify a] is {!classify_outcome}'s class, taking the lower bound
     when the rank computation was cycle-limited (so the rank of a huge
     reactivity automaton may be under-reported, but [classify] is total
     and never raises). *)
-val classify : Automaton.t -> Kappa.t
+val classify : ?pool:Pool.t -> Automaton.t -> Kappa.t
 
 (** All six basic classes ([index 1] for the compound ones) that contain
     the property — one row of Figure 1's membership matrix.  The
     reactivity column is [None] when cycle enumeration exceeded its
     budget; the five polynomially-decided columns are always [Some]. *)
-val memberships : Automaton.t -> (Kappa.t * bool option) list
+val memberships : ?pool:Pool.t -> Automaton.t -> (Kappa.t * bool option) list
 
 (** {2 Budget-aware classification}
 
@@ -119,10 +131,17 @@ type budgeted = {
     structural cycle-enumeration limits trip (then the interval's
     lower bound matches [classify_outcome]'s).  [telemetry] wraps each
     membership column that actually runs in a [classify.<column>] span
-    (columns skipped by the sticky guard record nothing). *)
+    (columns skipped by the sticky guard record nothing).
+
+    With [?pool] the six columns run as pool tasks on task-replica
+    budgets ([Budget.split]) and the pool's stop index reproduces the
+    sticky prefix, so [row], [verdict] and [exhaustion] are identical
+    at every job count; structural limits are converted to
+    [Budget.structural] trips inside the tripping task. *)
 val classify_budgeted :
   ?budget:Budget.t ->
   ?max_scc:int ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   Automaton.t ->
   budgeted

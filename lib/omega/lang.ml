@@ -196,26 +196,34 @@ let witness (a : Automaton.t) =
 
 (* Complements are cheap to build (dual acceptance) but [equal] and the
    classification procedures ask for the same one repeatedly; a single-
-   slot physically-keyed cache removes the duplicate construction. *)
-let complement_cache : (Automaton.t * Automaton.t) option ref = ref None
+   slot physically-keyed cache removes the duplicate construction.
+   Domain-safety: the slot is domain-local ([Domain.DLS]) — each pool
+   worker warms its own, so there is no cross-domain coherence to
+   maintain and a miss on a cold domain only costs the (cheap, pure)
+   complement construction.  The enable toggle is an [Atomic] so a
+   test flipping it mid-run cannot tear. *)
+let complement_cache_key : (Automaton.t * Automaton.t) option ref Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let use_caches = ref true
+let use_caches = Atomic.make true
 
 let set_caches b =
-  use_caches := b;
-  complement_cache := None
+  Atomic.set use_caches b;
+  Domain.DLS.get complement_cache_key := None
 
 let cached_complement a =
   let tl = Telemetry.ambient () in
   Telemetry.incr tl "lang.complement.request";
-  match !complement_cache with
+  let cache = Domain.DLS.get complement_cache_key in
+  match !cache with
   | Some (key, c) when key == a ->
       Telemetry.incr tl "lang.complement.hit";
       c
   | _ ->
       Telemetry.incr tl "lang.complement.miss";
       let c = Automaton.complement a in
-      if !use_caches then complement_cache := Some (a, c);
+      if Atomic.get use_caches then cache := Some (a, c);
       c
 
 let is_universal a = is_empty (cached_complement a)
@@ -227,7 +235,7 @@ let is_universal a = is_empty (cached_complement a)
    quadratic product needed. *)
 let included a b =
   if
-    !use_caches
+    Atomic.get use_caches
     && a.Automaton.delta == b.Automaton.delta
     && a.Automaton.start = b.Automaton.start
   then begin
@@ -242,7 +250,27 @@ let included a b =
     is_empty (Automaton.inter a (cached_complement b))
   end
 
-let equal a b = included a b && included b a
+let equal ?pool a b =
+  match pool with
+  | None -> included a b && included b a
+  | Some p ->
+      (* two independent direction checks; [for_all] keeps the
+         sequential short-circuit observable semantics (a counter-
+         witness at the lower index decides) *)
+      Pool.for_all p (fun _ctx (x, y) -> included x y) [ (a, b); (b, a) ]
+
+(* Batch variants: each pair is one pool task.  [included] is pure
+   modulo its per-domain caches, so results are position-independent
+   and bit-identical to the sequential map at every job count. *)
+let included_batch ?pool pairs =
+  match pool with
+  | None -> List.map (fun (a, b) -> included a b) pairs
+  | Some p -> Pool.map p (fun _ctx (a, b) -> included a b) pairs
+
+let equal_batch ?pool pairs =
+  match pool with
+  | None -> List.map (fun (a, b) -> equal a b) pairs
+  | Some p -> Pool.map p (fun _ctx (a, b) -> equal a b) pairs
 
 let distinguishing_witness a b =
   match witness (Automaton.diff a b) with

@@ -24,13 +24,25 @@ val is_universal : Automaton.t -> bool
     [lang.included.same_table/product]). *)
 val included : Automaton.t -> Automaton.t -> bool
 
-val equal : Automaton.t -> Automaton.t -> bool
+val equal : ?pool:Pool.t -> Automaton.t -> Automaton.t -> bool
+(** With [?pool], the two inclusion directions run as parallel tasks;
+    the result is identical at every job count ([Pool.for_all]'s
+    lowest-index counterwitness decides, matching the sequential
+    short-circuit). *)
+
+val included_batch :
+  ?pool:Pool.t -> (Automaton.t * Automaton.t) list -> bool list
+(** One {!included} verdict per pair, in order; with [?pool] the pairs
+    are evaluated concurrently (one pool task per pair). *)
+
+val equal_batch : ?pool:Pool.t -> (Automaton.t * Automaton.t) list -> bool list
 
 (** [set_caches false] disables the complement cache and the same-table
-    fast path process-wide (and drops the cached slot), forcing the
+    fast path (and drops the calling domain's cached slot), forcing the
     cold product path on every query.  Test instrumentation for
     differential cache-consistency checks — not for production use.
-    Default: enabled. *)
+    Default: enabled.  The complement cache is domain-local, so pool
+    workers never contend on it. *)
 val set_caches : bool -> unit
 
 (** A lasso in the symmetric difference, if the languages differ. *)

@@ -132,3 +132,36 @@ An unwritable trace path is a structured error, not a backtrace:
   $ hpt classify --trace-json /nonexistent/dir/t.jsonl '[] p'
   error: /nonexistent/dir/t.jsonl: No such file or directory
   [1]
+
+Parallel execution: --jobs N runs the classification columns (and,
+with several formulas, the whole batch) on a fixed domain pool.  The
+output is identical to the sequential run at every job count:
+
+  $ hpt classify '[]<> p | <>[] q' > seq.out
+  $ hpt classify --jobs 4 '[]<> p | <>[] q' > par.out
+  $ diff seq.out par.out
+
+Several formulas classify in one invocation — with --jobs they run as
+one parallel batch — and the worst exit code wins:
+
+  $ hpt classify --jobs 2 '[] p' '<> p'
+  [] p
+  class        : safety  (Borel Π1; topologically closed (F))
+  syntactic    : safety
+  memberships  : safety=yes, guarantee=no, simple obligation=yes, recurrence=yes, persistence=yes, simple reactivity=yes
+  liveness     : no (uniform: no)
+  counter-free : yes (LTL-expressible)
+  states       : 3
+  <> p
+  class        : guarantee  (Borel Σ1; topologically open (G))
+  syntactic    : guarantee
+  memberships  : safety=no, guarantee=yes, simple obligation=yes, recurrence=yes, persistence=yes, simple reactivity=yes
+  liveness     : yes (uniform: yes)
+  counter-free : yes (LTL-expressible)
+  states       : 2
+
+A bad job count is a structured error:
+
+  $ hpt classify --jobs 0 'p'
+  error: Pool.create: jobs must be >= 1
+  [1]

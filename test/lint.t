@@ -90,3 +90,10 @@ Mode flags are mutually exclusive, and empty input is an error:
   $ hpt lint
   error: no requirements: give NAME=FORMULA or --file
   [1]
+
+--jobs N lints the items and the pairwise matrix on a domain pool;
+the verdict is byte-identical to the sequential one:
+
+  $ hpt lint 'a=[] p' 'b=[] (p & q)' 'c=<> r' > seq.out
+  $ hpt lint --jobs 4 'a=[] p' 'b=[] (p & q)' 'c=<> r' > par.out
+  $ diff seq.out par.out

@@ -1,0 +1,374 @@
+(* The domain pool's determinism contract: every combinator returns
+   bit-identical results at jobs = 1, 2 and 4 — including under
+   injected budget trips and with telemetry enabled — plus unit tests
+   for the pool mechanics themselves (ordering, exception propagation,
+   reuse after a failed task, nesting). *)
+
+open Omega
+
+let ab = Finitary.Alphabet.of_chars "ab"
+let check = Alcotest.(check bool)
+let job_counts = [ 1; 2; 4 ]
+
+(* Run [f] on a fresh pool at each job count and assert all results
+   equal the first (jobs = 1, the guaranteed-sequential path). *)
+let same_at_all_jobs ?(eq = ( = )) what f =
+  let results =
+    List.map (fun jobs -> Pool.with_pool ~jobs (fun p -> f p)) job_counts
+  in
+  match results with
+  | [] -> assert false
+  | r1 :: rest ->
+      List.iteri
+        (fun i r ->
+          check
+            (Printf.sprintf "%s: jobs=%d agrees with jobs=1" what
+               (List.nth job_counts (i + 1)))
+            true (eq r1 r))
+        rest
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let unit_tests =
+  [
+    Alcotest.test_case "map preserves input order" `Quick (fun () ->
+        let items = List.init 100 Fun.id in
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun p ->
+                let got = Pool.map p (fun ctx x -> (ctx.Pool.index, x * x)) items in
+                Alcotest.(check (list (pair int int)))
+                  (Printf.sprintf "jobs=%d" jobs)
+                  (List.map (fun x -> (x, x * x)) items)
+                  got))
+          job_counts);
+    Alcotest.test_case "jobs=1 runs sequentially in index order" `Quick
+      (fun () ->
+        Pool.with_pool ~jobs:1 (fun p ->
+            let order = ref [] in
+            let _ =
+              Pool.map p
+                (fun ctx () -> order := ctx.Pool.index :: !order)
+                (List.init 10 (fun _ -> ()))
+            in
+            Alcotest.(check (list int))
+              "execution order" (List.init 10 Fun.id) (List.rev !order)));
+    Alcotest.test_case "earliest-index exception wins" `Quick (fun () ->
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun p ->
+                match
+                  Pool.map p
+                    (fun ctx () ->
+                      (* several tasks raise; only the lowest index may
+                         surface, whatever the interleaving *)
+                      if ctx.Pool.index >= 3 then raise (Boom ctx.Pool.index))
+                    (List.init 16 (fun _ -> ()))
+                with
+                | _ -> Alcotest.fail "expected an exception"
+                | exception Boom i ->
+                    Alcotest.(check int)
+                      (Printf.sprintf "jobs=%d stop index" jobs)
+                      3 i))
+          job_counts);
+    Alcotest.test_case "pool survives a raising task" `Quick (fun () ->
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun p ->
+                (match Pool.map p (fun _ () -> raise (Boom 0)) [ (); () ] with
+                | _ -> Alcotest.fail "expected Boom"
+                | exception Boom _ -> ());
+                (* the workers must still be alive and draining *)
+                let got = Pool.map p (fun _ x -> x + 1) (List.init 50 Fun.id) in
+                Alcotest.(check (list int))
+                  (Printf.sprintf "jobs=%d reuse" jobs)
+                  (List.init 50 (fun i -> i + 1))
+                  got))
+          job_counts);
+    Alcotest.test_case "nested run does not deadlock" `Quick (fun () ->
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun p ->
+                let got =
+                  Pool.map p
+                    (fun _ row ->
+                      List.fold_left ( + ) 0
+                        (Pool.map p (fun _ x -> row * x) (List.init 8 Fun.id)))
+                    (List.init 8 Fun.id)
+                in
+                Alcotest.(check (list int))
+                  (Printf.sprintf "jobs=%d nested" jobs)
+                  (List.init 8 (fun row -> row * 28))
+                  got))
+          job_counts);
+    Alcotest.test_case "find_first returns the lowest-index match" `Quick
+      (fun () ->
+        same_at_all_jobs "find_first" (fun p ->
+            Pool.find_first p
+              (fun _ x -> if x mod 7 = 3 then Some x else None)
+              (List.init 100 Fun.id));
+        check "value" true
+          (Pool.with_pool ~jobs:4 (fun p ->
+               Pool.find_first p
+                 (fun _ x -> if x mod 7 = 3 then Some x else None)
+                 (List.init 100 Fun.id))
+          = Some 3));
+    Alcotest.test_case "a match hides later trips" `Quick (fun () ->
+        (* index 0 matches instantly; later tasks would trip their
+           replica budgets — the sequential scan never starts them, so
+           the pool must not let their trips escape either *)
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun p ->
+                let r =
+                  Pool.find_first ~budget:(Budget.inject_trip_at 5) p
+                    (fun ctx x ->
+                      if x = 0 then Some x
+                      else begin
+                        Budget.ticks ctx.Pool.budget 100;
+                        None
+                      end)
+                    (List.init 8 Fun.id)
+                in
+                Alcotest.(check (option int))
+                  (Printf.sprintf "jobs=%d" jobs)
+                  (Some 0) r))
+          job_counts);
+    Alcotest.test_case "run reports Done/Tripped/Skipped by index" `Quick
+      (fun () ->
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun p ->
+                let outcomes =
+                  Pool.run ~budget:(Budget.inject_trip_at 5) p
+                    (fun ctx x ->
+                      (* replica budgets of an injected parent trip at
+                         the same tick, so indices 0-1 finish and 2 is
+                         the stop index at every job count *)
+                      if x >= 2 then Budget.ticks ctx.Pool.budget 100;
+                      x)
+                    (List.init 6 Fun.id)
+                in
+                let tags =
+                  List.map
+                    (function
+                      | Pool.Done x -> Printf.sprintf "D%d" x
+                      | Pool.Tripped { Budget.reason = Budget.Injected; _ } ->
+                          "T"
+                      | Pool.Tripped _ -> "t?"
+                      | Pool.Skipped -> "S")
+                    outcomes
+                in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "jobs=%d" jobs)
+                  [ "D0"; "D1"; "T"; "S"; "S"; "S" ]
+                  tags))
+          job_counts);
+    Alcotest.test_case "replica fuel is charged back to the parent" `Quick
+      (fun () ->
+        Pool.with_pool ~jobs:2 (fun p ->
+            let b = Budget.make ~fuel:1000 () in
+            let _ =
+              Pool.map ~budget:b p
+                (fun ctx () -> Budget.ticks ctx.Pool.budget 10)
+                (List.init 4 (fun _ -> ()))
+            in
+            check "parent charged" true (Budget.spent b >= 40)));
+    Alcotest.test_case "create rejects jobs < 1; shutdown is idempotent"
+      `Quick (fun () ->
+        (match Pool.create ~jobs:0 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+        let p = Pool.create ~jobs:2 in
+        Pool.shutdown p;
+        Pool.shutdown p;
+        match Pool.map p (fun _ x -> x) [ 1 ] with
+        | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+        | exception Invalid_argument _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the threaded entry points                              *)
+(* ------------------------------------------------------------------ *)
+
+(* random deterministic automata (same shape as test_classify's) *)
+let gen_automaton =
+  let open QCheck.Gen in
+  let n = 4 in
+  let gen_set =
+    map
+      (fun mask ->
+        Iset.of_list
+          (List.filteri
+             (fun i _ -> mask land (1 lsl i) <> 0)
+             (List.init n Fun.id)))
+      (int_bound ((1 lsl n) - 1))
+  in
+  let gen_acc =
+    sized_size (int_bound 4)
+    @@ fix (fun self d ->
+           if d = 0 then
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+               ]
+           else
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+                 map2
+                   (fun a b -> Acceptance.And [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+                 map2
+                   (fun a b -> Acceptance.Or [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+               ])
+  in
+  map2
+    (fun rows acc ->
+      Automaton.make ~alpha:ab ~n ~start:0
+        ~delta:(Array.of_list (List.map Array.of_list rows))
+        ~acc)
+    (list_repeat n (list_repeat 2 (int_bound (n - 1))))
+    gen_acc
+
+let arb_automaton =
+  QCheck.make ~print:(fun a -> Format.asprintf "%a" Automaton.pp a) gen_automaton
+
+let lint_specs =
+  [
+    ("mutex", "[] (p -> ! q)");
+    ("resp", "[] (p -> <> q)");
+    ("live", "[]<> p");
+    ("stable", "<>[] q");
+    ("init", "p");
+  ]
+
+let determinism_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"classify identical at jobs 1/2/4" ~count:60
+        arb_automaton
+        (fun a ->
+          let seq = Classify.classify a in
+          List.for_all
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun p -> Classify.classify ~pool:p a)
+              = seq)
+            job_counts);
+      QCheck.Test.make ~name:"memberships identical at jobs 1/2/4" ~count:40
+        arb_automaton
+        (fun a ->
+          let seq = Classify.memberships a in
+          List.for_all
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun p -> Classify.memberships ~pool:p a)
+              = seq)
+            job_counts);
+      QCheck.Test.make ~name:"Lang.equal identical at jobs 1/2/4" ~count:60
+        (QCheck.pair arb_automaton arb_automaton)
+        (fun (a, b) ->
+          let seq = Lang.equal a b in
+          List.for_all
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun p -> Lang.equal ~pool:p a b) = seq)
+            job_counts);
+      QCheck.Test.make
+        ~name:"classify_budgeted identical at jobs 1/2/4 under injected trips"
+        ~count:40
+        QCheck.(pair arb_automaton (int_range 1 400))
+        (fun (a, trip_at) ->
+          (* pool runs compare against the pool's own jobs=1 path: the
+             no-pool path shares one budget across columns (cumulative
+             degradation) while every pool run uses task replicas, and
+             within the pool family the outcome must not depend on the
+             job count *)
+          let at jobs =
+            Pool.with_pool ~jobs (fun p ->
+                let b =
+                  Classify.classify_budgeted
+                    ~budget:(Budget.inject_trip_at trip_at) ~pool:p a
+                in
+                ( b.Classify.verdict,
+                  b.Classify.row,
+                  Option.map
+                    (fun e -> e.Budget.reason)
+                    b.Classify.exhaustion ))
+          in
+          let r1 = at 1 in
+          List.for_all (fun jobs -> at jobs = r1) [ 2; 4 ]);
+      QCheck.Test.make
+        ~name:"classify identical at jobs 1/2/4 with telemetry enabled"
+        ~count:30 arb_automaton
+        (fun a ->
+          let seq = Classify.classify a in
+          List.for_all
+            (fun jobs ->
+              let t = Telemetry.collector () in
+              let k =
+                Telemetry.with_ambient t (fun () ->
+                    Pool.with_pool ~jobs (fun p -> Classify.classify ~pool:p a))
+              in
+              ignore (Telemetry.report t);
+              k = seq)
+            job_counts);
+    ]
+
+let lint_determinism_tests =
+  [
+    Alcotest.test_case "Lint verdict byte-identical at jobs 1/2/4" `Quick
+      (fun () ->
+        let render v = Hierarchy.Lint.to_json v in
+        let seq = render (Hierarchy.Lint.lint_strings lint_specs) in
+        List.iter
+          (fun jobs ->
+            let got =
+              render
+                (Pool.with_pool ~jobs (fun p ->
+                     Hierarchy.Lint.lint_strings ~pool:p lint_specs))
+            in
+            Alcotest.(check string) (Printf.sprintf "jobs=%d" jobs) seq got)
+          job_counts);
+    Alcotest.test_case "Engine.classify_batch identical at jobs 1/2/4" `Quick
+      (fun () ->
+        let inputs =
+          [ "[] p"; "<> p"; "[]<> p"; "[] (p -> <> q)"; "not a formula (" ]
+        in
+        let strip (r : (Hierarchy.Engine.report, Hierarchy.Engine.error) result)
+            =
+          match r with
+          | Ok rep ->
+              Ok
+                ( rep.Hierarchy.Engine.verdict,
+                  rep.Hierarchy.Engine.memberships,
+                  rep.Hierarchy.Engine.n_states )
+          | Error e -> Error (Format.asprintf "%a" Hierarchy.Engine.pp_error e)
+        in
+        let at jobs =
+          Pool.with_pool ~jobs (fun p ->
+              List.map strip (Hierarchy.Engine.classify_batch ~pool:p inputs))
+        in
+        let r1 = at 1 in
+        List.iter
+          (fun jobs ->
+            check (Printf.sprintf "jobs=%d" jobs) true (at jobs = r1))
+          [ 2; 4 ];
+        (* and the pool path agrees with the legacy no-pool map on an
+           unlimited budget, where replica and shared budgets coincide *)
+        check "pool agrees with sequential batch" true
+          (List.map strip (Hierarchy.Engine.classify_batch inputs) = r1));
+  ]
+
+let () =
+  Alcotest.run "pool"
+    [
+      ("mechanics", unit_tests);
+      ("determinism", determinism_tests);
+      ("lint determinism", lint_determinism_tests);
+    ]
