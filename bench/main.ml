@@ -751,10 +751,140 @@ let parallel_json () =
         (j4 /. 1e6) (seq /. j4))
     measured
 
+(* ------------------------------------------------------------------ *)
+(* --inclusion-json: explicit vs antichain language inclusion          *)
+(* ------------------------------------------------------------------ *)
+
+(* Same query, both engines, wall-clock best-of-3.  The automata are
+   rebuilt inside every timed thunk, so construction cost and the
+   per-automaton successors memo are charged identically to both
+   engines and no run warms the next.  [`Antichain_only] marks
+   workloads whose explicit product cannot be materialized at all
+   (rebuilt 10k-state twins: a 10^8-state table) — the new capability
+   the engine buys, reported with [explicit_ns: null] and excluded
+   from the gated geomean. *)
+let inclusion_workloads () =
+  (* the 10k sweep's shape: a +1-cycle on 'a', self-loop on 'b' *)
+  let mk_cycle n () =
+    let delta = Array.init n (fun q -> [| (q + 1) mod n; q |]) in
+    Automaton.make ~alpha:ab ~n ~start:0 ~delta
+      ~acc:(Acceptance.Inf (Iset.singleton 0))
+  in
+  (* lint-matrix shape: a +1-cycle on 'a', 'b' resets to the start —
+     every pair of requirements tracks one shared counter, so the
+     reachable product is the lcm cycle, not the full square *)
+  let mk_reset n () =
+    let delta = Array.init n (fun q -> [| (q + 1) mod n; 0 |]) in
+    Automaton.make ~alpha:ab ~n ~start:0 ~delta
+      ~acc:(Acceptance.Inf (Iset.singleton 0))
+  in
+  let matrix_sizes = List.init 12 (fun i -> 60 + (24 * i)) in
+  [
+    ( "sweep: 10k-state sweep included in a 24-state property",
+      `Both,
+      fun () -> ignore (Lang.included (mk_cycle 10_000 ()) (mk_cycle 24 ())) );
+    ( "sweep: equality of rebuilt 1200-state twins",
+      `Both,
+      fun () -> ignore (Lang.equal (mk_cycle 1_200 ()) (mk_cycle 1_200 ())) );
+    ( "sweep: equality of rebuilt 10k-state twins",
+      `Antichain_only,
+      fun () -> ignore (Lang.equal (mk_cycle 10_000 ()) (mk_cycle 10_000 ())) );
+    ( "matrix: pairwise inclusion over 12 cyclic requirements",
+      `Both,
+      fun () ->
+        let autos = List.map (fun n -> mk_reset n ()) matrix_sizes in
+        let pairs =
+          List.concat_map
+            (fun x ->
+              List.filter_map
+                (fun y -> if x == y then None else Some (x, y))
+                autos)
+            autos
+        in
+        ignore (Lang.included_batch pairs) );
+  ]
+
+let inclusion_json () =
+  let cores = Domain.recommended_domain_count () in
+  let old_engine = Lang.engine () in
+  let timed engine f =
+    Lang.set_engine engine;
+    Fun.protect ~finally:(fun () -> Lang.set_engine old_engine) (fun () ->
+        wall_ns f)
+  in
+  let measured =
+    List.map
+      (fun (name, mode, f) ->
+        let antichain_ns = timed `Antichain f in
+        let explicit_ns =
+          match mode with
+          | `Both -> Some (timed `Explicit f)
+          | `Antichain_only -> None
+        in
+        (name, explicit_ns, antichain_ns))
+      (inclusion_workloads ())
+  in
+  let speedups =
+    List.filter_map
+      (fun (_, ex, anti) ->
+        match ex with Some e when anti > 0. -> Some (e /. anti) | _ -> None)
+      measured
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun acc r -> acc +. log r) 0. speedups
+      /. float_of_int (max 1 (List.length speedups)))
+  in
+  let oc = open_out "BENCH_inclusion.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"cores\": %d,\n" cores;
+  p "  \"engine_default\": \"antichain\",\n";
+  p "  \"note\": \"explicit = complement-and-product oracle \
+     (Lang.set_engine `Explicit); antichain = on-the-fly Omega.Inclusion; \
+     explicit_ns null marks workloads whose explicit product cannot be \
+     materialized (rebuilt 10k twins: a 10^8-state table), excluded from \
+     the geomean; CI requires geomean_speedup >= 5\",\n";
+  p "  \"benches\": [\n";
+  List.iteri
+    (fun i (name, ex, anti) ->
+      let num = function Some v -> Printf.sprintf "%.0f" v | None -> "null" in
+      let speedup =
+        match ex with
+        | Some e when anti > 0. -> Printf.sprintf "%.2f" (e /. anti)
+        | _ -> "null"
+      in
+      p
+        "    {\"name\": \"%s\", \"explicit_ns\": %s, \"antichain_ns\": %.0f, \
+         \"speedup\": %s}%s\n"
+        (json_escape name) (num ex) anti speedup
+        (if i < List.length measured - 1 then "," else ""))
+    measured;
+  p "  ],\n";
+  p "  \"geomean_speedup\": %.2f\n" geomean;
+  p "}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_inclusion.json (cores=%d)@." cores;
+  List.iter
+    (fun (name, ex, anti) ->
+      Format.printf "  %-52s explicit %10s  antichain %8.2fms  %s@." name
+        (match ex with
+        | Some e -> Printf.sprintf "%8.2fms" (e /. 1e6)
+        | None -> "(infeasible)")
+        (anti /. 1e6)
+        (match ex with
+        | Some e -> Printf.sprintf "(%.1fx)" (e /. anti)
+        | None -> ""))
+    measured;
+  Format.printf "geomean speedup (explicit-feasible workloads): %.2fx@."
+    geomean
+
 let () =
   let flag f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = flag "--tables-only" in
   if flag "--parallel-json" then parallel_json ()
+  else if flag "--inclusion-json" then inclusion_json ()
   else if flag "--json" then json_mode ~check_overhead:(flag "--check-overhead") ()
   else begin
     fig1 ();

@@ -56,6 +56,15 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let engine_arg =
+  let doc =
+    "Language-inclusion engine: $(b,antichain) (on-the-fly lazy product, \
+     the default) or $(b,explicit) (complement-and-product oracle).  \
+     Verdicts are identical; the oracle exists to replay any run on the \
+     historical path."
+  in
+  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let formula_arg =
   let doc = "Temporal formula, e.g. '[] (p -> <> q)'." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
@@ -74,6 +83,18 @@ let with_jobs jobs f =
   | Some n ->
       Result.join
         (Engine.protect (fun () -> Pool.with_pool ~jobs:n (fun p -> f (Some p))))
+
+(* [--engine E] selects the language-inclusion engine for this run
+   (restored afterwards, so batch drivers embedding the CLI see no
+   lingering process state). *)
+let with_engine engine f =
+  match engine with
+  | None -> f ()
+  | Some s ->
+      Result.bind (Engine.inclusion_engine_of_string s) @@ fun e ->
+      let old = Engine.inclusion_engine () in
+      Engine.set_inclusion_engine e;
+      Fun.protect ~finally:(fun () -> Engine.set_inclusion_engine old) f
 
 (* Build the budget and the telemetry handle, run [f] on them, and map
    the result to an exit code.  [Budget.make] validates its arguments
@@ -115,8 +136,9 @@ let classify_cmd =
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FORMULA" ~doc)
   in
-  let run props chars fuel timeout_ms stats trace jobs formulas =
+  let run props chars fuel timeout_ms stats trace jobs engine formulas =
     with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
+    with_engine engine @@ fun () ->
     with_jobs jobs @@ fun pool ->
     let results =
       Engine.classify_batch ~budget ~telemetry ?pool ?props ?chars formulas
@@ -139,7 +161,7 @@ let classify_cmd =
   in
   Cmd.v info
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
-          $ stats_arg $ trace_arg $ jobs_arg $ formulas_arg)
+          $ stats_arg $ trace_arg $ jobs_arg $ engine_arg $ formulas_arg)
 
 (* ---------------- build ---------------- *)
 
@@ -247,9 +269,10 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "semantic" ] ~doc)
   in
-  let run fuel timeout_ms stats trace jobs file format syntactic semantic specs
-      =
+  let run fuel timeout_ms stats trace jobs engine file format syntactic
+      semantic specs =
     with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
+    with_engine engine @@ fun () ->
     with_jobs jobs @@ fun pool ->
     let parse_line ~where spec =
       match String.index_opt spec '=' with
@@ -339,8 +362,8 @@ let lint_cmd =
   in
   Cmd.v info
     Term.(const run $ fuel_arg $ timeout_arg $ stats_arg $ trace_arg
-          $ jobs_arg $ file_arg $ format_arg $ syntactic_arg $ semantic_arg
-          $ specs_arg)
+          $ jobs_arg $ engine_arg $ file_arg $ format_arg $ syntactic_arg
+          $ semantic_arg $ specs_arg)
 
 (* ---------------- equiv ---------------- *)
 

@@ -70,6 +70,26 @@ let pp_error ppf = function
   | Internal m -> Fmt.pf ppf "internal error: %s" m
 
 (* ------------------------------------------------------------------ *)
+(* Inclusion-engine selection                                          *)
+(* ------------------------------------------------------------------ *)
+
+type inclusion_engine = Omega.Lang.engine
+
+let set_inclusion_engine = Omega.Lang.set_engine
+let inclusion_engine = Omega.Lang.engine
+
+let inclusion_engine_of_string = function
+  | "antichain" -> Ok (`Antichain : inclusion_engine)
+  | "explicit" -> Ok (`Explicit : inclusion_engine)
+  | s ->
+      Error
+        (Invalid_input
+           (Printf.sprintf
+              "unknown inclusion engine %S (expected 'antichain' or \
+               'explicit')"
+              s))
+
+(* ------------------------------------------------------------------ *)
 (* Parsing and alphabets                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -121,7 +141,7 @@ let report_of ~budget ~telemetry ?pool ~syntactic (a : Omega.Automaton.t) =
   let is_uniform_liveness =
     opt (fun () ->
         span "engine.uniform_liveness" (fun () ->
-            Omega.Lang.is_uniform_liveness a))
+            Omega.Lang.is_uniform_liveness ~budget a))
   in
   let counter_free =
     opt (fun () ->

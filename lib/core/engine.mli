@@ -80,6 +80,24 @@ val protect :
     {!Telemetry.with_ambient}), so the shared leaf kernels report into
     the caller's collector. *)
 
+(** {2 Inclusion-engine selection}
+
+    Process-wide toggle for the language-inclusion engine behind
+    every classification, lint and equivalence query (see
+    {!Omega.Lang.set_engine}): [`Antichain] (default) is the lazy
+    on-the-fly engine, [`Explicit] the complement-and-product oracle.
+    Verdicts are identical — the [hpt --engine] flag exists so any
+    run can be replayed on the oracle. *)
+
+type inclusion_engine = Omega.Lang.engine
+
+val set_inclusion_engine : inclusion_engine -> unit
+val inclusion_engine : unit -> inclusion_engine
+
+val inclusion_engine_of_string :
+  string -> (inclusion_engine, error) result
+(** ["antichain"] or ["explicit"]; anything else is [Invalid_input]. *)
+
 (** {2 Classification} *)
 
 val classify_automaton :

@@ -250,7 +250,7 @@ let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
 let reactivity_rank ?budget ?max_scc ?telemetry ?pool a =
   let n = reactivity_rank_raw ?budget ?max_scc ?telemetry ?pool a in
   if n > 0 then n
-  else if Lang.is_universal a then 0
+  else if Lang.is_universal ?pool a then 0
   else 1
 
 let reactivity_rank_opt ?max_scc a =

@@ -1,0 +1,308 @@
+module Alphabet = Finitary.Alphabet
+
+(* ------------------------------------------------------------------ *)
+(* Emptiness                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* This module owns the emptiness core (it predates the on-the-fly
+   engine and used to live in [Lang], which now re-exports it): the
+   engine below needs [live_states] for pruning, and [Lang] needs the
+   engine, so the core sits underneath both. *)
+
+(* SCCs of the automaton graph restricted to states outside [fin]. *)
+let restricted_sccs (a : Automaton.t) fin =
+  Graph_kernel.sccs_in ~n:a.n ~succ:(Automaton.successors a)
+    ~allowed:(fun q -> not (Iset.mem q fin))
+
+let scc_nontrivial (a : Automaton.t) fin comp =
+  Graph_kernel.nontrivial
+    ~succ:(fun q ->
+      List.filter
+        (fun q' -> not (Iset.mem q' fin))
+        (Automaton.successors a q))
+    comp
+
+(* All states q such that a run entering q can be continued into an
+   accepting run: q can reach (in the full graph) an SCC qualifying for
+   some DNF conjunct of the acceptance condition. *)
+let good_scc_states (a : Automaton.t) =
+  let conjuncts = Acceptance.dnf a.acc in
+  List.fold_left
+    (fun acc (fin, infs) ->
+      List.fold_left
+        (fun acc comp ->
+          if
+            scc_nontrivial a fin comp
+            && List.for_all
+                 (fun inf ->
+                   List.exists (fun q -> Iset.mem q inf) comp)
+                 infs
+          then Iset.union acc (Iset.of_list comp)
+          else acc)
+        acc (restricted_sccs a fin))
+    Iset.empty conjuncts
+
+let live_states (a : Automaton.t) =
+  let good = good_scc_states a in
+  (* backward reachability to [good] in the full graph *)
+  let preds = Array.make a.n [] in
+  Array.iteri
+    (fun q row -> Array.iter (fun q' -> preds.(q') <- q :: preds.(q')) row)
+    a.delta;
+  let live = Array.make a.n false in
+  let queue = Queue.create () in
+  Iset.iter
+    (fun q ->
+      live.(q) <- true;
+      Queue.add q queue)
+    good;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not live.(p) then begin
+          live.(p) <- true;
+          Queue.add p queue
+        end)
+      preds.(q)
+  done;
+  live
+
+let nonempty (a : Automaton.t) = (live_states a).(a.start)
+
+let is_empty a = not (nonempty a)
+
+(* ------------------------------------------------------------------ *)
+(* On-the-fly inclusion                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [included a b] decides L(a) <= L(b) as emptiness of L(a) \ L(b),
+   but — unlike the explicit path ([Automaton.inter a (complement b)])
+   — never materializes the quadratic product table.  Both operands
+   are complete and deterministic, so the antichain construction of
+   Wulf-Doyen-Henzinger-Raskin degenerates into its sweet spot: every
+   macro-state is a singleton pair, the subset product is just the
+   reachable synchronous product, and we explore exactly the pairs
+   (qa, qb) some finite word actually reaches — typically a sliver of
+   the n_a * n_b square the explicit product allocates up front.
+
+   Two prunings keep the frontier small:
+   - dead-[a] pruning (the "simulation" order on pairs): a pair whose
+     [a]-component cannot start an accepting [a]-run contributes
+     nothing to the difference language, so it is collapsed into a
+     single absorbing reject sink (pair id 0).  [live_states a] is one
+     linear pass, amortized against the product exploration it avoids.
+   - interning: pairs are hash-consed to dense ids, so the SCC scan at
+     the end runs on arrays, not on a map of pairs.
+
+   Acceptance over the explored graph is evaluated positionally: an
+   atom of [a] keeps its state set, an atom of [b]'s dual is shifted
+   by [a.n], and a pair (qa, qb) belongs to a shifted set s iff
+   [qa in s] or [a.n + qb in s].  Because every interned pair is
+   reachable by construction, the difference is non-empty iff some DNF
+   conjunct of [acc_a /\ dual acc_b] owns a qualifying non-trivial SCC
+   anywhere in the explored graph — no separate reachability pass.
+
+   Determinism under [?pool]: frontier levels at least
+   [par_threshold] wide are expanded in parallel, but tasks only read
+   the frozen pair arrays and return raw successor codes; interning
+   happens at the join, in task order, letter by letter — the id
+   assignment (and hence every downstream verdict, counter and trip
+   point) is bit-identical to the sequential expansion at every job
+   count.  Chunks have constant size [par_threshold], so the chunk
+   count — and with it [Budget.split]'s replica allowances — depends
+   only on the frontier width, never on [jobs]. *)
+
+(* Growable int vector (OCaml 5.1 has no [Dynarray] yet). *)
+type ivec = { mutable data : int array; mutable len : int }
+
+let ivec_create () = { data = Array.make 1024 0; len = 0 }
+
+let ivec_push v x =
+  if v.len = Array.length v.data then begin
+    let d = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 d 0 v.len;
+    v.data <- d
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+type rvec = { mutable rows : int array array; mutable rlen : int }
+
+let rvec_create () = { rows = Array.make 1024 [||]; rlen = 0 }
+
+let rvec_push v x =
+  if v.rlen = Array.length v.rows then begin
+    let d = Array.make (2 * v.rlen) [||] in
+    Array.blit v.rows 0 d 0 v.rlen;
+    v.rows <- d
+  end;
+  v.rows.(v.rlen) <- x;
+  v.rlen <- v.rlen + 1
+
+type explored = {
+  pqa : ivec;  (** pair id -> [a]-state ([-1] for the sink, id 0) *)
+  pqb : ivec;
+  psucc : rvec;  (** pair id -> successor row, [Alphabet.size] wide *)
+  start_id : int;  (** [0] iff [a]'s start state is already dead *)
+}
+
+let default_par_threshold = 512
+
+let explore ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
+    (b : Automaton.t) =
+  let k = Alphabet.size a.alpha in
+  let a_live = live_states a in
+  let pqa = ivec_create () and pqb = ivec_create () in
+  let psucc = rvec_create () in
+  let index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* id 0: the absorbing reject sink for dead-[a] pairs *)
+  ivec_push pqa (-1);
+  ivec_push pqb (-1);
+  rvec_push psucc (Array.make k 0);
+  let pruned = ref 0 in
+  let intern qa qb =
+    if not a_live.(qa) then begin
+      incr pruned;
+      0
+    end
+    else begin
+      let key = (qa * b.Automaton.n) + qb in
+      match Hashtbl.find_opt index key with
+      | Some id -> id
+      | None ->
+          let id = pqa.len in
+          Hashtbl.add index key id;
+          ivec_push pqa qa;
+          ivec_push pqb qb;
+          rvec_push psucc [||];
+          id
+    end
+  in
+  let start_id = intern a.start b.start in
+  let expand_seq lo hi =
+    for i = lo to hi - 1 do
+      Budget.tick budget;
+      let qa = pqa.data.(i) and qb = pqb.data.(i) in
+      psucc.rows.(i) <-
+        Array.init k (fun l -> intern a.delta.(qa).(l) b.delta.(qb).(l))
+    done
+  in
+  let expand_par p lo hi =
+    let chunk = par_threshold in
+    let n_chunks = ((hi - lo) + chunk - 1) / chunk in
+    let spans =
+      List.init n_chunks (fun c ->
+          (lo + (c * chunk), min hi (lo + ((c + 1) * chunk))))
+    in
+    (* tasks read the frozen prefix [0, hi) of the pair arrays *)
+    let qa_data = pqa.data and qb_data = pqb.data in
+    let results =
+      Pool.map ~budget ~telemetry:tl p
+        (fun ctx (clo, chi) ->
+          let out = Array.make ((chi - clo) * k) 0 in
+          for i = clo to chi - 1 do
+            Budget.tick ctx.Pool.budget;
+            let qa = qa_data.(i) and qb = qb_data.(i) in
+            for l = 0 to k - 1 do
+              let qa' = a.delta.(qa).(l) in
+              out.(((i - clo) * k) + l) <-
+                (if a_live.(qa') then (qa' * b.Automaton.n) + b.delta.(qb).(l)
+                 else -1)
+            done
+          done;
+          out)
+        spans
+    in
+    List.iter2
+      (fun (clo, chi) out ->
+        for i = clo to chi - 1 do
+          psucc.rows.(i) <-
+            Array.init k (fun l ->
+                let code = out.(((i - clo) * k) + l) in
+                if code < 0 then begin
+                  incr pruned;
+                  0
+                end
+                else intern (code / b.Automaton.n) (code mod b.Automaton.n))
+        done)
+      spans results
+  in
+  let next = ref 1 in
+  while !next < pqa.len do
+    let lo = !next and hi = pqa.len in
+    next := hi;
+    match pool with
+    | Some p when hi - lo >= par_threshold -> expand_par p lo hi
+    | _ -> expand_seq lo hi
+  done;
+  Telemetry.add tl "inclusion.pairs" (pqa.len - 1);
+  Telemetry.add tl "inclusion.pruned" !pruned;
+  { pqa; pqb; psucc; start_id }
+
+let diff_nonempty ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
+    (b : Automaton.t) =
+  if not (Alphabet.equal a.alpha b.alpha) then
+    invalid_arg "Inclusion.included: alphabet mismatch";
+  let e =
+    Telemetry.span tl "inclusion.explore" (fun () ->
+        explore ~budget ~telemetry:tl ?pool ~par_threshold a b)
+  in
+  if e.start_id = 0 then false (* L(a) empty: nothing left to include *)
+  else
+    Telemetry.span tl "inclusion.emptiness" (fun () ->
+        let an = a.n in
+        let mem i s =
+          Iset.mem e.pqa.data.(i) s || Iset.mem (an + e.pqb.data.(i)) s
+        in
+        let shift s =
+          Iset.fold (fun q acc -> Iset.add (q + an) acc) s Iset.empty
+        in
+        let conjuncts =
+          Acceptance.dnf
+            (Acceptance.And
+               [ a.acc; Acceptance.map_sets shift (Acceptance.dual b.acc) ])
+        in
+        let count = e.pqa.len in
+        let succ i = Array.to_list e.psucc.rows.(i) in
+        List.exists
+          (fun (fin, infs) ->
+            Budget.check budget;
+            (* the sink (id 0) is excluded everywhere: a cycle through
+               it would otherwise satisfy a pure-[Fin] conjunct *)
+            let allowed i = i <> 0 && not (mem i fin) in
+            List.exists
+              (fun comp ->
+                Graph_kernel.nontrivial
+                  ~succ:(fun i -> List.filter allowed (succ i))
+                  comp
+                && List.for_all
+                     (fun inf -> List.exists (fun i -> mem i inf) comp)
+                     infs)
+              (Graph_kernel.sccs_in ~n:count ~succ ~allowed))
+          conjuncts)
+
+let included ?(budget = Budget.unlimited) ?telemetry ?pool
+    ?(par_threshold = default_par_threshold) (a : Automaton.t)
+    (b : Automaton.t) =
+  let tl =
+    match telemetry with Some t -> t | None -> Telemetry.ambient ()
+  in
+  if a.delta == b.delta && a.start = b.start then begin
+    (* one shared run per word: inclusion is emptiness of
+       [acc_a /\ dual acc_b] over the shared graph, no product at all *)
+    Telemetry.incr tl "inclusion.same_table";
+    is_empty
+      (Automaton.with_acc a
+         (Acceptance.simplify
+            (Acceptance.And [ a.acc; Acceptance.dual b.acc ])))
+  end
+  else not (diff_nonempty ~budget ~telemetry:tl ?pool ~par_threshold a b)
+
+let equal ?budget ?telemetry ?pool ?par_threshold a b =
+  included ?budget ?telemetry ?pool ?par_threshold a b
+  && included ?budget ?telemetry ?pool ?par_threshold b a
+
+let is_universal ?budget ?telemetry ?pool ?par_threshold (a : Automaton.t) =
+  included ?budget ?telemetry ?pool ?par_threshold
+    (Automaton.full a.alpha) a

@@ -1,0 +1,97 @@
+(** On-the-fly language inclusion for complete deterministic
+    omega-automata, plus the emptiness core it is built on (which
+    {!Lang} re-exports).
+
+    {2 The engine}
+
+    [included a b] decides [L(a) <= L(b)] by exploring the reachable
+    synchronous product {e lazily} — never building
+    [Automaton.complement] into a product table the way the explicit
+    path does.  For deterministic operands the antichain construction
+    (Wulf-Doyen-Henzinger-Raskin, CAV 2006) collapses to its best
+    case: every macro-state is a singleton pair, so the engine is the
+    reachable product with
+
+    - {b dead-[a] pruning}: pairs whose [a]-component has an empty
+      residual language are folded into one absorbing reject sink (the
+      antichain/simulation order on pairs);
+    - {b positional acceptance}: atoms of [b]'s dualized condition are
+      shifted by [a.n] and evaluated by pair membership, so no
+      quadratic lifting of acceptance sets ever happens;
+    - {b interned ids}: reachable pairs get dense ids, and emptiness
+      is one SCC scan over the explored arrays (every interned pair is
+      reachable, so no extra reachability pass).
+
+    {2 Determinism under [?pool]}
+
+    Frontier levels at least [par_threshold] wide are expanded by the
+    pool in constant-size chunks; tasks compute raw successor codes
+    from frozen arrays and all interning happens at the join in task
+    order, so verdicts, telemetry counters and budget trip points are
+    bit-identical at every job count (the chunk count depends only on
+    the frontier width, never on [jobs]).
+
+    {2 Observability}
+
+    Work is charged one {!Budget.tick} per expanded pair (to the
+    replica budgets under [?pool]).  Spans [inclusion.explore] /
+    [inclusion.emptiness] and counters [inclusion.pairs] /
+    [inclusion.pruned] / [inclusion.same_table] report to [?telemetry]
+    (default: the ambient handle). *)
+
+val included :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  ?par_threshold:int ->
+  Automaton.t ->
+  Automaton.t ->
+  bool
+(** [included a b]: is [L(a) <= L(b)]?  Operands sharing one
+    transition table (safety closures, [with_acc] variants) short-cut
+    to an acceptance-only emptiness check on the shared graph.
+    [?par_threshold] (default 512) is the minimum frontier width — and
+    the chunk size — for parallel expansion; exposed so tests can force
+    the pool path on small automata.  Raises [Invalid_argument] on an
+    alphabet mismatch and [Budget.Tripped] when [?budget] runs out. *)
+
+val equal :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  ?par_threshold:int ->
+  Automaton.t ->
+  Automaton.t ->
+  bool
+(** Both inclusion directions, left one first (short-circuiting). *)
+
+val is_universal :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  ?par_threshold:int ->
+  Automaton.t ->
+  bool
+(** [is_universal a] = [included (Automaton.full a.alpha) a]: the
+    explored product has at most [a.n] pairs, against the explicit
+    path's complement-and-emptiness over all of [a]. *)
+
+(** {2 Emptiness core}
+
+    Moved here from [Lang] (which re-exports them) so the engine can
+    prune on [live_states] without a module cycle. *)
+
+val nonempty : Automaton.t -> bool
+
+val is_empty : Automaton.t -> bool
+
+val live_states : Automaton.t -> bool array
+(** Per-state flag: can a run entering this state be continued into an
+    accepting one? *)
+
+val restricted_sccs : Automaton.t -> Iset.t -> int list list
+(** SCCs of the automaton graph restricted to states outside the given
+    [Fin] set. *)
+
+val scc_nontrivial : Automaton.t -> Iset.t -> int list -> bool
+(** Does the component carry a cycle avoiding the given [Fin] set? *)

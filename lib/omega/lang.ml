@@ -6,68 +6,15 @@ module Alphabet = Finitary.Alphabet
 (* Emptiness                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* SCCs of the automaton graph restricted to states outside [fin]. *)
-let restricted_sccs (a : Automaton.t) fin =
-  Graph_kernel.sccs_in ~n:a.n ~succ:(Automaton.successors a)
-    ~allowed:(fun q -> not (Iset.mem q fin))
+(* The emptiness core lives in [Inclusion] (the on-the-fly engine
+   prunes on [live_states], so the core must sit underneath it); this
+   module re-exports it to keep its historical interface. *)
 
-let scc_nontrivial (a : Automaton.t) fin comp =
-  Graph_kernel.nontrivial
-    ~succ:(fun q ->
-      List.filter
-        (fun q' -> not (Iset.mem q' fin))
-        (Automaton.successors a q))
-    comp
-
-(* All states q such that a run entering q can be continued into an
-   accepting run: q can reach (in the full graph) an SCC qualifying for
-   some DNF conjunct of the acceptance condition. *)
-let good_scc_states (a : Automaton.t) =
-  let conjuncts = Acceptance.dnf a.acc in
-  List.fold_left
-    (fun acc (fin, infs) ->
-      List.fold_left
-        (fun acc comp ->
-          if
-            scc_nontrivial a fin comp
-            && List.for_all
-                 (fun inf ->
-                   List.exists (fun q -> Iset.mem q inf) comp)
-                 infs
-          then Iset.union acc (Iset.of_list comp)
-          else acc)
-        acc (restricted_sccs a fin))
-    Iset.empty conjuncts
-
-let live_states (a : Automaton.t) =
-  let good = good_scc_states a in
-  (* backward reachability to [good] in the full graph *)
-  let preds = Array.make a.n [] in
-  Array.iteri
-    (fun q row -> Array.iter (fun q' -> preds.(q') <- q :: preds.(q')) row)
-    a.delta;
-  let live = Array.make a.n false in
-  let queue = Queue.create () in
-  Iset.iter
-    (fun q ->
-      live.(q) <- true;
-      Queue.add q queue)
-    good;
-  while not (Queue.is_empty queue) do
-    let q = Queue.pop queue in
-    List.iter
-      (fun p ->
-        if not live.(p) then begin
-          live.(p) <- true;
-          Queue.add p queue
-        end)
-      preds.(q)
-  done;
-  live
-
-let nonempty (a : Automaton.t) = (live_states a).(a.start)
-
-let is_empty a = not (nonempty a)
+let restricted_sccs = Inclusion.restricted_sccs
+let scc_nontrivial = Inclusion.scc_nontrivial
+let live_states = Inclusion.live_states
+let nonempty = Inclusion.nonempty
+let is_empty = Inclusion.is_empty
 
 (* ------------------------------------------------------------------ *)
 (* Witness extraction                                                  *)
@@ -195,45 +142,84 @@ let witness (a : Automaton.t) =
 (* ------------------------------------------------------------------ *)
 
 (* Complements are cheap to build (dual acceptance) but [equal] and the
-   classification procedures ask for the same one repeatedly; a single-
-   slot physically-keyed cache removes the duplicate construction.
-   Domain-safety: the slot is domain-local ([Domain.DLS]) — each pool
-   worker warms its own, so there is no cross-domain coherence to
-   maintain and a miss on a cold domain only costs the (cheap, pure)
-   complement construction.  The enable toggle is an [Atomic] so a
-   test flipping it mid-run cannot tear. *)
-let complement_cache_key : (Automaton.t * Automaton.t) option ref Domain.DLS.key
-    =
-  Domain.DLS.new_key (fun () -> ref None)
-
+   classification procedures ask for the same ones repeatedly; a
+   two-entry physically-keyed cache removes the duplicate construction
+   — two entries, not one, because [equal a b] alternates between
+   [complement b] and [complement a] and a single slot would evict on
+   every call (each pairwise lint comparison rebuilt both complements
+   twice).  Domain-safety: the slot is domain-local ([Domain.DLS]) —
+   each pool worker warms its own, so there is no cross-domain
+   coherence to maintain and a miss on a cold domain only costs the
+   (cheap, pure) complement construction.  The enable toggle is an
+   [Atomic] so a test flipping it mid-run cannot tear, and lookups are
+   gated on it too: a disabled cache must not serve hits out of a
+   previously-warmed slot.  Disabling must also reach slots warmed by
+   {e other} domains (pool workers), which [set_caches] cannot clear
+   directly — so every [set_caches] bumps a generation counter and a
+   slot is valid only while its recorded generation matches. *)
 let use_caches = Atomic.make true
+let cache_generation = Atomic.make 0
+
+let complement_cache_key :
+    (int * (Automaton.t * Automaton.t) list) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (-1, []))
 
 let set_caches b =
   Atomic.set use_caches b;
-  Domain.DLS.get complement_cache_key := None
+  Atomic.incr cache_generation
 
 let cached_complement a =
   let tl = Telemetry.ambient () in
   Telemetry.incr tl "lang.complement.request";
-  let cache = Domain.DLS.get complement_cache_key in
-  match !cache with
-  | Some (key, c) when key == a ->
-      Telemetry.incr tl "lang.complement.hit";
-      c
-  | _ ->
-      Telemetry.incr tl "lang.complement.miss";
-      let c = Automaton.complement a in
-      if Atomic.get use_caches then cache := Some (a, c);
-      c
+  if not (Atomic.get use_caches) then begin
+    Telemetry.incr tl "lang.complement.miss";
+    Automaton.complement a
+  end
+  else begin
+    let slot = Domain.DLS.get complement_cache_key in
+    let gen = Atomic.get cache_generation in
+    let entries = match !slot with g, es when g = gen -> es | _ -> [] in
+    match List.partition (fun (key, _) -> key == a) entries with
+    | (_, c) :: _, rest ->
+        Telemetry.incr tl "lang.complement.hit";
+        slot := (gen, (a, c) :: rest);
+        c
+    | [], _ ->
+        Telemetry.incr tl "lang.complement.miss";
+        let c = Automaton.complement a in
+        (* keep the most recent of the old entries alongside the new *)
+        let keep = match entries with mru :: _ -> [ mru ] | [] -> [] in
+        slot := (gen, (a, c) :: keep);
+        c
+  end
 
-let is_universal a = is_empty (cached_complement a)
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [`Antichain] routes different-table queries through the on-the-fly
+   engine ({!Inclusion}); [`Explicit] keeps the historical
+   complement-and-product path, retained as the differential-test
+   oracle.  The same-table fast path below is engine-independent: both
+   engines would take it anyway, and keeping it here keeps the
+   [lang.included.same_table] accounting identical across engines. *)
+type engine = [ `Antichain | `Explicit ]
+
+let engine_slot : engine Atomic.t = Atomic.make `Antichain
+let set_engine (e : engine) = Atomic.set engine_slot e
+let engine () : engine = Atomic.get engine_slot
+
+let is_universal ?pool a =
+  match Atomic.get engine_slot with
+  | `Antichain -> Inclusion.is_universal ?pool a
+  | `Explicit -> is_empty (cached_complement a)
 
 (* When both automata share one transition structure (safety closures,
    liveness extensions and [with_acc] variants all reuse the argument's
    table), every word has the same run in both, so inclusion is
    emptiness of [acc_a /\ not acc_b] over that {e same} graph — no
    quadratic product needed. *)
-let included a b =
+let included ?pool a b =
   if
     Atomic.get use_caches
     && a.Automaton.delta == b.Automaton.delta
@@ -245,10 +231,14 @@ let included a b =
          (Acceptance.simplify
             (Acceptance.And [ a.Automaton.acc; Acceptance.dual b.Automaton.acc ])))
   end
-  else begin
-    Telemetry.incr (Telemetry.ambient ()) "lang.included.product";
-    is_empty (Automaton.inter a (cached_complement b))
-  end
+  else
+    match Atomic.get engine_slot with
+    | `Antichain ->
+        Telemetry.incr (Telemetry.ambient ()) "lang.included.antichain";
+        Inclusion.included ?pool a b
+    | `Explicit ->
+        Telemetry.incr (Telemetry.ambient ()) "lang.included.product";
+        is_empty (Automaton.inter a (cached_complement b))
 
 let equal ?pool a b =
   match pool with
@@ -317,8 +307,11 @@ let safety_liveness_decomposition a = (safety_closure a, liveness_extension a)
 
 (* Pi is uniformly live iff one word is accepted from every state
    reachable in >= 1 step: run the automaton from all those states
-   simultaneously and ask for a word accepted by every component. *)
-let is_uniform_liveness (a : Automaton.t) =
+   simultaneously and ask for a word accepted by every component.  The
+   vector-state interning below is a subset construction — worst-case
+   exponential in [a.n] — so the expansion loop ticks [?budget] once
+   per interned vector state. *)
+let is_uniform_liveness ?(budget = Budget.unlimited) (a : Automaton.t) =
   let reach = Automaton.reachable a in
   let starts =
     List.sort_uniq Stdlib.compare
@@ -350,6 +343,7 @@ let is_uniform_liveness (a : Automaton.t) =
   while not (Queue.is_empty queue) do
     let i, v = Queue.pop queue in
     if not (Hashtbl.mem rows i) then begin
+      Budget.tick budget;
       let row =
         Array.init k (fun l ->
             let v' = List.map (fun q -> a.delta.(q).(l)) v in

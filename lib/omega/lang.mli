@@ -12,17 +12,33 @@ val is_empty : Automaton.t -> bool
 (** A lasso word accepted by the automaton, if any. *)
 val witness : Automaton.t -> Finitary.Word.lasso option
 
-(** Does the automaton accept every infinite word? *)
-val is_universal : Automaton.t -> bool
+(** The engine behind {!included}/{!equal}/{!is_universal} on operands
+    with distinct transition tables: [`Antichain] (the default)
+    explores the product lazily via {!Inclusion}; [`Explicit] builds
+    the complement and the full product — asymptotically worse, kept
+    as the differential-test oracle.  Verdicts are identical; only
+    cost and telemetry counters differ.  The toggle is a process-wide
+    [Atomic], read per query. *)
+type engine = [ `Antichain | `Explicit ]
 
-(** Language inclusion / equality (via product with the complement;
-    deterministic automata complement for free).  Two caches cut the
-    repeated work: a single-slot physically-keyed complement cache and
-    a same-transition-table fast path that replaces the product with an
-    acceptance-only emptiness check.  Both report hit/miss counters to
-    the ambient {!Telemetry} handle ([lang.complement.request/hit/miss],
-    [lang.included.same_table/product]). *)
-val included : Automaton.t -> Automaton.t -> bool
+val set_engine : engine -> unit
+val engine : unit -> engine
+
+(** Does the automaton accept every infinite word?  With [?pool] the
+    antichain engine expands wide product frontiers in parallel
+    (deterministically — see {!Inclusion}); the explicit engine
+    ignores it. *)
+val is_universal : ?pool:Pool.t -> Automaton.t -> bool
+
+(** Language inclusion / equality.  Three mechanisms cut the repeated
+    work: a same-transition-table fast path that replaces any product
+    with an acceptance-only emptiness check (engine-independent), the
+    lazy {!Inclusion} engine for different-table queries (default),
+    and — on the explicit oracle path — a two-entry physically-keyed
+    complement cache.  All report counters to the ambient {!Telemetry}
+    handle ([lang.complement.request/hit/miss],
+    [lang.included.same_table/antichain/product]). *)
+val included : ?pool:Pool.t -> Automaton.t -> Automaton.t -> bool
 
 val equal : ?pool:Pool.t -> Automaton.t -> Automaton.t -> bool
 (** With [?pool], the two inclusion directions run as parallel tasks;
@@ -38,11 +54,13 @@ val included_batch :
 val equal_batch : ?pool:Pool.t -> (Automaton.t * Automaton.t) list -> bool list
 
 (** [set_caches false] disables the complement cache and the same-table
-    fast path (and drops the calling domain's cached slot), forcing the
-    cold product path on every query.  Test instrumentation for
-    differential cache-consistency checks — not for production use.
-    Default: enabled.  The complement cache is domain-local, so pool
-    workers never contend on it. *)
+    fast path, forcing the cold path on every query.  Test
+    instrumentation for differential cache-consistency checks — not
+    for production use.  Default: enabled.  The complement cache is
+    domain-local, so pool workers never contend on it; disabling bumps
+    a generation counter that invalidates {e every} domain's slot (not
+    just the caller's), and lookups are gated on the toggle, so a
+    disabled cache never serves a previously-warmed hit. *)
 val set_caches : bool -> unit
 
 (** A lasso in the symmetric difference, if the languages differ. *)
@@ -76,5 +94,8 @@ val safety_liveness_decomposition : Automaton.t -> Automaton.t * Automaton.t
 
 (** Is the property a {e uniform} liveness property: is there a single
     infinite word [w] with [Sigma+ . w <= Pi]?  Decided exactly by a
-    product over all states reachable in at least one step. *)
-val is_uniform_liveness : Automaton.t -> bool
+    product over all states reachable in at least one step — a subset
+    construction, worst-case exponential in [a.n], so the expansion
+    ticks [?budget] once per vector state and raises [Budget.Tripped]
+    when it runs out. *)
+val is_uniform_liveness : ?budget:Budget.t -> Automaton.t -> bool

@@ -229,6 +229,25 @@ let injection_tests =
           ok (Engine.equiv ~budget:(budget ()) pq f1 f2)
           && ok (Engine.witness ~budget:(budget ()) pq f1)
           && ok (Engine.lint ~budget:(budget ()) [ ("a", s1); ("b", s2) ]));
+      (* the PR-2 "every hot loop ticks" invariant, extended to the
+         subset construction in [Lang.is_uniform_liveness]: a trip
+         interrupts the vector-state expansion cleanly, and an
+         uninterrupted budgeted run agrees with the unbudgeted one *)
+      QCheck.Test.make
+        ~name:"is_uniform_liveness: trips cleanly, verdict stable" ~count:200
+        (QCheck.pair arb_automaton (QCheck.int_bound 40))
+        (fun (a, n) ->
+          let full = Lang.is_uniform_liveness a in
+          (match
+             Lang.is_uniform_liveness ~budget:(Budget.inject_trip_at (n + 1)) a
+           with
+          | v -> v = full
+          | exception Budget.Tripped { reason = Budget.Injected; _ } -> true)
+          &&
+          (* the loop really is budgeted: the first tick must trip *)
+          match Lang.is_uniform_liveness ~budget:(Budget.inject_trip_at 1) a with
+          | _ -> QCheck.Test.fail_report "first tick did not trip"
+          | exception Budget.Tripped { reason = Budget.Injected; _ } -> true);
       QCheck.Test.make ~name:"tick monotone, trip sticky and stable"
         ~count:300
         (QCheck.pair (QCheck.int_bound 50)

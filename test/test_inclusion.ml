@@ -1,0 +1,224 @@
+(* The on-the-fly antichain inclusion engine against the explicit
+   complement-and-product oracle: identical verdicts on random automata
+   (including same-table pairs and rebuilt twins), bit-identical
+   behaviour at jobs 1/2/4 with the pool path forced, and identical
+   degradation under injected budget trips. *)
+
+open Omega
+
+let ab = Finitary.Alphabet.of_chars "ab"
+
+(* ------------------------------------------------------------------ *)
+(* Random automata (same shape as test_budget's generator)             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_automaton =
+  let open QCheck.Gen in
+  let n = 4 in
+  let gen_set =
+    map
+      (fun mask ->
+        Iset.of_list
+          (List.filteri
+             (fun i _ -> mask land (1 lsl i) <> 0)
+             (List.init n Fun.id)))
+      (int_bound ((1 lsl n) - 1))
+  in
+  let gen_acc =
+    sized_size (int_bound 4)
+    @@ fix (fun self d ->
+           if d = 0 then
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+               ]
+           else
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+                 map2
+                   (fun a b -> Acceptance.And [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+                 map2
+                   (fun a b -> Acceptance.Or [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+               ])
+  in
+  map2
+    (fun rows acc ->
+      Automaton.make ~alpha:ab ~n ~start:0
+        ~delta:(Array.of_list (List.map Array.of_list rows))
+        ~acc)
+    (list_repeat n (list_repeat 2 (int_bound (n - 1))))
+    gen_acc
+
+let arb_automaton =
+  QCheck.make ~print:(fun a -> Format.asprintf "%a" Automaton.pp a) gen_automaton
+
+let arb_pair = QCheck.pair arb_automaton arb_automaton
+
+let with_engine e f =
+  let old = Lang.engine () in
+  Lang.set_engine e;
+  Fun.protect ~finally:(fun () -> Lang.set_engine old) f
+
+(* same language, physically distinct transition table — defeats both
+   the same-table fast path and the complement cache's physical key *)
+let twin (a : Automaton.t) =
+  Automaton.make ~alpha:a.alpha ~n:a.n ~start:a.start
+    ~delta:(Array.map Array.copy a.delta)
+    ~acc:a.acc
+
+(* ------------------------------------------------------------------ *)
+(* Canned cases                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* L(a) = { a^omega }: state 0 self-loops on 'a', letter 'b' falls into
+   the dead absorbing state 1. *)
+let a_omega =
+  Automaton.make ~alpha:ab ~n:2 ~start:0
+    ~delta:[| [| 0; 1 |]; [| 1; 1 |] |]
+    ~acc:(Acceptance.Inf (Iset.singleton 0))
+
+let unit_tests =
+  [
+    Alcotest.test_case "dead-a pruning collapses to the sink" `Quick (fun () ->
+        let t = Telemetry.collector () in
+        let v =
+          Inclusion.included ~telemetry:t a_omega (Automaton.full ab)
+        in
+        Alcotest.(check bool) "a^omega <= Sigma^omega" true v;
+        (* only the live pair (0,0) is ever interned; the 'b' successor
+           is pruned into the sink *)
+        Alcotest.(check int) "pairs" 1 (Telemetry.counter t "inclusion.pairs");
+        Alcotest.(check bool) "pruned" true
+          (Telemetry.counter t "inclusion.pruned" >= 1));
+    Alcotest.test_case "sink cycles never accept a pure-Fin conjunct" `Quick
+      (fun () ->
+        (* diff acceptance is [Inf {0} /\ True]; the sink's self-loop
+           must not qualify *)
+        let v = Inclusion.included a_omega (Automaton.empty_lang ab) in
+        Alcotest.(check bool) "a^omega not<= empty" false v);
+    Alcotest.test_case "empty start decides without exploring" `Quick
+      (fun () ->
+        let t = Telemetry.collector () in
+        let v =
+          Inclusion.included ~telemetry:t (Automaton.empty_lang ab)
+            (Automaton.empty_lang ab)
+        in
+        Alcotest.(check bool) "empty <= empty" true v;
+        Alcotest.(check int) "no pairs" 0
+          (Telemetry.counter t "inclusion.pairs"));
+    Alcotest.test_case "same-table operands short-cut" `Quick (fun () ->
+        let b = Automaton.with_acc a_omega (Acceptance.Fin (Iset.singleton 1)) in
+        let t = Telemetry.collector () in
+        let v = Inclusion.included ~telemetry:t a_omega b in
+        Alcotest.(check bool) "a^omega <= Fin-dead" true v;
+        Alcotest.(check int) "same-table taken" 1
+          (Telemetry.counter t "inclusion.same_table");
+        Alcotest.(check int) "nothing explored" 0
+          (Telemetry.counter t "inclusion.pairs"));
+    Alcotest.test_case "alphabet mismatch is refused" `Quick (fun () ->
+        let abc = Finitary.Alphabet.of_chars "abc" in
+        Alcotest.check_raises "invalid_arg"
+          (Invalid_argument "Inclusion.included: alphabet mismatch")
+          (fun () ->
+            ignore (Inclusion.included a_omega (Automaton.full abc))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: antichain vs the explicit oracle                      *)
+(* ------------------------------------------------------------------ *)
+
+let verdicts a b =
+  ( Lang.included a b,
+    Lang.included b a,
+    Lang.equal a b,
+    Lang.is_universal a,
+    Lang.is_universal b )
+
+let differential_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"antichain = explicit on random pairs" ~count:500
+        arb_pair (fun (a, b) ->
+          with_engine `Explicit (fun () -> verdicts a b)
+          = with_engine `Antichain (fun () -> verdicts a b));
+      QCheck.Test.make ~name:"antichain = explicit on same-table pairs"
+        ~count:300
+        (QCheck.pair arb_automaton arb_automaton)
+        (fun (a, acc_donor) ->
+          (* a pair sharing one transition table, differing only in
+             acceptance — the shape [Classify]'s closure comparisons
+             produce *)
+          let b = Automaton.with_acc a acc_donor.Automaton.acc in
+          with_engine `Explicit (fun () -> verdicts a b)
+          = with_engine `Antichain (fun () -> verdicts a b));
+      QCheck.Test.make ~name:"a rebuilt twin is always language-equal"
+        ~count:300 arb_automaton (fun a ->
+          with_engine `Antichain (fun () -> Lang.equal a (twin a)));
+      QCheck.Test.make ~name:"engine toggle does not leak across queries"
+        ~count:100 arb_pair (fun (a, b) ->
+          (* interleave the engines query by query *)
+          let e1 = with_engine `Explicit (fun () -> Lang.included a b) in
+          let v1 = with_engine `Antichain (fun () -> Lang.included a b) in
+          let e2 = with_engine `Explicit (fun () -> Lang.equal a b) in
+          let v2 = with_engine `Antichain (fun () -> Lang.equal a b) in
+          e1 = v1 && e2 = v2);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool determinism and budget degradation                             *)
+(* ------------------------------------------------------------------ *)
+
+let job_counts = [ 1; 2; 4 ]
+
+(* Run the antichain engine with the pool path forced on every level
+   ([par_threshold:1]), capturing verdict or trip. *)
+let pooled_outcome ?budget ~jobs a b =
+  Pool.with_pool ~jobs (fun p ->
+      match Inclusion.included ?budget ~pool:p ~par_threshold:1 a b with
+      | v -> `Verdict v
+      | exception Budget.Tripped { Budget.reason; _ } -> `Tripped reason)
+
+let pool_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"pooled frontier = sequential, jobs 1/2/4"
+        ~count:200 arb_pair (fun (a, b) ->
+          let seq = `Verdict (Inclusion.included a b) in
+          List.for_all (fun jobs -> pooled_outcome ~jobs a b = seq) job_counts);
+      QCheck.Test.make
+        ~name:"injected trips degrade identically at jobs 1/2/4" ~count:200
+        (QCheck.pair arb_pair (QCheck.int_bound 30))
+        (fun ((a, b), n) ->
+          let outcome jobs =
+            pooled_outcome ~budget:(Budget.inject_trip_at (n + 1)) ~jobs a b
+          in
+          let o1 = outcome 1 in
+          List.for_all (fun jobs -> outcome jobs = o1) (List.tl job_counts)
+          &&
+          (* an uninterrupted budgeted run still matches the oracle *)
+          match o1 with
+          | `Verdict v ->
+              v = with_engine `Explicit (fun () -> Lang.included a b)
+          | `Tripped Budget.Injected -> true
+          | `Tripped _ -> QCheck.Test.fail_report "wrong trip reason");
+      QCheck.Test.make ~name:"Lang routing accepts a pool" ~count:100 arb_pair
+        (fun (a, b) ->
+          Pool.with_pool ~jobs:2 (fun p ->
+              with_engine `Antichain (fun () ->
+                  Lang.included ~pool:p a b = Lang.included a b
+                  && Lang.is_universal ~pool:p a = Lang.is_universal a
+                  && Lang.equal ~pool:p a b = Lang.equal a b)));
+    ]
+
+let () =
+  Alcotest.run "inclusion"
+    [
+      ("canned", unit_tests);
+      ("differential", differential_tests);
+      ("pool", pool_tests);
+    ]

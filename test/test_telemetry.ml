@@ -172,6 +172,14 @@ let with_cold f =
       Lang.set_caches true)
     f
 
+(* Pin the inclusion engine for tests about the complement cache: only
+   the explicit oracle path builds complements at all (the default
+   antichain engine never calls [cached_complement]). *)
+let with_engine e f =
+  let old = Lang.engine () in
+  Lang.set_engine e;
+  Fun.protect ~finally:(fun () -> Lang.set_engine old) f
+
 let differential_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -223,6 +231,7 @@ let differential_tests =
       QCheck.Test.make
         ~name:"complement cache: requests = hits + misses, verdict stable"
         ~count:200 arb_automaton (fun a ->
+          with_engine `Explicit @@ fun () ->
           let t = Telemetry.collector () in
           let w1, w2 =
             Telemetry.with_ambient t (fun () ->
@@ -234,8 +243,101 @@ let differential_tests =
           let cold = with_cold (fun () -> Lang.is_universal a) in
           w1 = w2 && w1 = cold && req = 2 && hit = 1 && miss = 1
           && req = hit + miss);
+      (* [equal a b] alternates [complement b] / [complement a]; with
+         the old single-slot cache the second [equal] evicted on every
+         request (4 requests, 0 hits) — the two-entry cache keeps both
+         complements warm. *)
+      QCheck.Test.make
+        ~name:"complement cache: equal on a pair hits on the second pass"
+        ~count:200 arb_automaton (fun a ->
+          with_engine `Explicit @@ fun () ->
+          (* same language, physically distinct table: both inclusion
+             directions run and both take the product path *)
+          let b =
+            Automaton.make ~alpha:ab ~n:4 ~start:0
+              ~delta:(Array.map Array.copy a.Automaton.delta)
+              ~acc:a.Automaton.acc
+          in
+          let t = Telemetry.collector () in
+          Telemetry.with_ambient t (fun () ->
+              ignore (Lang.equal a b);
+              ignore (Lang.equal a b));
+          Telemetry.counter t "lang.complement.request" = 4
+          && Telemetry.counter t "lang.complement.miss" = 2
+          && Telemetry.counter t "lang.complement.hit" = 2);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache disabling must reach pool workers                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [set_caches false] used to clear only the calling domain's DLS slot
+   and the [use_caches] atomic only gated installs, so a pool worker
+   with a warm slot kept serving hits.  Lookups are now gated on the
+   toggle and a generation counter invalidates every domain's slot. *)
+let pool_cache_tests =
+  let mk_pair () =
+    let a =
+      Automaton.make ~alpha:ab ~n:2 ~start:0
+        ~delta:[| [| 0; 1 |]; [| 1; 0 |] |]
+        ~acc:(Acceptance.Inf (Iset.singleton 0))
+    in
+    let b =
+      Automaton.make ~alpha:ab ~n:2 ~start:0
+        ~delta:[| [| 0; 1 |]; [| 1; 0 |] |]
+        ~acc:(Acceptance.Inf (Iset.singleton 0))
+    in
+    (a, b)
+  in
+  [
+    Alcotest.test_case "set_caches false reaches warm pool workers" `Quick
+      (fun () ->
+        with_engine `Explicit @@ fun () ->
+        let a, b = mk_pair () in
+        let pairs = List.init 8 (fun _ -> (a, b)) in
+        Pool.with_pool ~jobs:2 (fun p ->
+            (* warm every domain's slot *)
+            ignore (Lang.included_batch ~pool:p pairs);
+            Lang.set_caches false;
+            Fun.protect ~finally:(fun () -> Lang.set_caches true)
+            @@ fun () ->
+            let t = Telemetry.collector () in
+            Telemetry.with_ambient t (fun () ->
+                ignore (Lang.included_batch ~pool:p pairs));
+            Alcotest.(check int)
+              "no hits with the cache disabled" 0
+              (Telemetry.counter t "lang.complement.hit");
+            Alcotest.(check int)
+              "every request misses" 8
+              (Telemetry.counter t "lang.complement.miss")));
+    Alcotest.test_case "re-enabling invalidates stale worker slots" `Quick
+      (fun () ->
+        with_engine `Explicit @@ fun () ->
+        let a, b = mk_pair () in
+        let pairs = List.init 8 (fun _ -> (a, b)) in
+        Pool.with_pool ~jobs:2 (fun p ->
+            ignore (Lang.included_batch ~pool:p pairs);
+            (* off and back on: the generation bumps must invalidate
+               the warm entries on every domain *)
+            Lang.set_caches false;
+            Lang.set_caches true;
+            let t = Telemetry.collector () in
+            Telemetry.with_ambient t (fun () ->
+                ignore (Lang.included_batch ~pool:p pairs));
+            let hit = Telemetry.counter t "lang.complement.hit" in
+            let miss = Telemetry.counter t "lang.complement.miss" in
+            (* each of the (at most 2) domains misses once, re-caches,
+               then hits; a surviving stale entry would make miss = 0 *)
+            Alcotest.(check int) "requests accounted" 8 (hit + miss);
+            Alcotest.(check bool) "at least one cold miss" true (miss >= 1);
+            Alcotest.(check bool) "at most one miss per domain" true
+              (miss <= 2)));
+  ]
 
 let () =
   Alcotest.run "telemetry"
-    [ ("handle", unit_tests); ("cache differential", differential_tests) ]
+    [
+      ("handle", unit_tests);
+      ("cache differential", differential_tests);
+      ("pool cache coherence", pool_cache_tests);
+    ]
