@@ -1,0 +1,325 @@
+(* Load generator for [hpt serve]: starts the daemon in-process on a
+   loopback TCP port, drives it from several concurrent client domains
+   with a mixed workload (well-formed classify/equiv/lint requests,
+   malformed frames, oversized frames, and — with --trip — injected
+   budget trips), and writes BENCH_serve.json: latency percentiles,
+   throughput, shed rate, and the process RSS so CI can check the
+   caches actually bound resident memory.
+
+   Run with: dune exec bench/serve_load.exe -- [options]
+
+   The daemon runs in this process, so the RSS measured at the end
+   includes every serve-side cache — that is the point. *)
+
+module Json = Serve.Json
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let requests = ref 2000
+let clients = ref 4
+let window = ref 24
+let malformed = ref 0.1
+let oversized = ref 0.02
+let trip = ref 0.0
+let jobs = ref 2
+let max_inflight = ref 16
+let cache_mb = ref 32
+let max_frame = ref 65536
+let seed = ref 42
+let out = ref "BENCH_serve.json"
+
+let specl =
+  [
+    ("--requests", Arg.Set_int requests, "N total requests across all clients");
+    ("--clients", Arg.Set_int clients, "C concurrent client connections");
+    ("--window", Arg.Set_int window, "W max outstanding requests per client");
+    ("--malformed", Arg.Set_float malformed, "F fraction of garbage frames");
+    ("--oversized", Arg.Set_float oversized, "F fraction of oversized frames");
+    ("--trip", Arg.Set_float trip, "F fraction with an injected budget trip");
+    ("--jobs", Arg.Set_int jobs, "N daemon worker domains");
+    ("--max-inflight", Arg.Set_int max_inflight, "K daemon admission gate");
+    ("--cache-mb", Arg.Set_int cache_mb, "MB daemon cache budget");
+    ("--max-frame", Arg.Set_int max_frame, "BYTES daemon frame limit");
+    ("--seed", Arg.Set_int seed, "S workload PRNG seed");
+    ("--out", Arg.Set_string out, "FILE output JSON path");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* the qcheck corpus: one representative per syntactic class plus the
+   paper's worked examples, so the response cache sees repeats and the
+   classifier sees every budget profile *)
+let corpus =
+  [|
+    "[] p";
+    "<> p";
+    "[] p & <> q";
+    "[] p | <> q";
+    "[]<> p";
+    "<>[] p";
+    "[]<> p | <>[] q";
+    "[] (p -> <> q)";
+    "p U q";
+    "([] <> p -> [] <> q) & ([] <> q -> [] <> p)";
+  |]
+
+type kind = Good | Malformed | Oversized
+
+let pick_kind st =
+  let r = Random.State.float st 1.0 in
+  if r < !malformed then Malformed
+  else if r < !malformed +. !oversized then Oversized
+  else Good
+
+let frame_of st ~id =
+  match pick_kind st with
+  | Malformed ->
+      (* three shapes of garbage: not JSON, truncated JSON, wrong type *)
+      ( None,
+        match Random.State.int st 3 with
+        | 0 -> "p U q, probably"
+        | 1 -> "{\"id\": 1, \"op\": \"classify\""
+        | _ -> "[1,2,3]" )
+  | Oversized -> (None, String.make (!max_frame + 16) 'x')
+  | Good ->
+      let f = corpus.(Random.State.int st (Array.length corpus)) in
+      let base =
+        [ ("id", Json.Int id); ("op", Json.String "classify");
+          ("formula", Json.String f) ]
+      in
+      let base =
+        if !trip > 0.0 && Random.State.float st 1.0 < !trip then
+          base @ [ ("inject_trip_at", Json.Int (1 + Random.State.int st 5000)) ]
+        else base
+      in
+      (Some id, Json.to_string (Json.Obj base))
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  mutable sent : int;
+  mutable answered : int;
+  mutable ok : int;
+  mutable degraded : int;
+  mutable shed : int;
+  mutable error : int;
+  mutable garbage_sent : int;
+  latencies : float list ref;  (* ms, well-formed requests only *)
+}
+
+let fresh_tally () =
+  {
+    sent = 0;
+    answered = 0;
+    ok = 0;
+    degraded = 0;
+    shed = 0;
+    error = 0;
+    garbage_sent = 0;
+    latencies = ref [];
+  }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let client ~port ~cid ~quota =
+  let st = Random.State.make [| !seed; cid |] in
+  let fd, ic, oc = connect port in
+  let t = fresh_tally () in
+  let starts : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let outstanding = ref 0 in
+  let next = ref 0 in
+  let send_one () =
+    let id = (cid * 10_000_000) + !next in
+    incr next;
+    let tracked, line = frame_of st ~id in
+    (match tracked with
+    | Some id -> Hashtbl.replace starts id (Unix.gettimeofday ())
+    | None -> t.garbage_sent <- t.garbage_sent + 1);
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    t.sent <- t.sent + 1;
+    incr outstanding
+  in
+  let recv_one () =
+    let line = input_line ic in
+    t.answered <- t.answered + 1;
+    decr outstanding;
+    match Json.of_string line with
+    | Error _ -> t.error <- t.error + 1
+    | Ok j -> (
+        (match Option.bind (Json.member "id" j) Json.to_int_opt with
+        | Some id -> (
+            match Hashtbl.find_opt starts id with
+            | Some t0 ->
+                Hashtbl.remove starts id;
+                t.latencies :=
+                  ((Unix.gettimeofday () -. t0) *. 1000.) :: !(t.latencies)
+            | None -> ())
+        | None -> ());
+        match Option.bind (Json.member "status" j) Json.to_string_opt with
+        | Some "ok" -> t.ok <- t.ok + 1
+        | Some "degraded" -> t.degraded <- t.degraded + 1
+        | Some "shed" -> t.shed <- t.shed + 1
+        | _ -> t.error <- t.error + 1)
+  in
+  (try
+     while !next < quota || !outstanding > 0 do
+       while !next < quota && !outstanding < !window do
+         send_one ()
+       done;
+       recv_one ()
+     done
+   with End_of_file | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let rss_mb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | line ->
+              if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+                Scanf.sscanf
+                  (String.sub line 6 (String.length line - 6))
+                  " %d kB"
+                  (fun kb -> float_of_int kb /. 1024.)
+              else go ()
+          | exception End_of_file -> 0.0
+        in
+        go ())
+  with Sys_error _ | Scanf.Scan_failure _ | Failure _ -> 0.0
+
+let () =
+  Arg.parse specl
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serve_load [options]";
+  let port =
+    (* grab an ephemeral port; the daemon rebinds it (SO_REUSEADDR)
+       right after, so the race window is a few microseconds on lo *)
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt s Unix.SO_REUSEADDR true;
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname s with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close s;
+    p
+  in
+  let config =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.port = Some port;
+      jobs = !jobs;
+      max_inflight = !max_inflight;
+      cache_mb = !cache_mb;
+      max_frame = !max_frame;
+      debug_ops = !trip > 0.0;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Daemon.run config) in
+  (* wait for the listener *)
+  let rec await n =
+    match connect port with
+    | fd, _, _ -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+        if n = 0 then failwith "daemon did not come up";
+        Unix.sleepf 0.02;
+        await (n - 1)
+  in
+  await 250;
+  let quota = max 1 (!requests / max 1 !clients) in
+  let t0 = Unix.gettimeofday () in
+  let tallies =
+    List.map Domain.join
+      (List.init !clients (fun cid ->
+           Domain.spawn (fun () -> client ~port ~cid:(cid + 1) ~quota)))
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* final stats + shutdown over a control connection *)
+  let server_stats =
+    let fd, ic, oc = connect port in
+    output_string oc "{\"id\":0,\"op\":\"stats\"}\n";
+    output_string oc "{\"id\":0,\"op\":\"shutdown\"}\n";
+    flush oc;
+    let stats_line = input_line ic in
+    (try ignore (input_line ic) with End_of_file | Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match Json.of_string stats_line with Ok j -> j | Error _ -> Json.Null
+  in
+  Domain.join daemon;
+  let sum f = List.fold_left (fun a t -> a + f t) 0 tallies in
+  let sent = sum (fun t -> t.sent)
+  and answered = sum (fun t -> t.answered)
+  and ok = sum (fun t -> t.ok)
+  and degraded = sum (fun t -> t.degraded)
+  and shed = sum (fun t -> t.shed)
+  and errors = sum (fun t -> t.error)
+  and garbage = sum (fun t -> t.garbage_sent) in
+  let lats =
+    Array.of_list (List.concat_map (fun t -> !(t.latencies)) tallies)
+  in
+  Array.sort compare lats;
+  let tracked = Array.length lats in
+  let rss = rss_mb () in
+  let body =
+    Json.Obj
+      [
+        ("requests_sent", Json.Int sent);
+        ("replies", Json.Int answered);
+        ("answered_all", Json.Bool (sent = answered));
+        ("garbage_sent", Json.Int garbage);
+        ("ok", Json.Int ok);
+        ("degraded", Json.Int degraded);
+        ("shed", Json.Int shed);
+        ("errors", Json.Int errors);
+        ("shed_rate", Json.Float (float_of_int shed /. float_of_int (max 1 sent)));
+        ("wall_s", Json.Float wall);
+        ( "throughput_rps",
+          Json.Float (float_of_int answered /. Float.max wall 1e-9) );
+        ("latency_tracked", Json.Int tracked);
+        ("p50_ms", Json.Float (percentile lats 0.50));
+        ("p99_ms", Json.Float (percentile lats 0.99));
+        ("rss_mb", Json.Float rss);
+        ("cache_mb", Json.Int !cache_mb);
+        ("clients", Json.Int !clients);
+        ("jobs", Json.Int !jobs);
+        ("max_inflight", Json.Int !max_inflight);
+        ("server", server_stats);
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (Json.to_string body);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf
+    "serve_load: %d sent, %d replies (%d ok, %d degraded, %d shed, %d error) \
+     in %.2fs — p50 %.2fms p99 %.2fms, rss %.1f MB@."
+    sent answered ok degraded shed errors wall (percentile lats 0.50)
+    (percentile lats 0.99) rss;
+  Format.printf "wrote %s@." !out;
+  if sent <> answered then exit 1

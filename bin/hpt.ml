@@ -84,46 +84,50 @@ let with_jobs jobs f =
       Result.join
         (Engine.protect (fun () -> Pool.with_pool ~jobs:n (fun p -> f (Some p))))
 
-(* [--engine E] selects the language-inclusion engine for this run
-   (restored afterwards, so batch drivers embedding the CLI see no
-   lingering process state). *)
+(* [--engine E] selects the language-inclusion engine for this run via
+   the domain-scoped override — not the process-wide setter, so batch
+   drivers embedding the CLI (and concurrent requests in [hpt serve])
+   can never observe another run's engine. *)
 let with_engine engine f =
   match engine with
   | None -> f ()
   | Some s ->
       Result.bind (Engine.inclusion_engine_of_string s) @@ fun e ->
-      let old = Engine.inclusion_engine () in
-      Engine.set_inclusion_engine e;
-      Fun.protect ~finally:(fun () -> Engine.set_inclusion_engine old) f
+      Engine.with_inclusion_engine e f
 
 (* Build the budget and the telemetry handle, run [f] on them, and map
    the result to an exit code.  [Budget.make] validates its arguments
    and [open_out] can fail on an unwritable path, so both go through
-   the engine boundary.  The trace channel is flushed and closed (and
-   the stats report printed) whether [f] succeeds or errors. *)
+   the engine boundary.  The trace sink is a [Telemetry.line_writer]:
+   whole flushed lines, write failures marked instead of raised, and
+   the channel closed whether [f] returns, errors, or raises (the
+   writer also registers an [at_exit] backstop). *)
 let with_observability fuel timeout_ms stats trace f =
   match Engine.protect (fun () -> Budget.make ?fuel ?timeout_ms ()) with
   | Error e -> fail e
   | Ok budget -> (
-      match Engine.protect (fun () -> Option.map open_out trace) with
+      match
+        Engine.protect (fun () ->
+            Option.map (fun p -> Telemetry.line_writer (open_out p)) trace)
+      with
       | Error e -> fail e
-      | Ok oc ->
-          let telemetry =
-            match oc with
-            | Some oc ->
-                Telemetry.jsonl (fun line ->
-                    output_string oc line;
-                    output_char oc '\n')
-            | None -> if stats then Telemetry.collector () else Telemetry.disabled
-          in
-          let code =
-            match f budget telemetry with Ok c -> c | Error e -> fail e
-          in
-          Telemetry.flush telemetry;
-          Option.iter close_out oc;
-          if stats then
-            Fmt.pr "%a@." Telemetry.pp_report (Telemetry.report telemetry);
-          code)
+      | Ok writer ->
+          Fun.protect
+            ~finally:(fun () -> Option.iter Telemetry.close_lines writer)
+            (fun () ->
+              let telemetry =
+                match writer with
+                | Some w -> Telemetry.jsonl_channel w
+                | None ->
+                    if stats then Telemetry.collector () else Telemetry.disabled
+              in
+              let code =
+                match f budget telemetry with Ok c -> c | Error e -> fail e
+              in
+              Telemetry.flush telemetry;
+              if stats then
+                Fmt.pr "%a@." Telemetry.pp_report (Telemetry.report telemetry);
+              code))
 
 (* ---------------- classify ---------------- *)
 
@@ -143,12 +147,21 @@ let classify_cmd =
     let results =
       Engine.classify_batch ~budget ~telemetry ?pool ?props ?chars formulas
     in
+    let batch = List.length formulas > 1 in
     let code_of formula_s = function
       | Ok (r : Engine.report) ->
           Fmt.pr "%s@.%a@." formula_s Engine.pp_report r;
           (* degraded partial verdict: still printed, but signalled *)
           (match r.Engine.exhausted with Some _ -> 2 | None -> 0)
-      | Error e -> fail e
+      | Error e ->
+          (* in a batch, name the input that failed — the worst exit
+             code wins below, so without the prefix a mixed run's
+             stderr would not say which formula produced it *)
+          if batch then begin
+            Fmt.epr "error: %s: %a@." formula_s Engine.pp_error e;
+            Engine.exit_code e
+          end
+          else fail e
     in
     Ok
       (List.fold_left2
@@ -422,12 +435,139 @@ let witness_cmd =
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
           $ stats_arg $ trace_arg $ formula_arg)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let d = Serve.Daemon.default_config in
+  let port_arg =
+    let doc = "Listen on 127.0.0.1:$(docv) (TCP, one JSON frame per line)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let stdio_arg =
+    let doc = "Serve one session on stdin/stdout (the default)." in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let serve_jobs_arg =
+    let doc = "Worker domains answering requests." in
+    Arg.(value & opt int d.Serve.Daemon.jobs & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admit at most $(docv) requests (queued + running); further requests \
+       are shed immediately with an $(b,overloaded) error."
+    in
+    Arg.(
+      value
+      & opt int d.Serve.Daemon.max_inflight
+      & info [ "max-inflight" ] ~docv:"K" ~doc)
+  in
+  let default_fuel_arg =
+    let doc = "Per-request fuel when the client does not send one." in
+    Arg.(
+      value
+      & opt int d.Serve.Daemon.default_fuel
+      & info [ "default-fuel" ] ~docv:"TICKS" ~doc)
+  in
+  let max_fuel_arg =
+    let doc =
+      "Ceiling on client-requested fuel and on background refinement \
+       escalation."
+    in
+    Arg.(
+      value & opt int d.Serve.Daemon.max_fuel & info [ "max-fuel" ] ~docv:"TICKS" ~doc)
+  in
+  let default_timeout_arg =
+    let doc = "Per-request wall-clock budget when the client sends none." in
+    Arg.(
+      value
+      & opt float d.Serve.Daemon.default_timeout_ms
+      & info [ "default-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_timeout_arg =
+    let doc = "Ceiling on client-requested wall-clock budgets." in
+    Arg.(
+      value
+      & opt float d.Serve.Daemon.max_timeout_ms
+      & info [ "max-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let cache_mb_arg =
+    let doc =
+      "Total size bound (MiB) shared by the response cache, the complement \
+       cache and the inclusion memo; 0 disables caching."
+    in
+    Arg.(
+      value & opt int d.Serve.Daemon.cache_mb & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let access_log_arg =
+    let doc =
+      "Append one JSON line per request (latency, outcome, budget spent, \
+       cache disposition) to $(docv); $(b,-) logs to stderr."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let debug_ops_arg =
+    let doc =
+      "Enable the fault-injection ops ($(b,spin), $(b,inject_trip_at)) used \
+       by the chaos and watchdog tests.  Off by default."
+    in
+    Arg.(value & flag & info [ "debug-ops" ] ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Reject request lines longer than $(docv) bytes." in
+    Arg.(
+      value
+      & opt int d.Serve.Daemon.max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let run port stdio jobs max_inflight default_fuel max_fuel default_timeout_ms
+      max_timeout_ms cache_mb access_log debug_ops max_frame =
+    let config =
+      {
+        Serve.Daemon.port = (if stdio then None else port);
+        jobs;
+        max_inflight;
+        default_fuel;
+        max_fuel;
+        default_timeout_ms;
+        max_timeout_ms;
+        cache_mb;
+        access_log;
+        debug_ops;
+        max_frame;
+      }
+    in
+    match Engine.protect (fun () -> Serve.Daemon.run config) with
+    | Ok () -> 0
+    | Error e -> fail e
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run a long-lived classification service speaking newline-delimited \
+         JSON over stdin/stdout or a localhost TCP socket, with per-request \
+         budgets, load shedding and bounded caches"
+  in
+  Cmd.v info
+    Term.(const run $ port_arg $ stdio_arg $ serve_jobs_arg $ max_inflight_arg
+          $ default_fuel_arg $ max_fuel_arg $ default_timeout_arg
+          $ max_timeout_arg $ cache_mb_arg $ access_log_arg $ debug_ops_arg
+          $ max_frame_arg)
+
 let main =
   let info =
     Cmd.info "hpt" ~version:"1.0.0"
       ~doc:"The Manna-Pnueli hierarchy of temporal properties"
   in
   Cmd.group info
-    [ classify_cmd; build_cmd; views_cmd; lint_cmd; equiv_cmd; witness_cmd ]
+    [
+      classify_cmd;
+      build_cmd;
+      views_cmd;
+      lint_cmd;
+      equiv_cmd;
+      witness_cmd;
+      serve_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

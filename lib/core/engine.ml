@@ -77,6 +77,15 @@ type inclusion_engine = Omega.Lang.engine
 
 let set_inclusion_engine = Omega.Lang.set_engine
 let inclusion_engine = Omega.Lang.engine
+let with_inclusion_engine = Omega.Lang.with_engine
+let with_caches = Omega.Lang.with_caches
+
+(* The [?engine] parameters below install a scoped override for the
+   duration of the entry point, so every inclusion query it spawns —
+   including on pool worker domains, via the [Ambient] snapshot — uses
+   the request's engine without touching the process default. *)
+let with_scoped ?engine f =
+  match engine with None -> f () | Some e -> Omega.Lang.with_engine e f
 
 let inclusion_engine_of_string = function
   | "antichain" -> Ok (`Antichain : inclusion_engine)
@@ -171,8 +180,9 @@ let report_of ~budget ~telemetry ?pool ~syntactic (a : Omega.Automaton.t) =
   }
 
 let classify_automaton ?(budget = Budget.unlimited)
-    ?(telemetry = Telemetry.disabled) ?pool ?formula a =
+    ?(telemetry = Telemetry.disabled) ?pool ?engine ?formula a =
   protect ~budget ~telemetry @@ fun () ->
+  with_scoped ?engine @@ fun () ->
   let syntactic =
     Option.bind formula (fun f -> Logic.Shape.upper (Logic.Shape.infer f))
   in
@@ -194,8 +204,9 @@ let outside_fragment ~telemetry ~syntactic ~exhausted =
   }
 
 let classify_formula ?(budget = Budget.unlimited)
-    ?(telemetry = Telemetry.disabled) ?pool alpha f =
+    ?(telemetry = Telemetry.disabled) ?pool ?engine alpha f =
   protect ~budget ~telemetry @@ fun () ->
+  with_scoped ?engine @@ fun () ->
   let syntactic = Logic.Shape.upper (Logic.Shape.infer f) in
   let translation =
     (* degrade, don't fail, when the budget trips inside translation:
@@ -208,10 +219,10 @@ let classify_formula ?(budget = Budget.unlimited)
   | `Done None -> outside_fragment ~telemetry ~syntactic ~exhausted:None
   | `Done (Some a) -> report_of ~budget ~telemetry ?pool ~syntactic a
 
-let classify ?budget ?telemetry ?pool ?props ?chars s =
+let classify ?budget ?telemetry ?pool ?engine ?props ?chars s =
   Result.bind (parse s) @@ fun f ->
   Result.bind (alphabet ?props ?chars [ f ]) @@ fun alpha ->
-  classify_formula ?budget ?telemetry ?pool alpha f
+  classify_formula ?budget ?telemetry ?pool ?engine alpha f
 
 (* One result per input, in input order.  Without a pool this is a
    plain [List.map] over {!classify} with the shared budget (so inputs
@@ -222,23 +233,25 @@ let classify ?budget ?telemetry ?pool ?props ?chars s =
    others — and the collectors merge into [telemetry] in input order,
    so the result list is identical at every job count. *)
 let classify_batch ?(budget = Budget.unlimited)
-    ?(telemetry = Telemetry.disabled) ?pool ?props ?chars inputs =
+    ?(telemetry = Telemetry.disabled) ?pool ?engine ?props ?chars inputs =
   match pool with
   | None ->
-      List.map (fun s -> classify ~budget ~telemetry ?props ?chars s) inputs
+      List.map
+        (fun s -> classify ~budget ~telemetry ?engine ?props ?chars s)
+        inputs
   | Some p ->
       Pool.map ~budget ~telemetry p
         (fun ctx s ->
           classify ~budget:ctx.Pool.budget ~telemetry:ctx.Pool.telemetry
-            ?props ?chars s)
+            ?engine ?props ?chars s)
         inputs
 
 (* Classify [op(regex)] for one of the paper's four finitary-to-
    infinitary operators: the [hpt build] path.  The alphabet must be
    given explicitly ([--props] or [--chars]); regex letters cannot be
    inferred. *)
-let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?pool ?props
-    ?chars ~op re =
+let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?pool ?engine
+    ?props ?chars ~op re =
   let operator =
     match String.lowercase_ascii op with
     | "a" -> Ok Omega.Build.A
@@ -263,6 +276,7 @@ let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?pool ?props
   Result.bind alpha @@ fun alpha ->
   let budget = Option.value budget ~default:Budget.unlimited in
   protect ~budget ~telemetry @@ fun () ->
+  with_scoped ?engine @@ fun () ->
   let a =
     Telemetry.span telemetry "engine.build" @@ fun () ->
     Omega.Build.of_op operator (Finitary.Regex.compile alpha re)
@@ -326,8 +340,9 @@ let witness ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
   Logic.Tableau.witness ~budget ~telemetry alpha f
 
 let lint ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) ?mode
-    ?pool specs =
+    ?pool ?engine specs =
   protect ~budget ~telemetry @@ fun () ->
+  with_scoped ?engine @@ fun () ->
   Lint.lint_strings ~budget ?mode ?pool specs
 
 (* ------------------------------------------------------------------ *)

@@ -82,17 +82,38 @@ val protect :
 
 (** {2 Inclusion-engine selection}
 
-    Process-wide toggle for the language-inclusion engine behind
-    every classification, lint and equivalence query (see
-    {!Omega.Lang.set_engine}): [`Antichain] (default) is the lazy
-    on-the-fly engine, [`Explicit] the complement-and-product oracle.
-    Verdicts are identical — the [hpt --engine] flag exists so any
-    run can be replayed on the oracle. *)
+    The language-inclusion engine behind every classification, lint
+    and equivalence query (see {!Omega.Lang.set_engine}):
+    [`Antichain] (default) is the lazy on-the-fly engine, [`Explicit]
+    the complement-and-product oracle.  Verdicts are identical — the
+    [hpt --engine] flag exists so any run can be replayed on the
+    oracle.
+
+    Selection is layered (see {!Omega.Lang}): per-call [?engine]
+    arguments beat the domain-scoped {!with_inclusion_engine}
+    override, which beats the process-wide {!set_inclusion_engine}
+    default.  Concurrent hosts — anything where two requests may be
+    in flight at once, like the serve daemon — must use the scoped
+    forms: the global setter is visible to every in-flight request on
+    every domain. *)
 
 type inclusion_engine = Omega.Lang.engine
 
 val set_inclusion_engine : inclusion_engine -> unit
+(** Process-wide default.  Fine in a one-shot CLI; wrong in a server. *)
+
 val inclusion_engine : unit -> inclusion_engine
+(** The calling domain's effective engine (scoped override if
+    installed, else the process default). *)
+
+val with_inclusion_engine : inclusion_engine -> (unit -> 'a) -> 'a
+(** Scoped, calling-domain-only override (restored afterwards, also on
+    exceptions); {!Pool} tasks submitted inside inherit it via the
+    {!Ambient} snapshot. *)
+
+val with_caches : bool -> (unit -> 'a) -> 'a
+(** Scoped override of {!Omega.Lang.set_caches}'s toggle, same
+    discipline as {!with_inclusion_engine}. *)
 
 val inclusion_engine_of_string :
   string -> (inclusion_engine, error) result
@@ -104,6 +125,7 @@ val classify_automaton :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
   ?pool:Pool.t ->
+  ?engine:inclusion_engine ->
   ?formula:Logic.Formula.t ->
   Omega.Automaton.t ->
   (report, error) result
@@ -117,6 +139,7 @@ val classify_formula :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
   ?pool:Pool.t ->
+  ?engine:inclusion_engine ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   (report, error) result
@@ -128,6 +151,7 @@ val classify :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
   ?pool:Pool.t ->
+  ?engine:inclusion_engine ->
   ?props:string ->
   ?chars:string ->
   string ->
@@ -139,6 +163,7 @@ val classify_batch :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
   ?pool:Pool.t ->
+  ?engine:inclusion_engine ->
   ?props:string ->
   ?chars:string ->
   string list ->
@@ -156,6 +181,7 @@ val classify_regex :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
   ?pool:Pool.t ->
+  ?engine:inclusion_engine ->
   ?props:string ->
   ?chars:string ->
   op:string ->
@@ -210,6 +236,7 @@ val lint :
   ?telemetry:Telemetry.t ->
   ?mode:Lint.mode ->
   ?pool:Pool.t ->
+  ?engine:inclusion_engine ->
   (string * string) list ->
   (Lint.verdict, error) result
 (** Parse and lint a named-requirement specification.  [mode] selects

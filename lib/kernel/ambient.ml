@@ -1,0 +1,17 @@
+type wrapper = { wrap : 'a. (unit -> 'a) -> 'a }
+
+let identity = { wrap = (fun f -> f ()) }
+
+let compose outer inner = { wrap = (fun f -> outer.wrap (fun () -> inner.wrap f)) }
+
+(* Registration happens at module-initialisation time (single-threaded
+   in practice), but keep the list behind an [Atomic] so a late
+   registration racing a capture is merely unordered, never torn. *)
+let providers : (unit -> wrapper) list Atomic.t = Atomic.make []
+
+let rec register p =
+  let cur = Atomic.get providers in
+  if not (Atomic.compare_and_set providers cur (cur @ [ p ])) then register p
+
+let capture () =
+  List.fold_left (fun acc p -> compose acc (p ())) identity (Atomic.get providers)

@@ -112,6 +112,12 @@ let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
   let arr = Array.of_list items in
   let n = Array.length arr in
   let slots = Array.make n SPending in
+  (* Snapshot the submitting domain's ambient configuration (scoped
+     inclusion-engine / cache-toggle overrides registered through
+     [Ambient]) once, before any task starts; every task re-installs
+     it on whichever domain runs it.  Deterministic: one snapshot per
+     batch, taken at a program point the caller controls. *)
+  let inherited = Ambient.capture () in
   if n = 0 then slots
   else begin
     let spent = Array.make n 0 in
@@ -127,8 +133,9 @@ let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
         let tb = Budget.split budget ~among:n ~index:i ~poll () in
         let tc = if record then Telemetry.collector () else Telemetry.disabled in
         (match
-           Telemetry.with_ambient tc (fun () ->
-               f { budget = tb; telemetry = tc; index = i } arr.(i))
+           inherited.Ambient.wrap (fun () ->
+               Telemetry.with_ambient tc (fun () ->
+                   f { budget = tb; telemetry = tc; index = i } arr.(i)))
          with
         | v ->
             slots.(i) <- SDone v;

@@ -29,6 +29,11 @@
       collectors up to the stop index are merged into the caller's
       handle in index order, and the replicas' consumed fuel is
       charged back to the parent budget in the same prefix.
+    - The submitting domain's ambient configuration ({!Ambient}
+      providers: the scoped inclusion-engine and cache-toggle
+      overrides) is snapshotted once per batch and re-installed around
+      every task body, so tasks see the submitter's settings rather
+      than their worker domain's defaults.
 
     Sibling cancellation is a pure optimisation: a trip at index [i]
     raises a monotone cancellation watermark that later-indexed tasks

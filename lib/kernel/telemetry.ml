@@ -60,6 +60,62 @@ let jsonl write = make (Lines write)
 
 let enabled t = match t.sink with Noop -> false | Memory | Lines _ -> true
 
+(* ------------------------------------------------------------------ *)
+(* Exception-safe shared line writers                                  *)
+(* ------------------------------------------------------------------ *)
+
+type line_writer = {
+  oc : out_channel;
+  wlock : Mutex.t;
+  mutable closed : bool;
+  mutable torn : bool;
+      (* a write raised midway: partial bytes may sit on the stream, so
+         the next successful record is prefixed by a newline and a
+         truncated-marker line to resynchronise consumers *)
+  mutable dropped : int;
+}
+
+let wlocked w f =
+  Mutex.lock w.wlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.wlock) f
+
+let close_lines w =
+  wlocked w (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        (try close_out w.oc (* flushes *) with Sys_error _ -> ())
+      end)
+
+let line_writer oc =
+  let w = { oc; wlock = Mutex.create (); closed = false; torn = false; dropped = 0 } in
+  (* a raising entry point or an [exit] mid-request must not leak the
+     channel open with a half-flushed buffer *)
+  at_exit (fun () -> close_lines w);
+  w
+
+let write_line w line =
+  wlocked w (fun () ->
+      if w.closed then w.dropped <- w.dropped + 1
+      else
+        try
+          if w.torn then begin
+            output_char w.oc '\n';
+            output_string w.oc "{\"type\":\"truncated\"}\n";
+            w.torn <- false
+          end;
+          output_string w.oc line;
+          output_char w.oc '\n';
+          (* flush per record: the request boundary is durable, and a
+             crash loses at most the line being written *)
+          flush w.oc
+        with Sys_error _ ->
+          w.torn <- true;
+          w.dropped <- w.dropped + 1)
+
+let lines_dropped w = wlocked w (fun () -> w.dropped)
+
+let jsonl_channel w = make (Lines (fun line -> write_line w line))
+
 let now () = Unix.gettimeofday ()
 
 (* ------------------------------------------------------------------ *)

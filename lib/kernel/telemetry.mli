@@ -59,6 +59,46 @@ val jsonl : (string -> unit) -> t
     Call {!flush} at the end to emit the counter and histogram
     records. *)
 
+(** {2 Exception-safe shared line writers}
+
+    A raw [out_channel] behind a [jsonl] sink has three failure modes
+    in a long-lived concurrent process: two domains interleave partial
+    lines, an exception mid-computation leaks the channel open (and
+    its buffer unflushed), and a write failure (disk full, closed fd)
+    crashes the computation that merely tried to log.  A
+    {!line_writer} closes all three: every line is written whole under
+    a mutex and flushed before the lock is released (a consumer
+    tailing the file sees request-boundary-complete records); write
+    failures are swallowed after marking the stream {e torn}, and the
+    next successful write emits a [{"type":"truncated"}] marker on its
+    own line so downstream parsers resynchronise instead of reading a
+    glued partial record; {!close_lines} is idempotent, runs under the
+    same mutex, and is also registered with [at_exit], so the channel
+    is closed and flushed whether the process ends normally or via a
+    raising entry point. *)
+
+type line_writer
+
+val line_writer : out_channel -> line_writer
+(** Wrap a channel.  The caller must not write to [oc] directly
+    afterwards. *)
+
+val write_line : line_writer -> string -> unit
+(** Write one complete record (no trailing newline in the argument)
+    atomically, then flush.  Never raises: failures mark the stream
+    torn and count against [lines_dropped]. *)
+
+val close_lines : line_writer -> unit
+(** Flush and close the underlying channel.  Idempotent; never
+    raises.  Also installed via [at_exit] by {!line_writer}. *)
+
+val lines_dropped : line_writer -> int
+(** Records lost to write failures so far. *)
+
+val jsonl_channel : line_writer -> t
+(** {!jsonl} over {!write_line}: the hardened trace sink used by
+    [hpt --trace-json] and the [hpt serve] access log. *)
+
 val enabled : t -> bool
 (** [false] exactly for {!disabled}. *)
 

@@ -7,6 +7,14 @@ type t = {
   start : int;
   delta : int array array;
   acc : Acceptance.t;
+  uid : int;
+      (* process-unique identity, fresh for every constructed value
+         (including [with_acc]/[complement] variants, which denote
+         different languages).  The shared bounded caches
+         ([Lang]'s complement and inclusion memos on [Kernel.Cache])
+         key on it: an int key hashes in O(1) where structural keying
+         would traverse the transition table, and physical keying
+         cannot index a hashtable at all (the GC moves values). *)
   succ_table : int list array Atomic.t;
       (* per-state deduplicated successor lists, built lazily on the
          first [successors] call; [[||]] means "not yet computed".
@@ -19,6 +27,10 @@ type t = {
          [{a with acc}] copies share the cell, so acceptance variants
          of one structure share the memo. *)
 }
+
+let uid_counter = Atomic.make 0
+
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1
 
 let make ~alpha ~n ~start ~delta ~acc =
   if n <= 0 then invalid_arg "Automaton.make: need at least one state";
@@ -37,13 +49,13 @@ let make ~alpha ~n ~start ~delta ~acc =
     not
       (Iset.for_all (fun q -> q >= 0 && q < n) (Acceptance.states acc))
   then invalid_arg "Automaton.make: acceptance mentions unknown state";
-  { alpha; n; start; delta; acc; succ_table = Atomic.make [||] }
+  { alpha; n; start; delta; acc; uid = fresh_uid (); succ_table = Atomic.make [||] }
 
 let with_acc a acc =
   if
     not (Iset.for_all (fun q -> q >= 0 && q < a.n) (Acceptance.states acc))
   then invalid_arg "Automaton.with_acc: acceptance mentions unknown state";
-  { a with acc }
+  { a with acc; uid = fresh_uid () }
 
 let const alpha acc =
   let k = Alphabet.size alpha in
@@ -53,6 +65,7 @@ let const alpha acc =
     start = 0;
     delta = [| Array.make k 0 |];
     acc;
+    uid = fresh_uid ();
     succ_table = Atomic.make [||];
   }
 
@@ -96,7 +109,7 @@ let infinity_set a lasso =
 
 let accepts a lasso = Acceptance.eval a.acc (infinity_set a lasso)
 
-let complement a = { a with acc = Acceptance.dual a.acc }
+let complement a = { a with acc = Acceptance.dual a.acc; uid = fresh_uid () }
 
 let product combine a b =
   if not (Alphabet.equal a.alpha b.alpha) then
@@ -135,6 +148,7 @@ let product combine a b =
     start = code a.start b.start;
     delta;
     acc;
+    uid = fresh_uid ();
     succ_table = Atomic.make [||];
   }
 
@@ -147,6 +161,29 @@ let diff a b = inter a (complement b)
 let memoize_successors = Atomic.make true
 
 let set_successors_memo b = Atomic.set memoize_successors b
+
+(* Scoped override of the process-wide toggle.  [Domain.DLS] rather
+   than a dynamic-binding ref so concurrent requests in the serve
+   daemon can disagree about the setting without a lock; the [Ambient]
+   provider re-installs the submitting domain's effective value around
+   pool tasks (see [Pool]'s determinism contract). *)
+let memo_override : bool option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let successors_memo_enabled () =
+  match Domain.DLS.get memo_override with
+  | Some b -> b
+  | None -> Atomic.get memoize_successors
+
+let with_successors_memo b f =
+  let old = Domain.DLS.get memo_override in
+  Domain.DLS.set memo_override (Some b);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set memo_override old) f
+
+let () =
+  Ambient.register (fun () ->
+      let m = successors_memo_enabled () in
+      { Ambient.wrap = (fun f -> with_successors_memo m f) })
 
 (* Deduplicated, sorted successor list of one state.  Below 64 states
    the dedup runs through a single int bitmask — [List.sort_uniq]'s
@@ -180,7 +217,7 @@ let successors a q =
          traversals from paying for states they never visit *)
       Telemetry.incr (Telemetry.ambient ()) "automaton.successors.miss";
       let l = succ_row a q in
-      if Atomic.get memoize_successors then table.(q) <- l;
+      if successors_memo_enabled () then table.(q) <- l;
       l
   | l ->
       Telemetry.incr (Telemetry.ambient ()) "automaton.successors.hit";
@@ -216,7 +253,15 @@ let trim a =
              s)
          a.acc)
   in
-  { a with n; start = remap.(a.start); delta; acc; succ_table = Atomic.make [||] }
+  {
+    a with
+    n;
+    start = remap.(a.start);
+    delta;
+    acc;
+    uid = fresh_uid ();
+    succ_table = Atomic.make [||];
+  }
 
 let sccs a = Graph_kernel.sccs ~n:a.n ~succ:(successors a)
 

@@ -14,6 +14,14 @@ type t = private {
   start : int;
   delta : int array array;  (** [delta.(q).(a)] *)
   acc : Acceptance.t;
+  uid : int;
+      (** process-unique identity, fresh for every constructed value —
+          including {!with_acc} and {!complement} variants, which
+          denote different languages.  The bounded cross-request
+          caches in {!Lang} key on it: an [int] hashes in O(1), where
+          structural keys would traverse the transition table and
+          physical keys cannot index a hashtable (the GC moves
+          values). *)
   succ_table : int list array Atomic.t;
       (** memoized {!successors} table, filled lazily row by row;
           [[||]] until the first query (the type is private: only this
@@ -84,6 +92,20 @@ val successors : t -> int -> int list
     use.  Default: enabled.  The toggle is an [Atomic] read on the
     fill path, so flipping it cannot race with concurrent fills. *)
 val set_successors_memo : bool -> unit
+
+(** [with_successors_memo b f] runs [f ()] with the memo toggle forced
+    to [b] {e on the calling domain only} (a [Domain.DLS] override of
+    the process-wide default; restored afterwards, also on
+    exceptions).  Registered as a {!Kernel.Ambient} provider, so
+    {!Pool} tasks inherit the submitting domain's effective value.
+    This is the form long-lived hosts (the serve daemon) must use:
+    unlike {!set_successors_memo} it cannot leak a flipped toggle into
+    unrelated concurrent requests. *)
+val with_successors_memo : bool -> (unit -> 'a) -> 'a
+
+(** The effective toggle for the calling domain: the scoped override
+    if one is installed, the process-wide default otherwise. *)
+val successors_memo_enabled : unit -> bool
 
 (** Strongly connected components (iterative Tarjan via
     {!Graph_kernel}), in topological order of the component DAG. *)

@@ -142,56 +142,91 @@ let witness (a : Automaton.t) =
 (* ------------------------------------------------------------------ *)
 
 (* Complements are cheap to build (dual acceptance) but [equal] and the
-   classification procedures ask for the same ones repeatedly; a
-   two-entry physically-keyed cache removes the duplicate construction
-   — two entries, not one, because [equal a b] alternates between
-   [complement b] and [complement a] and a single slot would evict on
-   every call (each pairwise lint comparison rebuilt both complements
-   twice).  Domain-safety: the slot is domain-local ([Domain.DLS]) —
-   each pool worker warms its own, so there is no cross-domain
-   coherence to maintain and a miss on a cold domain only costs the
-   (cheap, pure) complement construction.  The enable toggle is an
-   [Atomic] so a test flipping it mid-run cannot tear, and lookups are
-   gated on it too: a disabled cache must not serve hits out of a
-   previously-warmed slot.  Disabling must also reach slots warmed by
-   {e other} domains (pool workers), which [set_caches] cannot clear
-   directly — so every [set_caches] bumps a generation counter and a
-   slot is valid only while its recorded generation matches. *)
+   classification procedures ask for the same ones repeatedly, and a
+   long-lived server sees the same specifications across requests.
+   The memo is a shared, size-bounded [Kernel.Cache] keyed by the
+   automaton's [uid] (complement construction is deterministic and a
+   uid never denotes two different automata, so entries cannot go
+   stale; eviction only costs a rebuild).  The enable toggle is an
+   [Atomic] so a test flipping it mid-run cannot tear, with a
+   [Domain.DLS] scoped override on top so the serve daemon can pin a
+   per-request setting without racing other requests; lookups are
+   gated on the effective value — a disabled cache must not serve hits
+   out of previously-warmed entries, including entries warmed by other
+   domains. *)
 let use_caches = Atomic.make true
-let cache_generation = Atomic.make 0
 
-let complement_cache_key :
-    (int * (Automaton.t * Automaton.t) list) ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref (-1, []))
+let caches_override : bool option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let caches_enabled () =
+  match Domain.DLS.get caches_override with
+  | Some b -> b
+  | None -> Atomic.get use_caches
+
+let with_caches b f =
+  let old = Domain.DLS.get caches_override in
+  Domain.DLS.set caches_override (Some b);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set caches_override old) f
+
+(* Resident bytes attributable to keeping a cached automaton alive:
+   the transition table dominates ([n] rows of [k] boxed-free ints),
+   plus per-row array headers and a fixed allowance for the record and
+   its acceptance condition.  An estimate — the eviction policy only
+   needs relative sizes to be sane. *)
+let automaton_weight (a : Automaton.t) =
+  let k = Alphabet.size a.Automaton.alpha in
+  128 + (a.Automaton.n * ((8 * k) + 24))
+
+let complement_cache : (int, Automaton.t) Cache.t =
+  Cache.create ~name:"lang.complement"
+    ~capacity:(4 * 1024 * 1024)
+    ~weight:(fun _ c -> automaton_weight c)
+    ()
+
+(* Cross-request inclusion-verdict memo, keyed by the operand uids.
+   Default-disabled: a memo hit skips the ticked product exploration,
+   which would shift budget trip points and break the bit-identical
+   replay guarantees the pool tests pin.  The serve daemon opts in
+   ([set_inclusion_memo_capacity]) because its requests carry
+   independent budgets and only exact (untripped) verdicts are ever
+   installed — a tripped exploration raises before the install. *)
+let inclusion_memo : (int * int, bool) Cache.t =
+  Cache.create ~name:"lang.included.memo" ~capacity:0
+    ~weight:(fun _ _ -> 64)
+    ()
+
+let inclusion_memo_on = Atomic.make false
+
+let set_inclusion_memo_capacity c =
+  Atomic.set inclusion_memo_on (c > 0);
+  Cache.set_capacity inclusion_memo c
+
+let set_complement_cache_capacity c = Cache.set_capacity complement_cache c
+
+let complement_cache_stats () = Cache.stats complement_cache
+
+let inclusion_memo_stats () = Cache.stats inclusion_memo
 
 let set_caches b =
   Atomic.set use_caches b;
-  Atomic.incr cache_generation
+  if not b then begin
+    (* also drop resident entries: the toggle gates lookups, so this
+       is about memory, not correctness *)
+    Cache.invalidate complement_cache;
+    Cache.invalidate inclusion_memo
+  end
 
 let cached_complement a =
-  let tl = Telemetry.ambient () in
-  Telemetry.incr tl "lang.complement.request";
-  if not (Atomic.get use_caches) then begin
-    Telemetry.incr tl "lang.complement.miss";
+  Telemetry.incr (Telemetry.ambient ()) "lang.complement.request";
+  if not (caches_enabled ()) then begin
+    Telemetry.incr (Telemetry.ambient ()) "lang.complement.miss";
     Automaton.complement a
   end
-  else begin
-    let slot = Domain.DLS.get complement_cache_key in
-    let gen = Atomic.get cache_generation in
-    let entries = match !slot with g, es when g = gen -> es | _ -> [] in
-    match List.partition (fun (key, _) -> key == a) entries with
-    | (_, c) :: _, rest ->
-        Telemetry.incr tl "lang.complement.hit";
-        slot := (gen, (a, c) :: rest);
-        c
-    | [], _ ->
-        Telemetry.incr tl "lang.complement.miss";
-        let c = Automaton.complement a in
-        (* keep the most recent of the old entries alongside the new *)
-        let keep = match entries with mru :: _ -> [ mru ] | [] -> [] in
-        slot := (gen, (a, c) :: keep);
-        c
-  end
+  else
+    (* [Cache.find] inside counts the [lang.complement.hit]/[.miss] *)
+    Cache.find_or_add complement_cache a.Automaton.uid (fun () ->
+        Automaton.complement a)
 
 (* ------------------------------------------------------------------ *)
 (* Engine selection                                                    *)
@@ -202,15 +237,41 @@ let cached_complement a =
    complement-and-product path, retained as the differential-test
    oracle.  The same-table fast path below is engine-independent: both
    engines would take it anyway, and keeping it here keeps the
-   [lang.included.same_table] accounting identical across engines. *)
+   [lang.included.same_table] accounting identical across engines.
+   Selection layers a [Domain.DLS] scoped override ([with_engine]) on
+   the process-wide default ([set_engine]): scoped is what concurrent
+   hosts must use — a global flip is visible to every in-flight
+   request on every domain. *)
 type engine = [ `Antichain | `Explicit ]
 
 let engine_slot : engine Atomic.t = Atomic.make `Antichain
 let set_engine (e : engine) = Atomic.set engine_slot e
-let engine () : engine = Atomic.get engine_slot
 
-let is_universal ?pool a =
-  match Atomic.get engine_slot with
+let engine_override : engine option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let engine () : engine =
+  match Domain.DLS.get engine_override with
+  | Some e -> e
+  | None -> Atomic.get engine_slot
+
+let with_engine e f =
+  let old = Domain.DLS.get engine_override in
+  Domain.DLS.set engine_override (Some e);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set engine_override old) f
+
+(* Pool tasks run on worker domains whose DLS knows nothing of the
+   submitter's scoped overrides; the provider snapshots the effective
+   values so [Pool.run_core] can re-install them around each task. *)
+let () =
+  Ambient.register (fun () ->
+      let e = engine () and c = caches_enabled () in
+      { Ambient.wrap = (fun f -> with_engine e (fun () -> with_caches c f)) })
+
+let effective_engine = function Some e -> e | None -> engine ()
+
+let is_universal ?pool ?engine a =
+  match effective_engine engine with
   | `Antichain -> Inclusion.is_universal ?pool a
   | `Explicit -> is_empty (cached_complement a)
 
@@ -219,9 +280,9 @@ let is_universal ?pool a =
    table), every word has the same run in both, so inclusion is
    emptiness of [acc_a /\ not acc_b] over that {e same} graph — no
    quadratic product needed. *)
-let included ?pool a b =
+let included ?pool ?engine a b =
   if
-    Atomic.get use_caches
+    caches_enabled ()
     && a.Automaton.delta == b.Automaton.delta
     && a.Automaton.start = b.Automaton.start
   then begin
@@ -231,36 +292,46 @@ let included ?pool a b =
          (Acceptance.simplify
             (Acceptance.And [ a.Automaton.acc; Acceptance.dual b.Automaton.acc ])))
   end
-  else
-    match Atomic.get engine_slot with
-    | `Antichain ->
-        Telemetry.incr (Telemetry.ambient ()) "lang.included.antichain";
-        Inclusion.included ?pool a b
-    | `Explicit ->
-        Telemetry.incr (Telemetry.ambient ()) "lang.included.product";
-        is_empty (Automaton.inter a (cached_complement b))
+  else begin
+    let compute () =
+      match effective_engine engine with
+      | `Antichain ->
+          Telemetry.incr (Telemetry.ambient ()) "lang.included.antichain";
+          Inclusion.included ?pool a b
+      | `Explicit ->
+          Telemetry.incr (Telemetry.ambient ()) "lang.included.product";
+          is_empty (Automaton.inter a (cached_complement b))
+    in
+    if Atomic.get inclusion_memo_on && caches_enabled () then
+      (* exact verdicts only: a budget trip raises out of [compute]
+         before anything can be installed *)
+      Cache.find_or_add inclusion_memo
+        (a.Automaton.uid, b.Automaton.uid)
+        compute
+    else compute ()
+  end
 
-let equal ?pool a b =
+let equal ?pool ?engine a b =
   match pool with
-  | None -> included a b && included b a
+  | None -> included ?engine a b && included ?engine b a
   | Some p ->
       (* two independent direction checks; [for_all] keeps the
          sequential short-circuit observable semantics (a counter-
          witness at the lower index decides) *)
-      Pool.for_all p (fun _ctx (x, y) -> included x y) [ (a, b); (b, a) ]
+      Pool.for_all p (fun _ctx (x, y) -> included ?engine x y) [ (a, b); (b, a) ]
 
 (* Batch variants: each pair is one pool task.  [included] is pure
-   modulo its per-domain caches, so results are position-independent
+   modulo its shared caches, so results are position-independent
    and bit-identical to the sequential map at every job count. *)
-let included_batch ?pool pairs =
+let included_batch ?pool ?engine pairs =
   match pool with
-  | None -> List.map (fun (a, b) -> included a b) pairs
-  | Some p -> Pool.map p (fun _ctx (a, b) -> included a b) pairs
+  | None -> List.map (fun (a, b) -> included ?engine a b) pairs
+  | Some p -> Pool.map p (fun _ctx (a, b) -> included ?engine a b) pairs
 
-let equal_batch ?pool pairs =
+let equal_batch ?pool ?engine pairs =
   match pool with
-  | None -> List.map (fun (a, b) -> equal a b) pairs
-  | Some p -> Pool.map p (fun _ctx (a, b) -> equal a b) pairs
+  | None -> List.map (fun (a, b) -> equal ?engine a b) pairs
+  | Some p -> Pool.map p (fun _ctx (a, b) -> equal ?engine a b) pairs
 
 let distinguishing_witness a b =
   match witness (Automaton.diff a b) with

@@ -17,51 +17,93 @@ val witness : Automaton.t -> Finitary.Word.lasso option
     explores the product lazily via {!Inclusion}; [`Explicit] builds
     the complement and the full product — asymptotically worse, kept
     as the differential-test oracle.  Verdicts are identical; only
-    cost and telemetry counters differ.  The toggle is a process-wide
-    [Atomic], read per query. *)
+    cost and telemetry counters differ.
+
+    Selection is layered: every query takes an optional [?engine]
+    argument; absent that, a [Domain.DLS] scoped override installed by
+    {!with_engine} applies; absent both, the process-wide default set
+    by {!set_engine}.  Long-lived concurrent hosts (the serve daemon)
+    must use the scoped forms — a global flip is visible to every
+    in-flight request on every domain. *)
 type engine = [ `Antichain | `Explicit ]
 
 val set_engine : engine -> unit
+(** Set the process-wide default engine ([Atomic]; safe but global —
+    prefer {!with_engine} anywhere requests may overlap). *)
+
 val engine : unit -> engine
+(** The calling domain's effective engine: the scoped override if one
+    is installed, the process-wide default otherwise. *)
+
+val with_engine : engine -> (unit -> 'a) -> 'a
+(** [with_engine e f] runs [f ()] with the engine forced to [e] on the
+    calling domain only (restored afterwards, also on exceptions).
+    Registered as a {!Kernel.Ambient} provider: {!Pool} tasks
+    submitted inside [f] inherit [e] on their worker domains. *)
 
 (** Does the automaton accept every infinite word?  With [?pool] the
     antichain engine expands wide product frontiers in parallel
     (deterministically — see {!Inclusion}); the explicit engine
     ignores it. *)
-val is_universal : ?pool:Pool.t -> Automaton.t -> bool
+val is_universal : ?pool:Pool.t -> ?engine:engine -> Automaton.t -> bool
 
 (** Language inclusion / equality.  Three mechanisms cut the repeated
     work: a same-transition-table fast path that replaces any product
     with an acceptance-only emptiness check (engine-independent), the
     lazy {!Inclusion} engine for different-table queries (default),
-    and — on the explicit oracle path — a two-entry physically-keyed
-    complement cache.  All report counters to the ambient {!Telemetry}
-    handle ([lang.complement.request/hit/miss],
+    and — on the explicit oracle path — a shared size-bounded
+    complement cache ({!Kernel.Cache}, keyed by {!Automaton.t.uid}).
+    All report counters to the ambient {!Telemetry} handle
+    ([lang.complement.request/hit/miss],
     [lang.included.same_table/antichain/product]). *)
-val included : ?pool:Pool.t -> Automaton.t -> Automaton.t -> bool
+val included : ?pool:Pool.t -> ?engine:engine -> Automaton.t -> Automaton.t -> bool
 
-val equal : ?pool:Pool.t -> Automaton.t -> Automaton.t -> bool
+val equal : ?pool:Pool.t -> ?engine:engine -> Automaton.t -> Automaton.t -> bool
 (** With [?pool], the two inclusion directions run as parallel tasks;
     the result is identical at every job count ([Pool.for_all]'s
     lowest-index counterwitness decides, matching the sequential
     short-circuit). *)
 
 val included_batch :
-  ?pool:Pool.t -> (Automaton.t * Automaton.t) list -> bool list
+  ?pool:Pool.t -> ?engine:engine -> (Automaton.t * Automaton.t) list -> bool list
 (** One {!included} verdict per pair, in order; with [?pool] the pairs
     are evaluated concurrently (one pool task per pair). *)
 
-val equal_batch : ?pool:Pool.t -> (Automaton.t * Automaton.t) list -> bool list
+val equal_batch :
+  ?pool:Pool.t -> ?engine:engine -> (Automaton.t * Automaton.t) list -> bool list
 
-(** [set_caches false] disables the complement cache and the same-table
-    fast path, forcing the cold path on every query.  Test
-    instrumentation for differential cache-consistency checks — not
-    for production use.  Default: enabled.  The complement cache is
-    domain-local, so pool workers never contend on it; disabling bumps
-    a generation counter that invalidates {e every} domain's slot (not
-    just the caller's), and lookups are gated on the toggle, so a
-    disabled cache never serves a previously-warmed hit. *)
+(** [set_caches false] disables the complement cache, the inclusion
+    memo and the same-table fast path, forcing the cold path on every
+    query (and dropping resident entries — the caches are shared
+    across domains, so this reaches entries warmed by pool workers
+    too).  Test instrumentation for differential cache-consistency
+    checks — not for production use.  Default: enabled.  Lookups are
+    gated on the effective toggle, so a disabled cache never serves a
+    previously-warmed hit. *)
 val set_caches : bool -> unit
+
+val with_caches : bool -> (unit -> 'a) -> 'a
+(** Scoped, calling-domain-only override of the {!set_caches} toggle
+    (restored afterwards, also on exceptions); a {!Kernel.Ambient}
+    provider propagates it into {!Pool} tasks.  The form concurrent
+    hosts must use. *)
+
+val set_complement_cache_capacity : int -> unit
+(** Bound (in approximate resident bytes) on the shared complement
+    cache; [<= 0] disables it.  Default: 4 MiB.  Shrinking evicts
+    immediately (2-random policy — see {!Kernel.Cache}). *)
+
+val set_inclusion_memo_capacity : int -> unit
+(** Bound on the cross-request inclusion-verdict memo, keyed by
+    operand uids.  {e Default: 0 (disabled)} — a memo hit skips the
+    ticked product exploration, which shifts budget trip points and
+    would break bit-identical replay; only hosts whose requests carry
+    independent budgets (the serve daemon) should enable it.  Only
+    exact verdicts are installed: a tripped exploration raises before
+    the install. *)
+
+val complement_cache_stats : unit -> Cache.stats
+val inclusion_memo_stats : unit -> Cache.stats
 
 (** A lasso in the symmetric difference, if the languages differ. *)
 val distinguishing_witness :

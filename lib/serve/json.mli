@@ -1,0 +1,46 @@
+(** Minimal JSON for the serve protocol: a value type, a printer, and
+    a strict recursive-descent parser.  Hand-rolled — the repository
+    deliberately has no JSON dependency; the [hpt lint --format json]
+    and telemetry emitters print directly, but the serve daemon also
+    needs to {e read} client frames, which is what this module adds.
+
+    The parser is the daemon's first line of defense: it must accept
+    any well-formed frame and reject everything else with a message,
+    never an exception — the chaos tests feed it random bytes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line — frames are newline-delimited) rendering
+    with full string escaping.  Non-finite floats print as [null]
+    (JSON has no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON value (surrounding whitespace allowed;
+    trailing garbage is an error).  Numbers without [.], [e] or [E]
+    that fit in an OCaml [int] parse as [Int], everything else as
+    [Float].  [\uXXXX] escapes decode to UTF-8 (surrogate pairs
+    supported).  Never raises. *)
+
+(** {2 Accessors} — total, [option]-typed, for picking requests apart. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_string_opt : t -> string option
+
+val to_int_opt : t -> int option
+(** [Int n], or a [Float] that is integral. *)
+
+val to_float_opt : t -> float option
+
+val to_bool_opt : t -> bool option
+
+val to_list_opt : t -> t list option

@@ -165,3 +165,29 @@ A bad job count is a structured error:
   $ hpt classify --jobs 0 'p'
   error: Pool.create: jobs must be >= 1
   [1]
+
+A mixed batch keeps going past a bad input: every formula gets its
+verdict or a per-input error naming it, and the worst exit code wins
+(identical with and without --jobs):
+
+  $ hpt classify --jobs 2 '[] p' '[[ bad' '<> q'
+  [] p
+  class        : safety  (Borel Π1; topologically closed (F))
+  syntactic    : safety
+  memberships  : safety=yes, guarantee=no, simple obligation=yes, recurrence=yes, persistence=yes, simple reactivity=yes
+  liveness     : no (uniform: no)
+  counter-free : yes (LTL-expressible)
+  states       : 3
+  error: [[ bad: Parser: expected [] at position 0 in "[[ bad"
+  <> q
+  class        : guarantee  (Borel Σ1; topologically open (G))
+  syntactic    : guarantee
+  memberships  : safety=no, guarantee=yes, simple obligation=yes, recurrence=yes, persistence=yes, simple reactivity=yes
+  liveness     : yes (uniform: yes)
+  counter-free : yes (LTL-expressible)
+  states       : 2
+  [1]
+
+  $ hpt classify '[] p' '[[ bad' '<> q' > mixed.seq 2>&1 || true
+  $ hpt classify --jobs 3 '[] p' '[[ bad' '<> q' > mixed.par 2>&1 || true
+  $ diff mixed.seq mixed.par

@@ -1,0 +1,67 @@
+The serve daemon speaks newline-delimited JSON over stdio: one frame
+in, one reply out, and no malformed frame — garbage, unknown op,
+missing field, oversized line — ever kills the loop or escapes as a
+backtrace.
+
+A single classification round-trips:
+
+  $ printf '{"id":1,"op":"classify","formula":"<> p"}\n' | hpt serve --stdio
+  {"id":1,"status":"ok","verdict":{"kind":"exact","class":"guarantee"},"syntactic":"guarantee","memberships":{"safety":false,"guarantee":true,"simple obligation":true,"recurrence":true,"persistence":true,"simple reactivity":true},"liveness":true,"uniform_liveness":true,"counter_free":true,"n_states":2}
+
+Bad frames come back as structured errors, in input order, and the
+daemon keeps serving:
+
+  $ printf 'garbage\n{"id":2,"op":"nope"}\n{"op":"classify"}\n' | hpt serve --stdio
+  {"id":null,"status":"error","error":{"code":"parse_error","message":"malformed frame: unexpected character 'g' at byte 0"}}
+  {"id":2,"status":"error","error":{"code":"invalid_request","message":"unknown op \"nope\""}}
+  {"id":null,"status":"error","error":{"code":"invalid_request","message":"missing or non-string field \"formula\""}}
+
+A line longer than --max-frame is rejected without being parsed:
+
+  $ python3 -c "print('x'*2000)" | hpt serve --stdio --max-frame 1024
+  {"id":null,"status":"error","error":{"code":"invalid_request","message":"frame longer than 1024 bytes"}}
+
+On a single worker, admitted requests are answered strictly in input
+order (EOF drains the queue before the daemon exits):
+
+  $ printf '{"id":1,"op":"classify","formula":"[] p"}\n{"id":2,"op":"classify","formula":"<> p"}\n{"id":3,"op":"equiv","f1":"p U q","f2":"q | (p & X (p U q))"}\n' | hpt serve --stdio --jobs 1 | grep -o '"id":[0-9]*'
+  "id":1
+  "id":2
+  "id":3
+
+With --debug-ops, a request can carry an injected budget trip; the
+reply is a sound degraded interval, not an error and not a crash:
+
+  $ printf '{"id":4,"op":"classify","formula":"[] (p -> <> q)","inject_trip_at":5}\n' | hpt serve --stdio --debug-ops | grep -o '"status":"[a-z]*"\|"reason":"[a-z]*"'
+  "status":"degraded"
+  "reason":"injected"
+
+The fault-injection ops are gated off by default:
+
+  $ printf '{"id":5,"op":"spin","ms":10}\n' | hpt serve --stdio
+  {"id":5,"status":"error","error":{"code":"invalid_request","message":"debug ops are disabled (start with --debug-ops)"}}
+
+Above --max-inflight the daemon sheds instead of queueing: a slow
+request holds the only slot, so the burst behind it is rejected with
+an explicit overloaded error:
+
+  $ printf '{"id":0,"op":"spin","ms":400}\n{"id":1,"op":"classify","formula":"[] p"}\n{"id":2,"op":"classify","formula":"<> p"}\n' | hpt serve --stdio --debug-ops --jobs 1 --max-inflight 1 | grep -c overloaded
+  2
+
+The access log writes one JSONL record per request — outcome and
+cache disposition included, so a repeated request shows the response
+cache hit:
+
+  $ printf '{"id":1,"op":"classify","formula":"[] p"}\n{"id":1,"op":"classify","formula":"[] p"}\n' | hpt serve --stdio --jobs 1 --access-log access.jsonl > /dev/null
+  $ grep -o '"outcome":"[a-z]*"\|"cache":"[a-z]*"' access.jsonl
+  "outcome":"ok"
+  "cache":"miss"
+  "outcome":"ok"
+  "cache":"hit"
+
+Malformed frames are logged too:
+
+  $ printf 'junk\n' | hpt serve --stdio --access-log bad.jsonl > /dev/null
+  $ grep -o '"outcome":"[a-z]*"\|"code":"[a-z_]*"' bad.jsonl
+  "outcome":"error"
+  "code":"parse_error"

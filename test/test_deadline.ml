@@ -1,0 +1,130 @@
+(* Wall-clock deadlines are sound, not just graceful: a classification
+   run under an arbitrarily tight --timeout-ms must return either the
+   exact verdict, a sound interval enclosing it, or a structured
+   Budget_exceeded — never a wrong exact verdict and never an uncaught
+   exception.  Same contract for the antichain inclusion engine, whose
+   deadline poll rides the per-pair tick. *)
+
+open Omega
+module Engine = Hierarchy.Engine
+
+let check = Alcotest.(check bool)
+let pq = Finitary.Alphabet.of_props [ "p"; "q" ]
+
+let corpus =
+  [
+    "[] p"; "<> p"; "[] p & <> q"; "[] p | <> q"; "[]<> p"; "<>[] p";
+    "[]<> p | <>[] q"; "[] (p -> <> q)"; "p U q";
+    "([] <> p -> [] <> q) & ([] <> q -> [] <> p)";
+  ]
+
+(* the unbudgeted verdicts, one per corpus formula — all exact *)
+let reference =
+  lazy
+    (List.map
+       (fun f ->
+         match Engine.classify f with
+         | Ok { Engine.verdict = Engine.Exact k; _ } -> (f, k)
+         | Ok _ -> Alcotest.failf "reference verdict for %s not exact" f
+         | Error e ->
+             Alcotest.failf "reference classify failed: %a" Engine.pp_error e)
+       corpus)
+
+let encloses k : Engine.verdict -> bool = function
+  | Engine.Exact k' -> Kappa.equal k k'
+  | Engine.Interval { lower; upper } ->
+      (match lower with Some l -> Kappa.leq l k | None -> true)
+      && (match upper with Some u -> Kappa.leq k u | None -> true)
+
+(* one tightly-budgeted classification, checked against the reference *)
+let run_tight ~timeout_ms (f, k) =
+  let budget = Budget.make ~timeout_ms () in
+  match Engine.classify ~budget f with
+  | Ok r ->
+      if not (encloses k r.Engine.verdict) then
+        Alcotest.failf "%s under %gms: verdict excludes the true class %s" f
+          timeout_ms (Kappa.name k)
+  | Error (Engine.Budget_exceeded _) -> ()
+  | Error e ->
+      Alcotest.failf "%s under %gms: unexpected error %a" f timeout_ms
+        Engine.pp_error e
+  | exception e ->
+      Alcotest.failf "%s under %gms: escaped exception %s" f timeout_ms
+        (Printexc.to_string e)
+
+let classify_tests =
+  [
+    Alcotest.test_case "tight deadlines: sound verdict or Budget_exceeded"
+      `Quick (fun () ->
+        List.iter
+          (fun timeout_ms ->
+            List.iter (run_tight ~timeout_ms) (Lazy.force reference))
+          [ 0.01; 0.05; 0.3; 2.0 ]);
+    Alcotest.test_case "deadline trip is sticky across a batch" `Quick
+      (fun () ->
+        (* a shared budget that trips mid-batch leaves the later inputs
+           degraded-or-errored, never wrong *)
+        let budget = Budget.make ~timeout_ms:0.05 () in
+        let results = Engine.classify_batch ~budget corpus in
+        List.iter2
+          (fun (f, k) -> function
+            | Ok (r : Engine.report) ->
+                check (f ^ " sound") true (encloses k r.Engine.verdict)
+            | Error (Engine.Budget_exceeded _) -> ()
+            | Error e ->
+                Alcotest.failf "%s: unexpected error %a" f Engine.pp_error e)
+          (Lazy.force reference) results);
+  ]
+
+let deadline_qcheck =
+  QCheck.Test.make ~count:60
+    ~name:"random tight deadline never yields a wrong exact verdict"
+    QCheck.(
+      pair (int_bound (List.length corpus - 1)) (int_range 1 200))
+    (fun (i, hundredths) ->
+      let fk = List.nth (Lazy.force reference) i in
+      run_tight ~timeout_ms:(float_of_int hundredths /. 100.) fk;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Antichain inclusion under a deadline                                *)
+(* ------------------------------------------------------------------ *)
+
+let automata = lazy (List.map (Of_formula.of_string pq) corpus)
+
+let inclusion_tests =
+  [
+    Alcotest.test_case
+      "included under a deadline: right answer or Tripped Deadline" `Quick
+      (fun () ->
+        let autos = Lazy.force automata in
+        List.iteri
+          (fun i a ->
+            List.iteri
+              (fun j b ->
+                let expected = Inclusion.included a b in
+                let budget =
+                  Budget.make ~timeout_ms:(0.01 +. (0.01 *. float_of_int (i + j))) ()
+                in
+                match Inclusion.included ~budget a b with
+                | v ->
+                    check
+                      (Printf.sprintf "inclusion %d<=%d exact under deadline" i j)
+                      true (v = expected)
+                | exception Budget.Tripped { reason = Budget.Deadline; _ } ->
+                    ()
+                | exception e ->
+                    Alcotest.failf "inclusion %d<=%d: escaped %s" i j
+                      (Printexc.to_string e))
+              autos)
+          autos);
+  ]
+
+let () =
+  Alcotest.run "deadline"
+    [
+      ("classification", classify_tests);
+      ( "classification-random",
+        [ QCheck_alcotest.to_alcotest deadline_qcheck ] );
+      ("inclusion", inclusion_tests);
+    ]
