@@ -683,45 +683,119 @@ let parallel_json () =
     Automaton.make ~alpha:ab ~n ~start:0 ~delta
       ~acc:(Acceptance.Inf (Iset.singleton 0))
   in
-  let workloads =
-    [
+  (* One large inclusion query: a lazy product of ~10^6 pairs whose
+     4-letter branching makes the BFS frontier thousands of pairs wide
+     within a few levels, so most expansion happens above the adaptive
+     par_threshold; [b]'s generalized-Buchi condition gives the final
+     emptiness scan two conjuncts to fan out on. *)
+  let abcd = Finitary.Alphabet.of_chars "abcd" in
+  let na = 1000 and nb = 999 in
+  let mk_incl_a () =
+    Automaton.make ~alpha:abcd ~n:na ~start:0
+      ~delta:
+        (Array.init na (fun q ->
+             [| (q + 1) mod na; q; (q + 3) mod na; (q + 5) mod na |]))
+      ~acc:(Acceptance.Inf (Iset.singleton 0))
+  in
+  let mk_incl_b () =
+    Automaton.make ~alpha:abcd ~n:nb ~start:0
+      ~delta:
+        (Array.init nb (fun q ->
+             [| (q + 1) mod nb; (q + 2) mod nb; q; (q + 7) mod nb |]))
+      ~acc:
+        (Acceptance.And
+           [
+             Acceptance.Inf (Iset.singleton 0);
+             Acceptance.Inf (Iset.singleton 1);
+           ])
+  in
+  let resp = fm "[] (p -> <> q)" in
+  (* Reps are interleaved round-robin — rep k of every variant before
+     rep k+1 of any — so slow drift (GC heap growth, machine load)
+     biases all variants equally and the overhead gates compare minima
+     sampled under the same conditions.  Each pool lives only around
+     its own timed slice: idle worker domains are not free (every
+     minor collection is a stop-the-world barrier across all live
+     domains), so the sequential baseline must run with none. *)
+  let measure ?(reps = 3) (name, wf) =
+    let best = Array.make 4 infinity in
+    let time i f =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+      if dt < best.(i) then best.(i) <- dt
+    in
+    for _ = 1 to reps do
+      time 0 (wf None);
+      Pool.with_pool ~jobs:1 (fun p -> time 1 (wf (Some p)));
+      Pool.with_pool ~jobs:2 (fun p -> time 2 (wf (Some p)));
+      Pool.with_pool ~jobs:4 (fun p -> time 3 (wf (Some p)))
+    done;
+    (name, best.(0), best.(1), best.(2), best.(3))
+  in
+  let sweep_m =
+    measure
       ( "sweep: classify 10k-state single-SCC automaton",
-        fun pool () -> ignore (Classify.classify ?pool (mk ())) );
+        fun pool () -> ignore (Classify.classify ?pool (mk ())) )
+  in
+  let lint_m =
+    measure
       ( "lint: 12-requirement pairwise matrix",
         fun pool () ->
           ignore
             (Hierarchy.Lint.lint_strings ~mode:Hierarchy.Lint.Semantic ?pool
-               parallel_lint_specs) );
-    ]
+               parallel_lint_specs) )
   in
-  let measured =
-    List.map
-      (fun (name, wf) ->
-        let seq = wall_ns (wf None) in
-        let at jobs = Pool.with_pool ~jobs (fun p -> wall_ns (wf (Some p))) in
-        (name, seq, at 1, at 2, at 4))
-      workloads
+  let incl_m =
+    measure
+      ( "inclusion: 1000x999-state lazy product",
+        fun pool () -> ignore (Inclusion.included ?pool (mk_incl_a ()) (mk_incl_b ())) )
   in
+  (* The tiny gate asserts a 0.4% bound, so the workload must be long
+     enough (and sampled often enough) that min-of-reps beats scheduler
+     jitter: 2000 classifies is ~10ms, not ~1ms. *)
+  let tiny_m =
+    measure ~reps:10
+      ( "tiny: classify response formula x2000",
+        fun pool () ->
+          for _ = 1 to 2000 do
+            ignore (Classify.classify ?pool resp)
+          done )
+  in
+  let measured = [ sweep_m; lint_m ] in
+  (* the CI speedup gate reads this section: each entry is ONE input
+     (no batch to slice), so any speedup is pure intra-query
+     parallelism — per-SCC fan-out for the sweep, parallel frontier
+     expansion plus per-conjunct emptiness for the inclusion *)
+  let single_large = [ sweep_m; incl_m ] in
   let micro = run_benches () in
   let oc = open_out "BENCH_parallel.json" in
   let p fmt = Printf.fprintf oc fmt in
+  let row i len (name, seq, j1, j2, j4) =
+    p
+      "    {\"name\": \"%s\", \"seq_ns\": %.0f, \"jobs1_ns\": %.0f, \
+       \"jobs2_ns\": %.0f, \"jobs4_ns\": %.0f, \"overhead_jobs1\": %.3f, \
+       \"speedup_jobs2\": %.2f, \"speedup_jobs4\": %.2f}%s\n"
+      (json_escape name) seq j1 j2 j4 (j1 /. seq) (seq /. j2) (seq /. j4)
+      (if i < len - 1 then "," else "")
+  in
   p "{\n";
   p "  \"unit\": \"ns/run\",\n";
   p "  \"cores\": %d,\n" cores;
   p "  \"baseline\": \"PR-4 tree, before the domain pool landed\",\n";
-  p "  \"note\": \"gates: overhead_jobs1 <= 1.03 always; speedup_jobs4 >= \
-     1.5 on the sweep when cores >= 4; micro ratio vs pr4_ns within \
-     noise of 1.0 (the pool is off on the micro benches)\",\n";
+  p "  \"note\": \"gates (CI fails outright below 4 cores): overhead_jobs1 \
+     <= 1.03 always and <= 1.004 on the tiny workload (inline fast path); \
+     speedup_jobs4 >= 1.5 on the single_large sweep and on the section \
+     geomean; micro ratio vs pr4_ns within noise of 1.0 (the pool is off \
+     on the micro benches)\",\n";
   p "  \"workloads\": [\n";
-  List.iteri
-    (fun i (name, seq, j1, j2, j4) ->
-      p
-        "    {\"name\": \"%s\", \"seq_ns\": %.0f, \"jobs1_ns\": %.0f, \
-         \"jobs2_ns\": %.0f, \"jobs4_ns\": %.0f, \"overhead_jobs1\": %.3f, \
-         \"speedup_jobs2\": %.2f, \"speedup_jobs4\": %.2f}%s\n"
-        (json_escape name) seq j1 j2 j4 (j1 /. seq) (seq /. j2) (seq /. j4)
-        (if i < List.length measured - 1 then "," else ""))
-    measured;
+  List.iteri (fun i r -> row i (List.length measured) r) measured;
+  p "  ],\n";
+  p "  \"single_large\": [\n";
+  List.iteri (fun i r -> row i (List.length single_large) r) single_large;
+  p "  ],\n";
+  p "  \"tiny\": [\n";
+  row 0 1 tiny_m;
   p "  ],\n";
   let micro_entries =
     List.filter_map
@@ -749,7 +823,7 @@ let parallel_json () =
          %8.1fms (%.2fx)@."
         name (seq /. 1e6) (j1 /. 1e6) (j1 /. seq) (j2 /. 1e6) (seq /. j2)
         (j4 /. 1e6) (seq /. j4))
-    measured
+    [ sweep_m; lint_m; incl_m; tiny_m ]
 
 (* ------------------------------------------------------------------ *)
 (* --inclusion-json: explicit vs antichain language inclusion          *)

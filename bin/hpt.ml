@@ -451,6 +451,28 @@ let serve_cmd =
     let doc = "Worker domains answering requests." in
     Arg.(value & opt int d.Serve.Daemon.jobs & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
+  let pool_jobs_arg =
+    let doc =
+      "Domains in the shared intra-query pool: a single large request fans \
+       out across $(docv) domains inside the engine.  1 (the default) keeps \
+       each request sequential."
+    in
+    Arg.(
+      value
+      & opt int d.Serve.Daemon.pool_jobs
+      & info [ "pool-jobs" ] ~docv:"N" ~doc)
+  in
+  let refine_every_arg =
+    let doc =
+      "Serve one queued background refinement after every $(docv) client \
+       requests even while client work is pending, so refinements make \
+       progress under sustained load."
+    in
+    Arg.(
+      value
+      & opt int d.Serve.Daemon.refine_every
+      & info [ "refine-every" ] ~docv:"N" ~doc)
+  in
   let max_inflight_arg =
     let doc =
       "Admit at most $(docv) requests (queued + running); further requests \
@@ -520,17 +542,20 @@ let serve_cmd =
       & opt int d.Serve.Daemon.max_frame
       & info [ "max-frame" ] ~docv:"BYTES" ~doc)
   in
-  let run port stdio jobs max_inflight default_fuel max_fuel default_timeout_ms
-      max_timeout_ms cache_mb access_log debug_ops max_frame =
+  let run port stdio jobs pool_jobs max_inflight default_fuel max_fuel
+      default_timeout_ms max_timeout_ms refine_every cache_mb access_log
+      debug_ops max_frame =
     let config =
       {
         Serve.Daemon.port = (if stdio then None else port);
         jobs;
+        pool_jobs;
         max_inflight;
         default_fuel;
         max_fuel;
         default_timeout_ms;
         max_timeout_ms;
+        refine_every;
         cache_mb;
         access_log;
         debug_ops;
@@ -549,10 +574,10 @@ let serve_cmd =
          budgets, load shedding and bounded caches"
   in
   Cmd.v info
-    Term.(const run $ port_arg $ stdio_arg $ serve_jobs_arg $ max_inflight_arg
-          $ default_fuel_arg $ max_fuel_arg $ default_timeout_arg
-          $ max_timeout_arg $ cache_mb_arg $ access_log_arg $ debug_ops_arg
-          $ max_frame_arg)
+    Term.(const run $ port_arg $ stdio_arg $ serve_jobs_arg $ pool_jobs_arg
+          $ max_inflight_arg $ default_fuel_arg $ max_fuel_arg
+          $ default_timeout_arg $ max_timeout_arg $ refine_every_arg
+          $ cache_mb_arg $ access_log_arg $ debug_ops_arg $ max_frame_arg)
 
 let main =
   let info =

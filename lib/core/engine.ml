@@ -87,6 +87,15 @@ let with_caches = Omega.Lang.with_caches
 let with_scoped ?engine f =
   match engine with None -> f () | Some e -> Omega.Lang.with_engine e f
 
+(* An explicit [?pool] wins; otherwise the entry points pick up the
+   domain-local default installed by [Pool.with_ambient] (the serve
+   workers and the CLI install one around request handling), so every
+   layer below fans out without each call site having to thread the
+   handle. *)
+let effective_pool = function
+  | Some _ as p -> p
+  | None -> Pool.ambient ()
+
 let inclusion_engine_of_string = function
   | "antichain" -> Ok (`Antichain : inclusion_engine)
   | "explicit" -> Ok (`Explicit : inclusion_engine)
@@ -181,6 +190,7 @@ let report_of ~budget ~telemetry ?pool ~syntactic (a : Omega.Automaton.t) =
 
 let classify_automaton ?(budget = Budget.unlimited)
     ?(telemetry = Telemetry.disabled) ?pool ?engine ?formula a =
+  let pool = effective_pool pool in
   protect ~budget ~telemetry @@ fun () ->
   with_scoped ?engine @@ fun () ->
   let syntactic =
@@ -205,6 +215,7 @@ let outside_fragment ~telemetry ~syntactic ~exhausted =
 
 let classify_formula ?(budget = Budget.unlimited)
     ?(telemetry = Telemetry.disabled) ?pool ?engine alpha f =
+  let pool = effective_pool pool in
   protect ~budget ~telemetry @@ fun () ->
   with_scoped ?engine @@ fun () ->
   let syntactic = Logic.Shape.upper (Logic.Shape.infer f) in
@@ -234,7 +245,7 @@ let classify ?budget ?telemetry ?pool ?engine ?props ?chars s =
    so the result list is identical at every job count. *)
 let classify_batch ?(budget = Budget.unlimited)
     ?(telemetry = Telemetry.disabled) ?pool ?engine ?props ?chars inputs =
-  match pool with
+  match effective_pool pool with
   | None ->
       List.map
         (fun s -> classify ~budget ~telemetry ?engine ?props ?chars s)
@@ -281,7 +292,7 @@ let classify_regex ?budget ?(telemetry = Telemetry.disabled) ?pool ?engine
     Telemetry.span telemetry "engine.build" @@ fun () ->
     Omega.Build.of_op operator (Finitary.Regex.compile alpha re)
   in
-  report_of ~budget ~telemetry ?pool ~syntactic:None a
+  report_of ~budget ~telemetry ?pool:(effective_pool pool) ~syntactic:None a
 
 (* ------------------------------------------------------------------ *)
 (* Views, equivalence, witnesses, lint                                 *)
@@ -341,6 +352,7 @@ let witness ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
 
 let lint ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) ?mode
     ?pool ?engine specs =
+  let pool = effective_pool pool in
   protect ~budget ~telemetry @@ fun () ->
   with_scoped ?engine @@ fun () ->
   Lint.lint_strings ~budget ?mode ?pool specs

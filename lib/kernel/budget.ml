@@ -16,8 +16,13 @@ type t = {
   mutable tripped : exhaustion option;
   poll : (unit -> unit) option;
       (* cancellation hook installed by [Pool] on task-local budgets;
-         consulted on the slow (fuel- or deadline-limited) tick path
-         only, so the unlimited fast path stays two loads *)
+         consulted every 64 ticks.  On the unlimited fast path the
+         cadence runs off [pollc] (below) so [used] stays zero writes
+         — and so [spent] stays bit-identical across job counts. *)
+  mutable pollc : int;
+      (* tick count for poll pacing only; never observable.  Separate
+         from [used] so installing a poll hook cannot perturb the
+         replica's accounted spend. *)
 }
 
 let unlimited =
@@ -28,6 +33,7 @@ let unlimited =
     deadline = infinity;
     tripped = None;
     poll = None;
+    pollc = 0;
   }
 
 let make ?fuel ?timeout_ms () =
@@ -45,7 +51,8 @@ let make ?fuel ?timeout_ms () =
         if ms <= 0. then invalid_arg "Budget.make: timeout must be positive";
         Unix.gettimeofday () +. (ms /. 1000.)
   in
-  { remaining; used = 0; injected = false; deadline; tripped = None; poll = None }
+  { remaining; used = 0; injected = false; deadline; tripped = None;
+    poll = None; pollc = 0 }
 
 let inject_trip_at n =
   {
@@ -55,6 +62,7 @@ let inject_trip_at n =
     deadline = infinity;
     tripped = None;
     poll = None;
+    pollc = 0;
   }
 
 (* Task-local replica for one forked task.  The share depends only on
@@ -80,6 +88,7 @@ let split b ~among ~index ?poll () =
     deadline = b.deadline;
     tripped = b.tripped;
     poll;
+    pollc = 0;
   }
 
 let absorb b ~spent:n =
@@ -108,12 +117,22 @@ let trip b reason =
 let fuel_reason b = if b.injected then Injected else Fuel
 
 (* Deadline polling is amortized: the clock is read once per 256 ticks.
-   Unlimited budgets take the first branch — no field writes at all. *)
+   Unlimited budgets take the first branch — no accounting writes; a
+   poll hook, when installed, still fires every 64 ticks off the
+   side counter, so a replica of an *unlimited* parent budget remains
+   cancellable mid-task (without it, sibling cancellation only ever
+   worked on fuel- or deadline-limited runs). *)
 let tick b =
   match b.tripped with
   | Some e -> raise (Tripped e)
   | None ->
-      if b.remaining == max_int && b.deadline == infinity then ()
+      if b.remaining == max_int && b.deadline == infinity then begin
+        match b.poll with
+        | None -> ()
+        | Some f ->
+            b.pollc <- b.pollc + 1;
+            if b.pollc land 63 = 0 then f ()
+      end
       else begin
         b.used <- b.used + 1;
         if b.remaining <> max_int then begin
@@ -134,7 +153,15 @@ let ticks b n =
   match b.tripped with
   | Some e -> raise (Tripped e)
   | None ->
-      if b.remaining == max_int && b.deadline == infinity then ()
+      if b.remaining == max_int && b.deadline == infinity then begin
+        match b.poll with
+        | None -> ()
+        | Some f when n > 0 ->
+            let old = b.pollc in
+            b.pollc <- old + n;
+            if (old + n) lsr 6 <> old lsr 6 then f ()
+        | Some _ -> ()
+      end
       else if n > 0 then begin
         b.used <- b.used + n;
         if b.remaining <> max_int then begin

@@ -70,9 +70,10 @@ val split : t -> among:int -> index:int -> ?poll:(unit -> unit) -> unit -> t
     instead of dividing it (fault-injection tests must observe the trip
     they asked for in {e every} task).  The deadline and any sticky
     trip are inherited.  [?poll] installs a cancellation hook consulted
-    every 64 ticks on the slow (fuel- or deadline-limited) path; the
-    unlimited fast path never calls it.  Raises [Invalid_argument]
-    unless [0 <= index < among]. *)
+    every 64 ticks — on the unlimited fast path it is paced by a side
+    counter that never touches the accounted spend, so installing a
+    hook cannot perturb {!spent} or any trip point.  Raises
+    [Invalid_argument] unless [0 <= index < among]. *)
 
 val absorb : t -> spent:int -> unit
 (** [absorb b ~spent] charges a completed sub-task's tick count back

@@ -12,10 +12,14 @@
      fetch-and-add on the batch completion counter; the joiner reads
      the slots only after observing the counter at its final value,
      so the atomic pair provides the needed happens-before edges.
-   - The joiner executes chunks itself and, while waiting, drains the
-     shared queue (help-while-join).  Any blocked joiner therefore
-     coexists with at least one domain making progress on a claimed
-     chunk, so nested [run] calls cannot deadlock. *)
+   - Scheduling is work-stealing over packed index ranges (below).  An
+     index is claimed by exactly one CAS ever, so each task runs at
+     most once; which domain claims it affects wall-clock only, never
+     the slot contents, which are a pure function of the index.
+   - The joiner participates in its own batch and, while waiting,
+     drains the shared queue (help-while-join).  Any blocked joiner
+     therefore coexists with at least one domain making progress on a
+     claimed index, so nested [run] calls cannot deadlock. *)
 
 type t = {
   jobs : int;
@@ -41,6 +45,30 @@ type 'a slot =
 exception Cancelled
 
 let jobs t = t.jobs
+
+(* A one-worker pool with no live budget and no enabled telemetry is
+   observationally identical to no pool at all: same index order, same
+   short-circuits, and a poll hook on the (unlimited) budget still
+   fires through [Budget.ticks] on the plain sequential path.  Entry
+   points normalize it away so tiny unbudgeted queries never pay the
+   per-batch scaffolding (the jobs=1 overhead gate on the tiny bench
+   workload holds this at <= 1.004).  A live budget keeps the pool:
+   the replica algebra is what makes trip points identical across job
+   counts. *)
+let effective ?budget ?telemetry pool =
+  match pool with
+  | Some p
+    when p.jobs = 1
+         && (match budget with
+            | None -> true
+            | Some b -> Budget.is_unlimited b)
+         && not
+              (Telemetry.enabled
+                 (match telemetry with
+                 | Some h -> h
+                 | None -> Telemetry.ambient ())) ->
+      None
+  | _ -> pool
 
 let worker t =
   let rec loop () =
@@ -92,6 +120,33 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* ------------------------------------------------------------------ *)
+(* Ambient default pool                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A DLS-scoped default pool, used by layers (Engine, Lint, the serve
+   workers) when the caller did not pass an explicit [?pool].  The
+   scope is registered with [Ambient] so pool tasks themselves inherit
+   it: a task that calls back into a pool-aware layer fans out on the
+   same pool (nested runs are deadlock-free by help-while-join). *)
+let ambient_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let ambient () =
+  match Domain.DLS.get ambient_key with
+  | Some p when not p.stop -> Some p
+  | _ -> None
+
+let with_ambient p f =
+  let prev = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key (Some p);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
+
+let () =
+  Ambient.register (fun () ->
+      match Domain.DLS.get ambient_key with
+      | None -> { Ambient.wrap = (fun f -> f ()) }
+      | Some p -> { Ambient.wrap = (fun f -> with_ambient p f) })
+
 let rec lower_to a i =
   let cur = Atomic.get a in
   if i < cur && not (Atomic.compare_and_set a cur i) then lower_to a i
@@ -100,11 +155,35 @@ let rec lower_to a i =
 (* The core engine                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* A participant's pending work is a half-open index range [lo, hi)
+   packed into one OCaml int: [lo lsl 31 lor hi].  Both bounds fit in
+   31 bits (a batch is a materialized list; 2^31 items is far beyond
+   anything representable), and the packed pair makes the range a
+   single CAS-able word.
+
+   The live ranges always partition the still-unclaimed indexes:
+   initial ranges are disjoint, an owner pop shrinks a range from the
+   bottom, a steal splits one range in two.  An index leaves the
+   partition exactly once — the CAS that pops or bulk-skips it — so no
+   two CAS-published ranges are ever equal, which rules out ABA on the
+   packed words. *)
+
+let range_mask = (1 lsl 31) - 1
+let pack lo hi = (lo lsl 31) lor hi
+let range_lo v = v lsr 31
+let range_hi v = v land range_mask
+
+(* Below this many items a parallel pool runs the batch inline on the
+   calling domain: queue push + wake-up + join cost more than the
+   work for tiny batches (the jobs=1 overhead gate in CI keeps this
+   honest).  Callers fanning out few expensive items can lower it. *)
+let default_seq_below = 4
+
 (* [stop_on] marks results that end the scan (find_first's [Some]);
    plain [run]/[map] pass [fun _ -> false]. *)
 let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
-    ~(stop_on : b -> bool) (t : t) (f : ctx -> a -> b) (items : a list) :
-    b slot array =
+    ?(seq_below = default_seq_below) ~(stop_on : b -> bool) (t : t)
+    (f : ctx -> a -> b) (items : a list) : b slot array =
   if t.stop then invalid_arg "Pool.run: pool is shut down";
   let telemetry =
     match telemetry with Some h -> h | None -> Telemetry.ambient ()
@@ -113,11 +192,16 @@ let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
   let n = Array.length arr in
   let slots = Array.make n SPending in
   (* Snapshot the submitting domain's ambient configuration (scoped
-     inclusion-engine / cache-toggle overrides registered through
-     [Ambient]) once, before any task starts; every task re-installs
-     it on whichever domain runs it.  Deterministic: one snapshot per
-     batch, taken at a program point the caller controls. *)
-  let inherited = Ambient.capture () in
+     inclusion-engine / cache-toggle / default-pool overrides
+     registered through [Ambient]) once, before any task starts; every
+     task re-installs it on whichever domain runs it.  Deterministic:
+     one snapshot per batch, taken at a program point the caller
+     controls.  Lazy so the bare sequential fast path never pays for
+     it — but it MUST be forced on the submitting domain (the
+     parallel branch forces it before queuing helpers; the scaffolded
+     sequential branch forces it from the calling domain's first
+     task). *)
+  let inherited = lazy (Ambient.capture ()) in
   if n = 0 then slots
   else begin
     let spent = Array.make n 0 in
@@ -133,7 +217,7 @@ let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
         let tb = Budget.split budget ~among:n ~index:i ~poll () in
         let tc = if record then Telemetry.collector () else Telemetry.disabled in
         (match
-           inherited.Ambient.wrap (fun () ->
+           (Lazy.force inherited).Ambient.wrap (fun () ->
                Telemetry.with_ambient tc (fun () ->
                    f { budget = tb; telemetry = tc; index = i } arr.(i)))
          with
@@ -152,54 +236,136 @@ let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
         if record then reports.(i) <- Some (Telemetry.report tc)
       end
     in
-    if t.jobs = 1 || n = 1 then begin
+    if t.jobs = 1 || n = 1 || n < seq_below then begin
       (* Guaranteed-sequential path: index order on the calling
          domain, stopping as soon as the watermark says so — but with
-         the same replica-budget algebra as the parallel path. *)
-      let i = ref 0 in
-      while !i < n && Atomic.get halt_from > !i do
-        exec_task !i;
-        incr i
-      done
+         the same replica-budget algebra as the parallel path.  Also
+         the tiny-batch fast path: results are index-deterministic
+         either way, so running a small batch inline changes
+         wall-clock only. *)
+      if (not record) && Budget.is_unlimited budget then begin
+        (* Bare execution: an unlimited parent cannot trip (its
+           replicas would be unlimited too, and spent charges back to
+           a counter nothing reads), disabled telemetry drops every
+           per-task report, and on the calling domain the ambient
+           snapshot would re-install state that is already installed.
+           Skipping that scaffolding is what holds the tiny-batch
+           jobs=1 overhead gate at <= 1.004. *)
+        let i = ref 0 in
+        let stop = ref false in
+        while !i < n && not !stop do
+          (match f { budget; telemetry; index = !i } arr.(!i) with
+          | v ->
+              slots.(!i) <- SDone v;
+              if stop_on v then stop := true
+          | exception Budget.Tripped e ->
+              slots.(!i) <- STripped e;
+              stop := true
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              slots.(!i) <- SRaised (e, bt);
+              stop := true);
+          incr i
+        done
+      end
+      else begin
+        let i = ref 0 in
+        while !i < n && Atomic.get halt_from > !i do
+          exec_task !i;
+          incr i
+        done
+      end
     end
     else begin
-      let chunk = max 1 (n / (t.jobs * 8)) in
-      let nchunks = (n + chunk - 1) / chunk in
-      let claim = Atomic.make 0 in
-      let completed = Atomic.make 0 in
-      let run_chunks () =
-        let rec loop () =
-          let c = Atomic.fetch_and_add claim 1 in
-          if c < nchunks then begin
-            let lo = c * chunk and hi = min n ((c + 1) * chunk) in
-            for i = lo to hi - 1 do
-              exec_task i
-            done;
-            if Atomic.fetch_and_add completed 1 = nchunks - 1 then begin
-              (* last chunk: wake a joiner blocked on the condition *)
-              Mutex.lock t.mutex;
-              Condition.broadcast t.cond;
-              Mutex.unlock t.mutex
-            end;
-            loop ()
-          end
-        in
-        loop ()
+      (* force the ambient snapshot here, on the submitting domain,
+         before any helper can run a task and force it elsewhere *)
+      ignore (Lazy.force inherited);
+      let p = t.jobs in
+      (* Per-participant ranges; slot [k]'s initial share mirrors
+         [Budget.split]'s remainder rule (first [n mod p] slots get
+         one extra).  Installed before the helper thunks are queued,
+         so thieves can drain an absent participant's share. *)
+      let deques =
+        let q = n / p and r = n mod p in
+        Array.init p (fun k ->
+            let lo = (k * q) + min k r in
+            let hi = lo + q + if k < r then 1 else 0 in
+            Atomic.make (pack lo hi))
       in
-      let helpers = min (t.jobs - 1) nchunks in
+      let completed = Atomic.make 0 in
+      let finish k =
+        if k > 0 && Atomic.fetch_and_add completed k + k = n then begin
+          (* batch done: wake a joiner blocked on the condition *)
+          Mutex.lock t.mutex;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex
+        end
+      in
+      (* Owner pops single indexes from the bottom of its own range
+         (grain 1: uneven task costs cannot serialize behind a chunk
+         boundary); an empty participant scans the others round-robin
+         and steals the top half of the first non-empty range it can
+         CAS.  A range whose whole remainder sits at or above the
+         cancellation watermark is bulk-skipped in one CAS instead of
+         being popped item by item. *)
+      let rec participate my =
+        let v = Atomic.get deques.(my) in
+        let lo = range_lo v and hi = range_hi v in
+        if lo >= hi then steal my 1
+        else if Atomic.get halt_from <= lo then begin
+          if Atomic.compare_and_set deques.(my) v (pack hi hi) then
+            finish (hi - lo);
+          participate my
+        end
+        else if Atomic.compare_and_set deques.(my) v (pack (lo + 1) hi) then begin
+          exec_task lo;
+          finish 1;
+          participate my
+        end
+        else participate my
+      and steal my k =
+        if k < p then begin
+          let victim = (my + k) mod p in
+          let v = Atomic.get deques.(victim) in
+          let lo = range_lo v and hi = range_hi v in
+          if lo >= hi then steal my (k + 1)
+          else if Atomic.get halt_from <= lo then begin
+            if Atomic.compare_and_set deques.(victim) v (pack hi hi) then
+              finish (hi - lo);
+            steal my k
+          end
+          else begin
+            (* take the top [ceil(size/2)] — the whole range when the
+               victim is down to one item (its owner may be absent or
+               stuck inside a long task) *)
+            let mid = lo + ((hi - lo) / 2) in
+            if Atomic.compare_and_set deques.(victim) v (pack lo mid) then begin
+              (* Own slot is empty here, and stale CASes against it
+                 cannot succeed (range uniqueness, above), so a plain
+                 set is enough to publish the loot for re-stealing. *)
+              Atomic.set deques.(my) (pack mid hi);
+              participate my
+            end
+            else steal my k
+          end
+        end
+        (* all ranges empty: every index is claimed; in-flight tasks
+           belong to other participants, so this one is done. *)
+      in
+      let helpers = min (t.jobs - 1) (n - 1) in
       if helpers > 0 then begin
         Mutex.lock t.mutex;
-        for _ = 1 to helpers do
-          Queue.push run_chunks t.queue
+        for k = 1 to helpers do
+          Queue.push (fun () -> participate k) t.queue
         done;
         Condition.broadcast t.cond;
         Mutex.unlock t.mutex
       end;
-      run_chunks ();
+      participate 0;
       (* Help-while-join: drain queued work (possibly other batches'
-         chunks) until every chunk of this batch has completed. *)
+         participants) until every task of this batch has finished. *)
       let rec join () =
-        if Atomic.get completed < nchunks then begin
+        if Atomic.get completed < n then begin
           Mutex.lock t.mutex;
           match Queue.take_opt t.queue with
           | Some thunk ->
@@ -207,7 +373,7 @@ let run_core (type a b) ?(budget = Budget.unlimited) ?telemetry
               (try thunk () with _ -> ());
               join ()
           | None ->
-              if Atomic.get completed < nchunks then Condition.wait t.cond t.mutex;
+              if Atomic.get completed < n then Condition.wait t.cond t.mutex;
               Mutex.unlock t.mutex;
               join ()
         end
@@ -254,9 +420,9 @@ let outcome_of_slot = function
   | SPending -> Skipped
   | SRaised _ -> assert false (* resolved at the join *)
 
-let run ?budget ?telemetry t f items =
+let run ?budget ?telemetry ?seq_below t f items =
   let slots =
-    run_core ?budget ?telemetry ~stop_on:(fun _ -> false) t f items
+    run_core ?budget ?telemetry ?seq_below ~stop_on:(fun _ -> false) t f items
   in
   Array.to_list (Array.map outcome_of_slot slots)
 
@@ -265,9 +431,9 @@ let trip_of_slots slots =
     (fun acc s -> match (acc, s) with None, STripped e -> Some e | _ -> acc)
     None slots
 
-let map ?budget ?telemetry t f items =
+let map ?budget ?telemetry ?seq_below t f items =
   let slots =
-    run_core ?budget ?telemetry ~stop_on:(fun _ -> false) t f items
+    run_core ?budget ?telemetry ?seq_below ~stop_on:(fun _ -> false) t f items
   in
   (match trip_of_slots slots with
   | Some e -> raise (Budget.Tripped e)
@@ -277,12 +443,12 @@ let map ?budget ?telemetry t f items =
        (function SDone v -> v | SPending | STripped _ | SRaised _ -> assert false)
        slots)
 
-let filter_map ?budget ?telemetry t f items =
-  List.filter_map Fun.id (map ?budget ?telemetry t f items)
+let filter_map ?budget ?telemetry ?seq_below t f items =
+  List.filter_map Fun.id (map ?budget ?telemetry ?seq_below t f items)
 
-let find_first ?budget ?telemetry t f items =
+let find_first ?budget ?telemetry ?seq_below t f items =
   let slots =
-    run_core ?budget ?telemetry
+    run_core ?budget ?telemetry ?seq_below
       ~stop_on:(fun v -> Option.is_some v)
       t f items
   in
@@ -298,14 +464,14 @@ let find_first ?budget ?telemetry t f items =
   in
   scan 0
 
-let exists ?budget ?telemetry t p items =
-  find_first ?budget ?telemetry t
+let exists ?budget ?telemetry ?seq_below t p items =
+  find_first ?budget ?telemetry ?seq_below t
     (fun ctx x -> if p ctx x then Some () else None)
     items
   |> Option.is_some
 
-let for_all ?budget ?telemetry t p items =
-  find_first ?budget ?telemetry t
+let for_all ?budget ?telemetry ?seq_below t p items =
+  find_first ?budget ?telemetry ?seq_below t
     (fun ctx x -> if p ctx x then None else Some ())
     items
   |> Option.is_none

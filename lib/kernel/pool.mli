@@ -30,32 +30,46 @@
       handle in index order, and the replicas' consumed fuel is
       charged back to the parent budget in the same prefix.
     - The submitting domain's ambient configuration ({!Ambient}
-      providers: the scoped inclusion-engine and cache-toggle
-      overrides) is snapshotted once per batch and re-installed around
-      every task body, so tasks see the submitter's settings rather
-      than their worker domain's defaults.
+      providers: the scoped inclusion-engine, cache-toggle and
+      default-pool overrides) is snapshotted once per batch and
+      re-installed around every task body, so tasks see the
+      submitter's settings rather than their worker domain's defaults.
 
     Sibling cancellation is a pure optimisation: a trip at index [i]
     raises a monotone cancellation watermark that later-indexed tasks
-    observe at task start and — via the budget's slow-path poll hook —
+    observe at task start and — via the budget's poll hook —
     mid-task.  Cancelled work is discarded, so cancellation timing
     cannot leak into results.
 
-    {2 Scheduling}
+    {2 Scheduling: deterministic work-stealing}
 
-    [run] slices the index space into contiguous chunks claimed from a
-    shared atomic counter (self-scheduling: idle domains steal the
-    next chunk, so uneven task costs balance).  The submitting caller
-    executes chunks itself and, while joining, {e helps} with any
-    queued work — so nested [run] calls from inside a task (the
-    classification columns fan out again inside the recurrence check)
-    cannot deadlock.  At [jobs = 1] no domains are spawned and every
-    combinator is guaranteed to run sequentially, in index order, on
-    the calling domain. *)
+    The index space [0, n) is split into one contiguous range per
+    participant (the submitting caller plus up to [jobs - 1] helpers).
+    A participant pops {e single indexes} from the bottom of its own
+    range; when empty it scans the others round-robin and steals the
+    top half of the first range it can CAS.  Grain 1 means one
+    pathologically expensive task never drags its chunk-mates behind
+    it — the other participants steal the rest of the range out from
+    under it — which is what makes per-SCC fan-out with wildly uneven
+    component costs scale.
+
+    Determinism survives stealing because scheduling was never part of
+    the contract: a steal moves {e which domain} executes an index,
+    while the slot array, replica budgets, stop index and merge order
+    are all keyed by the index alone.  The only schedule-dependent
+    quantity — how far past the stop index racing domains got — is
+    discarded at the join, exactly as under chunked scheduling.
+
+    Tiny batches ([n < seq_below], default 4) run inline on the
+    calling domain: waking a helper costs more than the work.  At
+    [jobs = 1] no domains are spawned and every combinator is
+    guaranteed to run sequentially, in index order, on the calling
+    domain. *)
 
 type t
-(** A pool handle.  One pool may serve many [run] calls, sequentially
-    or nested; the handle itself is domain-safe. *)
+(** A pool handle.  One pool may serve many [run] calls, sequentially,
+    nested, or concurrently from several domains; the handle itself is
+    domain-safe. *)
 
 val create : jobs:int -> t
 (** [create ~jobs] spawns [jobs - 1] worker domains (none when
@@ -63,12 +77,38 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+val effective : ?budget:Budget.t -> ?telemetry:Telemetry.t -> t option -> t option
+(** [effective ?budget ?telemetry pool] is [pool], except that a
+    jobs=1 pool whose scheduling could never be observed — no (or
+    unlimited) budget, and no (or disabled) telemetry; the ambient
+    handle is consulted when none is passed — normalizes to [None].
+    A one-worker pool computes bit-identical results to the pool-free
+    sequential code (same index order, same short-circuits, and poll
+    hooks still fire through [Budget.ticks]), so entry points call
+    this to route tiny unbudgeted queries down the plain code path
+    with zero per-batch scaffolding.  With a live fuel or deadline
+    budget the pool is kept even at jobs=1: the replica-budget
+    algebra is what keeps trip points identical across job counts. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Calling a
     combinator on a pool after [shutdown] raises [Invalid_argument]. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] — also on exceptions. *)
+
+val ambient : unit -> t option
+(** The pool installed by the innermost enclosing {!with_ambient} on
+    this domain, if any (and not shut down).  Pool-aware layers
+    ([Engine], [Lint], the serve workers) consult this when no
+    explicit [?pool] was passed. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** [with_ambient p f] runs [f] with [p] as the domain-local default
+    pool, restoring the previous default afterwards (also on
+    exceptions).  The scope is registered as an {!Ambient} provider,
+    so tasks forked through any pool inherit the submitter's default
+    and nested pool-aware calls fan out on the same pool. *)
 
 type ctx = {
   budget : Budget.t;  (** this task's replica budget — tick this *)
@@ -92,19 +132,23 @@ type 'a outcome =
 val run :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?seq_below:int ->
   t ->
   (ctx -> 'a -> 'b) ->
   'a list ->
   'b outcome list
 (** The primitive: one outcome per input, in input order.  [?budget]
     defaults to [Budget.unlimited]; [?telemetry] defaults to
-    [Telemetry.ambient ()].  At most one {!Tripped} appears, at the
-    stop index; everything after it is {!Skipped}.  A non-budget
+    [Telemetry.ambient ()]; batches smaller than [?seq_below]
+    (default 4) run inline — pass [~seq_below:0] when fanning out a
+    handful of expensive items.  At most one {!Tripped} appears, at
+    the stop index; everything after it is {!Skipped}.  A non-budget
     exception at the stop index is re-raised here instead. *)
 
 val map :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?seq_below:int ->
   t ->
   (ctx -> 'a -> 'b) ->
   'a list ->
@@ -117,6 +161,7 @@ val map :
 val filter_map :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?seq_below:int ->
   t ->
   (ctx -> 'a -> 'b option) ->
   'a list ->
@@ -126,6 +171,7 @@ val filter_map :
 val find_first :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?seq_below:int ->
   t ->
   (ctx -> 'a -> 'b option) ->
   'a list ->
@@ -139,6 +185,7 @@ val find_first :
 val exists :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?seq_below:int ->
   t ->
   (ctx -> 'a -> bool) ->
   'a list ->
@@ -147,6 +194,7 @@ val exists :
 val for_all :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?seq_below:int ->
   t ->
   (ctx -> 'a -> bool) ->
   'a list ->

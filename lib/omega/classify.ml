@@ -62,7 +62,10 @@ let is_recurrence ?pool (a : Automaton.t) =
          each component check is independent, so it fans out *)
       match pool with
       | None -> List.for_all comp_ok comps
-      | Some p -> Pool.for_all p (fun _ctx comp -> comp_ok comp) comps)
+      | Some p ->
+          (* even two components are worth a helper wake-up: one huge
+             SCC's cycle check dominates whole classifications *)
+          Pool.for_all ~seq_below:0 p (fun _ctx comp -> comp_ok comp) comps)
     (Acceptance.cnf a.acc)
 
 let is_persistence ?pool a = is_recurrence ?pool (Automaton.complement a)
@@ -82,7 +85,7 @@ let scc_flags ?pool (a : Automaton.t) =
   let comps = sccs_within a reach in
   match pool with
   | None -> List.filter_map flag comps
-  | Some p -> Pool.filter_map p (fun _ctx comp -> flag comp) comps
+  | Some p -> Pool.filter_map ~seq_below:0 p (fun _ctx comp -> flag comp) comps
 
 let is_obligation ?pool a =
   List.for_all (fun (_, acc, rej) -> not (acc && rej)) (scc_flags ?pool a)
@@ -243,7 +246,7 @@ let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
       (* one task per cycle group; a [Rank_too_hard] in any group
          re-raises at the join from the lowest such index *)
       List.fold_left max 0
-        (Pool.map ~budget ~telemetry p
+        (Pool.map ~budget ~telemetry ~seq_below:0 p
            (fun ctx g -> group_best ctx.Pool.budget ctx.Pool.telemetry g)
            groups)
 
@@ -282,47 +285,27 @@ let rank_outcome ?max_scc ?pool a =
   | exception Rank_too_hard n ->
       Cycle_limited { states = n; lower_bound = Kappa.Reactivity 1 }
 
+(* Columns run in hierarchy order, sequentially, with [?pool] passed
+   {e into} each membership predicate.  Racing the columns on the pool
+   (the previous scheme) was a net loss on real inputs: the sequential
+   scan short-circuits past the expensive high columns as soon as a
+   low one decides, while a race must start them all — and one
+   classification's cost is almost entirely {e inside} one or two
+   columns (the per-SCC scan of [is_recurrence], the product
+   exploration of the safety check), which is exactly where the pool's
+   grain-1 fan-out now goes.  One [obligation_degree] call decides
+   both the class test and the degree ([Some] iff obligation). *)
 let classify_outcome ?max_scc ?pool a =
-  match pool with
-  | None ->
-      if is_safety a then Classified Kappa.Safety
-      else if is_guarantee a then Classified Kappa.Guarantee
-      else if is_obligation a then
-        Classified
-          (Kappa.Obligation
-             (max 1 (Option.value ~default:1 (obligation_degree a))))
-      else if is_recurrence a then Classified Kappa.Recurrence
-      else if is_persistence a then Classified Kappa.Persistence
-      else rank_outcome ?max_scc a
-  | Some p ->
-      (* all columns race; the verdict is the lowest-index decided one,
-         so the short-circuit semantics above is preserved exactly — a
-         structural blow-up in the rank search is unobservable when a
-         lower column decides, just as sequentially it is never
-         reached.  Each column fans out again internally. *)
-      let decide _ctx col =
-        match col with
-        | `Saf -> if is_safety ~pool:p a then Some (Classified Kappa.Safety) else None
-        | `Gua ->
-            if is_guarantee ~pool:p a then Some (Classified Kappa.Guarantee)
-            else None
-        | `Obl -> (
-            match obligation_degree ~pool:p a with
-            | Some d -> Some (Classified (Kappa.Obligation (max 1 d)))
-            | None -> None)
-        | `Rec ->
-            if is_recurrence ~pool:p a then Some (Classified Kappa.Recurrence)
-            else None
-        | `Per ->
-            if is_persistence ~pool:p a then Some (Classified Kappa.Persistence)
-            else None
-        | `Rank -> Some (rank_outcome ?max_scc ~pool:p a)
-      in
-      (match
-         Pool.find_first p decide [ `Saf; `Gua; `Obl; `Rec; `Per; `Rank ]
-       with
-      | Some o -> o
-      | None -> invalid_arg "Classify.classify_outcome: rank column is total")
+  let pool = Pool.effective pool in
+  if is_safety ?pool a then Classified Kappa.Safety
+  else if is_guarantee ?pool a then Classified Kappa.Guarantee
+  else
+    match obligation_degree ?pool a with
+    | Some d -> Classified (Kappa.Obligation (max 1 d))
+    | None ->
+        if is_recurrence ?pool a then Classified Kappa.Recurrence
+        else if is_persistence ?pool a then Classified Kappa.Persistence
+        else rank_outcome ?max_scc ?pool a
 
 let classify ?pool a =
   match classify_outcome ?pool a with
@@ -383,10 +366,6 @@ let row_of (saf, gua, deg, recu, pers, rank) =
     (Kappa.Reactivity 1, Option.map (fun r -> r <= 1) rank);
   ]
 
-(* Internal per-column result for the pool pass: the six columns have
-   three distinct result types, so they travel in one variant. *)
-type col_result = RBool of bool | RDeg of int option | RRank of int
-
 (* One pass over the membership columns in hierarchy order, each column
    guarded against budget trips and the legacy structural limits.  The
    guard is sticky: once anything trips, every later column is skipped
@@ -395,14 +374,15 @@ type col_result = RBool of bool | RDeg of int option | RRank of int
    persistence, rank — which is exactly what makes the interval
    computation a case analysis on that prefix.
 
-   With [?pool] the six columns run as pool tasks.  The pool's stop
-   index reproduces the sticky prefix: the first trip (or structural
-   limit, converted to a [Budget.structural] trip inside the task)
-   defines the cut, and every later column reports [Skipped]/[None]
-   even if a racing domain finished it.  Each column splits its task
-   budget further across its internal fan-out. *)
+   [?pool] goes {e into} each column (per-SCC fan-out, parallel
+   product exploration) rather than across them, so the pooled run has
+   exactly the sequential path's budget algebra: the shared parent
+   budget is checked between columns, and a column's internal fan-out
+   splits replica budgets whose trips surface here as [Budget.Tripped]
+   — identical at every job count, including jobs=1. *)
 let classify_budgeted ?(budget = Budget.unlimited) ?max_scc
     ?(telemetry = Telemetry.disabled) ?pool a =
+  let pool = Pool.effective ~budget ~telemetry pool in
   let structural_trip budget what = function
     | `Scc n ->
         Budget.structural budget
@@ -413,98 +393,38 @@ let classify_budgeted ?(budget = Budget.unlimited) ?max_scc
           ~what:(what ^ ": cycle family too large for rank search")
           ~size:n
   in
-  match pool with
-  | None ->
-      let exhaustion = ref None in
-      let guard what f =
-        match !exhaustion with
-        | Some _ -> None
-        | None -> (
-            try
-              Budget.check budget;
-              Some (Telemetry.span telemetry ("classify." ^ what) f)
-            with
-            | Budget.Tripped e ->
-                exhaustion := Some e;
-                None
-            | Cycles.Too_large n ->
-                exhaustion := Some (structural_trip budget what (`Scc n));
-                None
-            | Rank_too_hard n ->
-                exhaustion := Some (structural_trip budget what (`Rank n));
-                None)
-      in
-      let saf = guard "safety" (fun () -> is_safety a) in
-      let gua = guard "guarantee" (fun () -> is_guarantee a) in
-      (* [obligation_degree] is [Some d] iff the property is an
-         obligation (of degree d), so one guarded call decides both the
-         class test and the degree *)
-      let deg = guard "obligation" (fun () -> obligation_degree a) in
-      let recu = guard "recurrence" (fun () -> is_recurrence a) in
-      let pers = guard "persistence" (fun () -> is_persistence a) in
-      let rank =
-        guard "reactivity" (fun () ->
-            reactivity_rank ~budget ?max_scc ~telemetry a)
-      in
-      let cols = (saf, gua, deg, recu, pers, rank) in
-      { verdict = verdict_of cols; row = row_of cols; exhaustion = !exhaustion }
-  | Some p ->
-      let task ctx (what, col) =
-        let guarded f =
-          try
-            Budget.check ctx.Pool.budget;
-            Telemetry.span ctx.Pool.telemetry ("classify." ^ what) f
-          with
-          | Cycles.Too_large n ->
-              raise
-                (Budget.Tripped (structural_trip ctx.Pool.budget what (`Scc n)))
-          | Rank_too_hard n ->
-              raise
-                (Budget.Tripped (structural_trip ctx.Pool.budget what (`Rank n)))
-        in
-        match col with
-        | `Saf -> RBool (guarded (fun () -> is_safety ~pool:p a))
-        | `Gua -> RBool (guarded (fun () -> is_guarantee ~pool:p a))
-        | `Obl -> RDeg (guarded (fun () -> obligation_degree ~pool:p a))
-        | `Rec -> RBool (guarded (fun () -> is_recurrence ~pool:p a))
-        | `Per -> RBool (guarded (fun () -> is_persistence ~pool:p a))
-        | `Rank ->
-            RRank
-              (guarded (fun () ->
-                   reactivity_rank ~budget:ctx.Pool.budget ?max_scc
-                     ~telemetry:ctx.Pool.telemetry ~pool:p a))
-      in
-      let outcomes =
-        Pool.run ~budget ~telemetry p task
-          [
-            ("safety", `Saf);
-            ("guarantee", `Gua);
-            ("obligation", `Obl);
-            ("recurrence", `Rec);
-            ("persistence", `Per);
-            ("reactivity", `Rank);
-          ]
-      in
-      let exhaustion = ref None in
-      let opt = function
-        | Pool.Done v -> Some v
-        | Pool.Tripped e ->
-            if !exhaustion = None then exhaustion := Some e;
+  let exhaustion = ref None in
+  let guard what f =
+    match !exhaustion with
+    | Some _ -> None
+    | None -> (
+        try
+          Budget.check budget;
+          Some (Telemetry.span telemetry ("classify." ^ what) f)
+        with
+        | Budget.Tripped e ->
+            exhaustion := Some e;
             None
-        | Pool.Skipped -> None
-      in
-      let cols =
-        match List.map opt outcomes with
-        | [ saf; gua; deg; recu; pers; rank ] ->
-            let b = Option.map (function RBool v -> v | _ -> assert false) in
-            ( b saf,
-              b gua,
-              Option.map (function RDeg v -> v | _ -> assert false) deg,
-              b recu,
-              b pers,
-              Option.map (function RRank v -> v | _ -> assert false) rank )
-        | _ -> assert false
-      in
-      { verdict = verdict_of cols; row = row_of cols; exhaustion = !exhaustion }
+        | Cycles.Too_large n ->
+            exhaustion := Some (structural_trip budget what (`Scc n));
+            None
+        | Rank_too_hard n ->
+            exhaustion := Some (structural_trip budget what (`Rank n));
+            None)
+  in
+  let saf = guard "safety" (fun () -> is_safety ?pool a) in
+  let gua = guard "guarantee" (fun () -> is_guarantee ?pool a) in
+  (* [obligation_degree] is [Some d] iff the property is an
+     obligation (of degree d), so one guarded call decides both the
+     class test and the degree *)
+  let deg = guard "obligation" (fun () -> obligation_degree ?pool a) in
+  let recu = guard "recurrence" (fun () -> is_recurrence ?pool a) in
+  let pers = guard "persistence" (fun () -> is_persistence ?pool a) in
+  let rank =
+    guard "reactivity" (fun () ->
+        reactivity_rank ~budget ?max_scc ~telemetry ?pool a)
+  in
+  let cols = (saf, gua, deg, recu, pers, rank) in
+  { verdict = verdict_of cols; row = row_of cols; exhaustion = !exhaustion }
 
 let memberships ?pool a = (classify_budgeted ?pool a).row

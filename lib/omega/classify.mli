@@ -83,11 +83,12 @@ val reactivity_rank_opt : ?max_scc:int -> Automaton.t -> int option
     large the automaton; only the reactivity rank enumerates cycles,
     and past the budget the outcome degrades to [Cycle_limited].
 
-    With [?pool] the six membership columns race on the pool and the
-    lowest-index decided column wins, which reproduces the sequential
-    short-circuit exactly: a structural blow-up in the rank search is
-    unobservable when a lower column decides, just as the sequential
-    scan never reaches it. *)
+    With [?pool] the columns still run in hierarchy order with the
+    sequential short-circuit — the pool goes {e into} each membership
+    predicate (per-SCC component fan-out, parallel product
+    exploration), where nearly all of a classification's work lives.
+    Verdicts are identical with and without a pool, at every job
+    count. *)
 val classify_outcome : ?max_scc:int -> ?pool:Pool.t -> Automaton.t -> outcome
 
 (** [classify a] is {!classify_outcome}'s class, taking the lower bound
@@ -133,11 +134,11 @@ type budgeted = {
     membership column that actually runs in a [classify.<column>] span
     (columns skipped by the sticky guard record nothing).
 
-    With [?pool] the six columns run as pool tasks on task-replica
-    budgets ([Budget.split]) and the pool's stop index reproduces the
-    sticky prefix, so [row], [verdict] and [exhaustion] are identical
-    at every job count; structural limits are converted to
-    [Budget.structural] trips inside the tripping task. *)
+    With [?pool] the budget algebra is {e unchanged}: the columns run
+    in order against the shared parent budget exactly as without a
+    pool, and only each column's internal fan-out runs on replica
+    budgets, so [row], [verdict] and [exhaustion] are identical with
+    and without a pool and at every job count. *)
 val classify_budgeted :
   ?budget:Budget.t ->
   ?max_scc:int ->

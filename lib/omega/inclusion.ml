@@ -147,7 +147,19 @@ type explored = {
   start_id : int;  (** [0] iff [a]'s start state is already dead *)
 }
 
-let default_par_threshold = 512
+(* Parallel expansion pays off once a frontier level carries enough
+   transition work to amortize waking the helpers.  That work is
+   [width * k] successor computations, so the width gate adapts to the
+   alphabet: wide-alphabet products fan out on narrower frontiers.
+   The value depends only on the {e input} (never on [jobs]), and it
+   doubles as the chunk size, so the chunk count — and with it
+   [Budget.split]'s replica allowances — is identical at every job
+   count. *)
+let max_par_threshold = 512
+
+let adaptive_par_threshold (a : Automaton.t) =
+  let k = Alphabet.size a.Automaton.alpha in
+  max 64 (min max_par_threshold (4096 / k))
 
 let explore ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
     (b : Automaton.t) =
@@ -161,23 +173,27 @@ let explore ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
   ivec_push pqb (-1);
   rvec_push psucc (Array.make k 0);
   let pruned = ref 0 in
+  (* [key] is [qa * b.n + qb] for a pair already known [a]-live; the
+     parallel join calls this directly with the task's raw code so the
+     sequential suture does one hash probe per successor and divides
+     only on a miss *)
+  let intern_live_key key =
+    match Hashtbl.find_opt index key with
+    | Some id -> id
+    | None ->
+        let id = pqa.len in
+        Hashtbl.add index key id;
+        ivec_push pqa (key / b.Automaton.n);
+        ivec_push pqb (key mod b.Automaton.n);
+        rvec_push psucc [||];
+        id
+  in
   let intern qa qb =
     if not a_live.(qa) then begin
       incr pruned;
       0
     end
-    else begin
-      let key = (qa * b.Automaton.n) + qb in
-      match Hashtbl.find_opt index key with
-      | Some id -> id
-      | None ->
-          let id = pqa.len in
-          Hashtbl.add index key id;
-          ivec_push pqa qa;
-          ivec_push pqb qb;
-          rvec_push psucc [||];
-          id
-    end
+    else intern_live_key ((qa * b.Automaton.n) + qb)
   in
   let start_id = intern a.start b.start in
   let expand_seq lo hi =
@@ -224,7 +240,7 @@ let explore ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
                   incr pruned;
                   0
                 end
-                else intern (code / b.Automaton.n) (code mod b.Automaton.n))
+                else intern_live_key code)
         done)
       spans results
   in
@@ -265,28 +281,44 @@ let diff_nonempty ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
         in
         let count = e.pqa.len in
         let succ i = Array.to_list e.psucc.rows.(i) in
-        List.exists
-          (fun (fin, infs) ->
-            Budget.check budget;
-            (* the sink (id 0) is excluded everywhere: a cycle through
-               it would otherwise satisfy a pure-[Fin] conjunct *)
-            let allowed i = i <> 0 && not (mem i fin) in
-            List.exists
-              (fun comp ->
-                Graph_kernel.nontrivial
-                  ~succ:(fun i -> List.filter allowed (succ i))
-                  comp
-                && List.for_all
-                     (fun inf -> List.exists (fun i -> mem i inf) comp)
-                     infs)
-              (Graph_kernel.sccs_in ~n:count ~succ ~allowed))
-          conjuncts)
+        let conjunct_nonempty budget (fin, infs) =
+          Budget.check budget;
+          (* the sink (id 0) is excluded everywhere: a cycle through
+             it would otherwise satisfy a pure-[Fin] conjunct *)
+          let allowed i = i <> 0 && not (mem i fin) in
+          List.exists
+            (fun comp ->
+              Graph_kernel.nontrivial
+                ~succ:(fun i -> List.filter allowed (succ i))
+                comp
+              && List.for_all
+                   (fun inf -> List.exists (fun i -> mem i inf) comp)
+                   infs)
+            (Graph_kernel.sccs_in ~n:count ~succ ~allowed)
+        in
+        match pool with
+        | Some p when List.compare_length_with conjuncts 1 > 0 ->
+            (* each conjunct re-scans the explored graph (one
+               restricted Tarjan per conjunct), and the conjuncts are
+               independent; [exists] keeps the left-to-right
+               short-circuit observable semantics.  Conjunct bodies
+               only [check] their replica (zero ticks), so the parent
+               budget is bit-identical to the sequential scan. *)
+            Pool.exists ~budget ~telemetry:tl ~seq_below:0 p
+              (fun ctx c -> conjunct_nonempty ctx.Pool.budget c)
+              conjuncts
+        | _ -> List.exists (conjunct_nonempty budget) conjuncts)
 
-let included ?(budget = Budget.unlimited) ?telemetry ?pool
-    ?(par_threshold = default_par_threshold) (a : Automaton.t)
-    (b : Automaton.t) =
+let included ?(budget = Budget.unlimited) ?telemetry ?pool ?par_threshold
+    (a : Automaton.t) (b : Automaton.t) =
   let tl =
     match telemetry with Some t -> t | None -> Telemetry.ambient ()
+  in
+  let pool = Pool.effective ~budget ~telemetry:tl pool in
+  let par_threshold =
+    match par_threshold with
+    | Some t -> t
+    | None -> adaptive_par_threshold a
   in
   if a.delta == b.delta && a.start = b.start then begin
     (* one shared run per word: inclusion is emptiness of

@@ -29,7 +29,11 @@
     from frozen arrays and all interning happens at the join in task
     order, so verdicts, telemetry counters and budget trip points are
     bit-identical at every job count (the chunk count depends only on
-    the frontier width, never on [jobs]).
+    the frontier width and the threshold, never on [jobs], and the
+    adaptive default threshold is a function of the alphabet size
+    alone).  The final emptiness scan fans out per acceptance
+    conjunct (one restricted SCC pass each) with the left-to-right
+    short-circuit semantics preserved.
 
     {2 Observability}
 
@@ -50,8 +54,10 @@ val included :
 (** [included a b]: is [L(a) <= L(b)]?  Operands sharing one
     transition table (safety closures, [with_acc] variants) short-cut
     to an acceptance-only emptiness check on the shared graph.
-    [?par_threshold] (default 512) is the minimum frontier width — and
-    the chunk size — for parallel expansion; exposed so tests can force
+    [?par_threshold] is the minimum frontier width — and the chunk
+    size — for parallel expansion; the default adapts to the alphabet,
+    [max 64 (min 512 (4096 / k))], so products doing more work per
+    pair fan out on narrower frontiers.  Exposed so tests can force
     the pool path on small automata.  Raises [Invalid_argument] on an
     alphabet mismatch and [Budget.Tripped] when [?budget] runs out. *)
 

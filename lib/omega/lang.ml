@@ -317,8 +317,12 @@ let equal ?pool ?engine a b =
   | Some p ->
       (* two independent direction checks; [for_all] keeps the
          sequential short-circuit observable semantics (a counter-
-         witness at the lower index decides) *)
-      Pool.for_all p (fun _ctx (x, y) -> included ?engine x y) [ (a, b); (b, a) ]
+         witness at the lower index decides).  Two items are below the
+         pool's inline cutoff but each direction is a whole product
+         exploration, so force the fan-out. *)
+      Pool.for_all ~seq_below:0 p
+        (fun _ctx (x, y) -> included ?engine x y)
+        [ (a, b); (b, a) ]
 
 (* Batch variants: each pair is one pool task.  [included] is pure
    modulo its shared caches, so results are position-independent

@@ -3,11 +3,13 @@ module Engine = Hierarchy.Engine
 type config = {
   port : int option;
   jobs : int;
+  pool_jobs : int;
   max_inflight : int;
   default_fuel : int;
   max_fuel : int;
   default_timeout_ms : float;
   max_timeout_ms : float;
+  refine_every : int;
   cache_mb : int;
   access_log : string option;
   debug_ops : bool;
@@ -18,11 +20,13 @@ let default_config =
   {
     port = None;
     jobs = 2;
+    pool_jobs = 1;
     max_inflight = 16;
     default_fuel = 2_000_000;
     max_fuel = 50_000_000;
     default_timeout_ms = 2_000.;
     max_timeout_ms = 10_000.;
+    refine_every = 8;
     cache_mb = 32;
     access_log = None;
     debug_ops = false;
@@ -103,7 +107,9 @@ type t = {
   cond : Condition.t;
   work : work Queue.t;
   refine_q : work Queue.t;
+  mutable served_since_refine : int;  (* under lock; drives the quota *)
   mutable stop : bool;  (* under lock *)
+  pool : Pool.t option;  (* shared intra-query pool ([pool_jobs] > 1) *)
   inflight : int Atomic.t;
   table : (int, pending) Hashtbl.t;  (* rid -> pending, under lock *)
   resp_cache : (string, Protocol.body) Cache.t;
@@ -313,27 +319,45 @@ let process_refine t ~key ~rreq ~rfuel =
   | `Degraded e -> maybe_refine t ~key:(Some key) rreq ~fuel:rfuel e
   | `Error _ -> ()
 
-(* Admitted work first; refinement only when the main queue is dry, so
-   background escalation can never delay a live client.  After [stop]
-   the queues drain (a [shutdown] op still answers everything already
-   admitted) and then workers exit. *)
+(* Admitted work first — except that after every [refine_every]
+   admitted requests, one queued refinement runs even while clients
+   are waiting.  Strict priority (the previous rule: refinement only
+   when the main queue is dry) starved the background escalation under
+   sustained load: degraded verdicts were never retried, so the cache
+   never converged to exact entries precisely when the daemon was busy
+   enough for convergence to matter.  The quota bounds the added
+   client latency (one bounded-fuel refinement per [refine_every]
+   requests) while guaranteeing progress.  After [stop] the queues
+   drain (a [shutdown] op still answers everything already admitted)
+   and then workers exit. *)
 let take t (r : runner) =
   locked t (fun () ->
       let rec wait () =
-        match Queue.take_opt t.work with
+        let refine_due =
+          t.served_since_refine >= t.cfg.refine_every
+          && not (Queue.is_empty t.refine_q)
+        in
+        let next =
+          if refine_due then Queue.take_opt t.refine_q
+          else
+            match Queue.take_opt t.work with
+            | Some _ as w -> w
+            | None -> Queue.take_opt t.refine_q
+        in
+        match next with
         | Some (Req p as w) ->
             p.runner <- Some r;
+            t.served_since_refine <- t.served_since_refine + 1;
             Some w
-        | Some w -> Some w
-        | None -> (
-            match Queue.take_opt t.refine_q with
-            | Some w -> Some w
-            | None ->
-                if t.stop then None
-                else begin
-                  Condition.wait t.cond t.lock;
-                  wait ()
-                end)
+        | Some (Refine _ as w) ->
+            t.served_since_refine <- 0;
+            Some w
+        | None ->
+            if t.stop then None
+            else begin
+              Condition.wait t.cond t.lock;
+              wait ()
+            end
       in
       wait ())
 
@@ -348,9 +372,19 @@ let rec worker_loop t (r : runner) =
       | Refine { key; rreq; rfuel } -> process_refine t ~key ~rreq ~rfuel);
       if not (Atomic.get r.retired) then worker_loop t r
 
+(* Workers install the shared intra-query pool as their domain-local
+   default; the engine entry points pick it up ([Pool.ambient]), so a
+   single large request fans out across [pool_jobs] domains without
+   the request path threading a handle.  The pool is shared by all
+   workers — its combinators are safe for concurrent batches. *)
 let spawn_worker t =
   let r = { retired = Atomic.make false } in
-  let d = Domain.spawn (fun () -> worker_loop t r) in
+  let d =
+    Domain.spawn (fun () ->
+        match t.pool with
+        | Some p -> Pool.with_ambient p (fun () -> worker_loop t r)
+        | None -> worker_loop t r)
+  in
   locked t (fun () -> t.workers <- (r, d) :: t.workers)
 
 (* ------------------------------------------------------------------ *)
@@ -673,6 +707,9 @@ let serve_tcp t port =
 
 let run cfg =
   if cfg.jobs < 1 then invalid_arg "Daemon.run: jobs must be >= 1";
+  if cfg.pool_jobs < 1 then invalid_arg "Daemon.run: pool_jobs must be >= 1";
+  if cfg.refine_every < 1 then
+    invalid_arg "Daemon.run: refine_every must be >= 1";
   if cfg.max_inflight < 1 then
     invalid_arg "Daemon.run: max_inflight must be >= 1";
   (* a client hanging up mid-reply must surface as [Sys_error], not
@@ -698,7 +735,11 @@ let run cfg =
       cond = Condition.create ();
       work = Queue.create ();
       refine_q = Queue.create ();
+      served_since_refine = 0;
       stop = false;
+      pool =
+        (if cfg.pool_jobs > 1 then Some (Pool.create ~jobs:cfg.pool_jobs)
+         else None);
       inflight = Atomic.make 0;
       table = Hashtbl.create 64;
       resp_cache =
@@ -731,4 +772,5 @@ let run cfg =
     workers;
   Domain.join wd;
   List.iter Domain.join readers;
+  Option.iter Pool.shutdown t.pool;
   Option.iter Telemetry.close_lines t.access

@@ -32,11 +32,20 @@
 type config = {
   port : int option;  (** [Some p]: TCP on 127.0.0.1:[p]; [None]: stdio *)
   jobs : int;  (** worker domains *)
+  pool_jobs : int;
+      (** domains in the shared intra-query {!Kernel.Pool} installed as
+          each worker's {!Kernel.Pool.ambient} default, so a single
+          large request fans out inside the engine; [1] (the default)
+          keeps requests strictly sequential *)
   max_inflight : int;  (** admission gate: queued + running *)
   default_fuel : int;  (** per-request fuel when the client gives none *)
   max_fuel : int;  (** ceiling for client fuel and refinement escalation *)
   default_timeout_ms : float;
   max_timeout_ms : float;  (** server deadline ceiling *)
+  refine_every : int;
+      (** progress quota: after this many consecutive client requests a
+          worker serves one queued refinement even while client work is
+          pending, so refinements cannot starve under sustained load *)
   cache_mb : int;  (** total bound across the three shared caches *)
   access_log : string option;  (** JSONL path; ["-"] = stderr *)
   debug_ops : bool;
@@ -45,8 +54,9 @@ type config = {
 }
 
 val default_config : config
-(** stdio, [jobs = 2], [max_inflight = 16], 2s/10s timeouts,
-    [cache_mb = 32], no access log, debug ops off, 1 MiB frames. *)
+(** stdio, [jobs = 2], [pool_jobs = 1], [max_inflight = 16],
+    [refine_every = 8], 2s/10s timeouts, [cache_mb = 32], no access
+    log, debug ops off, 1 MiB frames. *)
 
 val run : config -> unit
 (** Serve until EOF (stdio), a [shutdown] op, or a fatal listener

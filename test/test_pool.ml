@@ -178,6 +178,58 @@ let unit_tests =
                 (List.init 4 (fun _ -> ()))
             in
             check "parent charged" true (Budget.spent b >= 40)));
+    Alcotest.test_case "Budget.split conserves fuel exactly" `Quick (fun () ->
+        (* A replica with allowance [a] trips on its [a]-th tick with
+           [spent = a], so ticking each replica dry measures its share.
+           The shares must sum to the parent's fuel — no remainder tick
+           lost or duplicated — and match the documented
+           [q + (1 if index < r)] distribution. *)
+        let allowance parent ~among ~index =
+          let r = Budget.split parent ~among ~index () in
+          try
+            while true do
+              Budget.tick r
+            done;
+            assert false
+          with Budget.Tripped { Budget.reason = Budget.Fuel; spent } -> spent
+        in
+        List.iter
+          (fun (fuel, among) ->
+            let parent = Budget.make ~fuel () in
+            let q = fuel / among and r = fuel mod among in
+            let shares =
+              List.init among (fun index ->
+                  let a = allowance parent ~among ~index in
+                  Alcotest.(check int)
+                    (Printf.sprintf "fuel=%d among=%d index=%d" fuel among
+                       index)
+                    (q + if index < r then 1 else 0)
+                    a;
+                  a)
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "fuel=%d among=%d total" fuel among)
+              fuel
+              (List.fold_left ( + ) 0 shares))
+          [ (1, 1); (5, 2); (7, 3); (13, 5); (64, 4); (1000, 7) ]);
+    Alcotest.test_case "tiny batches run inline on the submitting domain"
+      `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            let me = Domain.self () in
+            (* below the default [seq_below] cutoff: no fan-out, no
+               cross-domain hops — the fixed per-batch cost of waking
+               workers is never paid on trivial inputs *)
+            let doms = Pool.map p (fun _ () -> Domain.self ()) [ (); (); () ] in
+            check "all on submitter" true (List.for_all (fun d -> d = me) doms);
+            (* [~seq_below:0] forces the parallel path for a small batch
+               of expensive items; results must be unchanged *)
+            let got =
+              Pool.map ~seq_below:0 p
+                (fun ctx x -> (ctx.Pool.index, x * x))
+                [ 3; 4 ]
+            in
+            Alcotest.(check (list (pair int int)))
+              "seq_below:0" [ (0, 9); (1, 16) ] got));
     Alcotest.test_case "create rejects jobs < 1; shutdown is idempotent"
       `Quick (fun () ->
         (match Pool.create ~jobs:0 with
@@ -253,6 +305,48 @@ let lint_specs =
 let determinism_tests =
   List.map QCheck_alcotest.to_alcotest
     [
+      QCheck.Test.make
+        ~name:
+          "work stealing: outcomes, trip points and telemetry identical at \
+           jobs 1/2/4"
+        ~count:30
+        QCheck.(pair (int_range 20 300) (int_range 1 2000))
+        (fun (n, trip_at) ->
+          (* Drives the scheduler primitive directly with many items of
+             very uneven cost — exactly the shape where thieves migrate
+             work between deques — and asserts the full observable
+             surface (per-index outcome tags, recorded trip spends,
+             merged telemetry counters) is bit-identical at every job
+             count, stealing or no stealing. *)
+          let items = List.init n Fun.id in
+          let at jobs =
+            Pool.with_pool ~jobs (fun p ->
+                let t = Telemetry.collector () in
+                let outcomes =
+                  Pool.run
+                    ~budget:(Budget.inject_trip_at trip_at)
+                    ~telemetry:t p
+                    (fun ctx i ->
+                      let cost = 1 + (i * 7919 mod 97) in
+                      Budget.ticks ctx.Pool.budget cost;
+                      Telemetry.incr ctx.Pool.telemetry "ws.tasks";
+                      Telemetry.add ctx.Pool.telemetry "ws.cost" cost;
+                      i * i)
+                    items
+                in
+                let tags =
+                  List.map
+                    (function
+                      | Pool.Done v -> `Done v
+                      | Pool.Tripped e ->
+                          `Tripped (e.Budget.reason, e.Budget.spent)
+                      | Pool.Skipped -> `Skipped)
+                    outcomes
+                in
+                (tags, (Telemetry.report t).Telemetry.counters))
+          in
+          let r1 = at 1 in
+          at 2 = r1 && at 4 = r1);
       QCheck.Test.make ~name:"classify identical at jobs 1/2/4" ~count:60
         arb_automaton
         (fun a ->

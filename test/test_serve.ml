@@ -442,10 +442,58 @@ let bounded_cache_test () =
           check (which ^ " within bound") true (w <= cap))
     [ "response"; "complement"; "inclusion_memo" ]
 
+let refine_progress_test () =
+  let cfg =
+    { Daemon.default_config with Daemon.jobs = 1; max_inflight = 64;
+      debug_ops = true; refine_every = 2 }
+  in
+  with_daemon cfg @@ fun port ->
+  let fd, ic, oc = connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* a genuinely fuel-starved classify: answered immediately with the
+     degraded interval, and an escalated refinement is queued *)
+  send oc
+    {|{"id":1,"op":"classify","formula":"([] <> p -> [] <> q) & ([] <> q -> [] <> p)","fuel":5}|};
+  (* a convoy of spins keeps the single worker's client queue non-empty
+     for the whole observation window: under the old strict priority
+     (refinement only when the client queue is dry) the escalation
+     would starve until the convoy drained *)
+  let spins = 10 in
+  for i = 2 to spins + 1 do
+    send oc (Printf.sprintf {|{"id":%d,"op":"spin","ms":30}|} i)
+  done;
+  Alcotest.(check string) "starved classify degraded" "degraded"
+    (status (recv_json ic));
+  (* after four spin replies the refine_every = 2 quota must have let
+     the refinement through, with at least five spins still queued —
+     strict priority would report refine_runs = 0 here.  [stats] is
+     answered inline by the reader, never queued behind the convoy. *)
+  for _ = 1 to 4 do
+    ignore (recv_json ic)
+  done;
+  send oc {|{"id":0,"op":"stats"}|};
+  let refine_runs = ref (-1) and drained = ref 0 in
+  while !refine_runs < 0 do
+    let j = recv_json ic in
+    match Json.member "counters" j with
+    | Some cs ->
+        refine_runs :=
+          Option.value ~default:(-1)
+            (Option.bind (Json.member "refine_runs" cs) Json.to_int_opt)
+    | None -> incr drained
+  done;
+  check "refinement ran while client work was queued" true (!refine_runs >= 1);
+  for _ = !drained + 1 to spins - 4 do
+    ignore (recv_json ic)
+  done
+
 let daemon_tests =
   [
     Alcotest.test_case "chaos: trips and garbage never kill the loop" `Slow
       chaos_test;
+    Alcotest.test_case "refinement makes progress under sustained load" `Slow
+      refine_progress_test;
     Alcotest.test_case "overload sheds with an explicit rejection" `Slow
       shed_test;
     Alcotest.test_case "watchdog force-fails a non-cooperative request" `Slow
