@@ -954,11 +954,126 @@ let inclusion_json () =
   Format.printf "geomean speedup (explicit-feasible workloads): %.2fx@."
     geomean
 
+(* ------------------------------------------------------------------ *)
+(* --analyze-json: static analysis vs full model checking              *)
+(* ------------------------------------------------------------------ *)
+
+(* The broken-example corpus (same systems as examples/specs/, built
+   in-process so the bench has no working-directory dependency) plus a
+   201-state counter, large enough that the edge-split product graphs
+   behind [Fts.Check] do real work.  The gate: the structural pass
+   (M301-M304, no spec) must beat checking every requirement by a wide
+   margin — it is the cheap first look [hpt analyze] exists for. *)
+let analyze_corpus =
+  let counter =
+    String.concat "\n"
+      [
+        "var x 0..200";
+        "init x=0";
+        "trans inc:   !(x=200) -> x:=x+1";
+        "trans reset: x=200    -> x:=0";
+        "fair weak inc";
+      ]
+  in
+  [
+    ( "vacuous-fairness allocator (1 state)",
+      Fts.Models.vacuous_fairness (),
+      [ ("accessibility", "[] (c=1 -> <> c=2)") ] );
+    ( "mutex with dead entry guard (6 states)",
+      fst
+        (Fts.Parse.parse
+           (String.concat "\n"
+              [
+                "var pc1 0..2";
+                "var pc2 0..2";
+                "var lock 0..1";
+                "init pc1=0, pc2=0, lock=0";
+                "trans try1:   pc1=0          -> pc1:=1";
+                "trans enter1: pc1=1 & lock=0 -> pc1:=2, lock:=1";
+                "trans exit1:  pc1=2          -> pc1:=0, lock:=0";
+                "trans try2:   pc2=0          -> pc2:=1";
+                "trans enter2: pc2=2 & lock=0 -> pc2:=2, lock:=1";
+                "trans exit2:  pc2=2          -> pc2:=0, lock:=0";
+              ])),
+      [
+        ("mutual-exclusion", "[] !(pc1=2 & pc2=2)");
+        ("accessibility-1", "[] (pc1=1 -> <> pc1=2)");
+        ("accessibility-2", "[] (pc2=1 -> <> pc2=2)");
+      ] );
+    ( "counter to 200 (201 states)",
+      fst (Fts.Parse.parse counter),
+      [ ("progress", "[] (x=0 -> <> x=200)") ] );
+  ]
+
+let analyze_json () =
+  let rows =
+    List.map
+      (fun (name, sys, specs) ->
+        let parsed =
+          List.map (fun (n, s) -> (n, Logic.Parser.parse s)) specs
+        in
+        let structural_ns =
+          wall_ns (fun () -> ignore (Fts.Analyze.analyze sys))
+        in
+        let analyze_ns =
+          wall_ns (fun () ->
+              ignore (Fts.Analyze.analyze ~specs:parsed sys))
+        in
+        let check_ns =
+          wall_ns (fun () ->
+              List.iter
+                (fun (_, s) -> ignore (Fts.Check.holds_s sys s))
+                specs)
+        in
+        (name, structural_ns, analyze_ns, check_ns))
+      analyze_corpus
+  in
+  let geomean =
+    exp
+      (List.fold_left
+         (fun acc (_, st, _, ck) -> acc +. log (ck /. st))
+         0. rows
+      /. float_of_int (max 1 (List.length rows)))
+  in
+  let oc = open_out "BENCH_analyze.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"note\": \"structural = Fts.Analyze.analyze without specs \
+     (M301-M304); analyze = with the example's specs (adds \
+     M310/M311/H312); check = Fts.Check.holds on every spec (full \
+     model checking); speedup = check_ns / structural_ns; CI requires \
+     geomean_speedup >= 2\",\n";
+  p "  \"benches\": [\n";
+  List.iteri
+    (fun i (name, st, an, ck) ->
+      p
+        "    {\"name\": \"%s\", \"structural_ns\": %.0f, \"analyze_ns\": \
+         %.0f, \"check_ns\": %.0f, \"speedup\": %.2f}%s\n"
+        (json_escape name) st an ck (ck /. st)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  p "  ],\n";
+  p "  \"geomean_speedup\": %.2f\n" geomean;
+  p "}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_analyze.json (%d entries)@."
+    (List.length rows);
+  List.iter
+    (fun (name, st, an, ck) ->
+      Format.printf
+        "  %-44s structural %8.3fms  analyze %8.3fms  check %8.3fms  \
+         (%.1fx)@."
+        name (st /. 1e6) (an /. 1e6) (ck /. 1e6) (ck /. st))
+    rows;
+  Format.printf "geomean speedup (structural vs full check): %.2fx@." geomean
+
 let () =
   let flag f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = flag "--tables-only" in
   if flag "--parallel-json" then parallel_json ()
   else if flag "--inclusion-json" then inclusion_json ()
+  else if flag "--analyze-json" then analyze_json ()
   else if flag "--json" then json_mode ~check_overhead:(flag "--check-overhead") ()
   else begin
     fig1 ();

@@ -1,6 +1,6 @@
 (* hpt — the Hierarchy of temporal ProperTies, on the command line.
 
-   Subcommands: classify, build, lint, equiv, witness, views.
+   Subcommands: classify, build, lint, analyze, equiv, witness, views.
 
    Every subcommand goes through [Hierarchy.Engine], so no exception
    (and no backtrace) ever reaches the terminal: structured errors
@@ -247,124 +247,190 @@ let views_cmd =
     Term.(const run $ props_arg $ chars_arg $ fuel_arg $ timeout_arg
           $ stats_arg $ trace_arg $ formula_arg)
 
-(* ---------------- lint ---------------- *)
+(* ---------------- lint / analyze ---------------- *)
+
+(* Shared machinery for [lint] and [analyze]: requirements arrive as
+   NAME=FORMULA strings from the command line (no origin) or from a
+   spec file (origin = file/line, carried into JSON findings), and a
+   verdict prints and maps to an exit code the same way in both. *)
+
+let read_lines path =
+  Engine.protect (fun () ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go []))
+
+let parse_spec ~where ~origin spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+      Ok
+        ( String.trim (String.sub spec 0 i),
+          String.sub spec (i + 1) (String.length spec - i - 1),
+          origin )
+  | None -> Error (Engine.Invalid_input (where ^ ": expected NAME=FORMULA"))
+
+let rec parse_all_specs = function
+  | [] -> Ok []
+  | (where, origin, s) :: rest ->
+      Result.bind (parse_spec ~where ~origin s) @@ fun p ->
+      Result.map (fun ps -> p :: ps) (parse_all_specs rest)
+
+let specs_of_file = function
+  | None -> Ok []
+  | Some path ->
+      Result.bind (read_lines path) @@ fun lines ->
+      parse_all_specs
+        (List.filteri
+           (fun _ (_, _, l) ->
+             let l = String.trim l in
+             l <> "" && l.[0] <> '#')
+           (List.mapi
+              (fun i l ->
+                ( Printf.sprintf "%s:%d" path (i + 1),
+                  Some { Hierarchy.Lint.file = path; line = i + 1 },
+                  l ))
+              lines))
+
+let specs_of_cli specs =
+  parse_all_specs (List.map (fun s -> (s, None, s)) specs)
+
+let lint_mode syntactic semantic =
+  match (syntactic, semantic) with
+  | true, true ->
+      Error
+        (Engine.Invalid_input
+           "--syntactic-only and --semantic are mutually exclusive")
+  | true, false -> Ok Hierarchy.Lint.Syntactic_only
+  | false, true -> Ok Hierarchy.Lint.Semantic
+  | false, false -> Ok Hierarchy.Lint.Auto
+
+(* Exit codes double as the CI gate: 2 when any model check was cut
+   short by the budget (the findings are incomplete, so neither
+   "clean" nor "broken" would be sound), else 1 when any diagnostic
+   is an error, else 0. *)
+let verdict_exit_code v =
+  let open Hierarchy.Lint in
+  let not_checked =
+    match v.model with
+    | None -> false
+    | Some m ->
+        List.exists
+          (fun (_, s) ->
+            match s with Fts.Analyze.Not_checked _ -> true | _ -> false)
+          m.model_checks
+  in
+  if not_checked then 2
+  else if
+    List.exists (fun d -> severity_of_code d.code = Error) v.diagnostics
+  then 1
+  else 0
+
+let print_verdict format v =
+  match format with
+  | `Text -> Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v
+  | `Json -> print_endline (Hierarchy.Lint.to_json v)
+
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let spec_file_arg =
+  let doc =
+    "Read requirements from $(docv): one NAME = FORMULA per line; blank \
+     lines and lines starting with # are ignored.  JSON findings carry \
+     the originating file and line."
+  in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+
+let syntactic_arg =
+  let doc =
+    "Skip semantic refinement entirely: only the linear syntactic pass \
+     runs, so any number of atoms is accepted."
+  in
+  Arg.(value & flag & info [ "syntactic-only" ] ~doc)
+
+let semantic_arg =
+  let doc =
+    "Force semantic refinement, including the pairwise \
+     subsumption/conflict checks on large specifications."
+  in
+  Arg.(value & flag & info [ "semantic" ] ~doc)
+
+(* Load the model, merge its inline [spec] directives (origin = the
+   model file itself) with the given requirements, and run the full
+   model-aware analysis. *)
+let run_model_analysis ~budget ~telemetry ~mode ?pool ~format path specs =
+  Result.bind (Engine.protect (fun () -> Fts.Parse.load ~budget path))
+  @@ fun (sys, inline) ->
+  let inline_specs =
+    List.map
+      (fun s ->
+        ( s.Fts.Parse.sname,
+          s.Fts.Parse.stext,
+          Some { Hierarchy.Lint.file = path; line = s.Fts.Parse.sline } ))
+      inline
+  in
+  Result.map
+    (fun v ->
+      print_verdict format v;
+      verdict_exit_code v)
+    (Engine.analyze ~budget ~telemetry ~mode ?pool ~model:sys
+       (inline_specs @ specs))
 
 let lint_cmd =
   let specs_arg =
     let doc = "Requirement of the form NAME=FORMULA (repeatable)." in
     Arg.(value & pos_all string [] & info [] ~docv:"NAME=FORMULA" ~doc)
   in
-  let file_arg =
+  let model_arg =
     let doc =
-      "Read requirements from $(docv): one NAME = FORMULA per line; blank \
-       lines and lines starting with # are ignored."
+      "Also analyze the fair transition system in $(docv) (see \
+       $(b,hpt analyze)): structural and model-aware findings are \
+       appended to the formula-only diagnostics."
     in
-    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+    Arg.(value & opt (some file) None & info [ "model" ] ~docv:"MODEL" ~doc)
   in
-  let format_arg =
-    let doc = "Output format: $(b,text) or $(b,json)." in
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc)
-  in
-  let syntactic_arg =
-    let doc =
-      "Skip semantic refinement entirely: only the linear syntactic pass \
-       runs, so any number of atoms is accepted."
-    in
-    Arg.(value & flag & info [ "syntactic-only" ] ~doc)
-  in
-  let semantic_arg =
-    let doc =
-      "Force semantic refinement, including the pairwise \
-       subsumption/conflict checks on large specifications."
-    in
-    Arg.(value & flag & info [ "semantic" ] ~doc)
-  in
-  let run fuel timeout_ms stats trace jobs engine file format syntactic
+  let run fuel timeout_ms stats trace jobs engine file model format syntactic
       semantic specs =
     with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
     with_engine engine @@ fun () ->
     with_jobs jobs @@ fun pool ->
-    let parse_line ~where spec =
-      match String.index_opt spec '=' with
-      | Some i ->
-          Ok
-            ( String.trim (String.sub spec 0 i),
-              String.sub spec (i + 1) (String.length spec - i - 1) )
-      | None ->
-          Error (Engine.Invalid_input (where ^ ": expected NAME=FORMULA"))
-    in
-    let rec parse_all = function
-      | [] -> Ok []
-      | (where, s) :: rest ->
-          Result.bind (parse_line ~where s) @@ fun p ->
-          Result.map (fun ps -> p :: ps) (parse_all rest)
-    in
-    let from_file =
-      match file with
-      | None -> Ok []
-      | Some path ->
-          Result.map
-            (fun lines ->
-              List.filteri
-                (fun _ (_, l) ->
-                  let l = String.trim l in
-                  l <> "" && l.[0] <> '#')
-                (List.mapi
-                   (fun i l -> (Printf.sprintf "%s:%d" path (i + 1), l))
-                   lines))
-            (Engine.protect (fun () ->
-                 let ic = open_in path in
-                 Fun.protect
-                   ~finally:(fun () -> close_in ic)
-                   (fun () ->
-                     let rec go acc =
-                       match input_line ic with
-                       | l -> go (l :: acc)
-                       | exception End_of_file -> List.rev acc
-                     in
-                     go [])))
-    in
-    Result.bind from_file @@ fun file_specs ->
-    let cli_specs = List.map (fun s -> (s, s)) specs in
+    Result.bind (lint_mode syntactic semantic) @@ fun mode ->
+    Result.bind (specs_of_file file) @@ fun file_specs ->
+    Result.bind (specs_of_cli specs) @@ fun cli_specs ->
     let all = file_specs @ cli_specs in
-    if all = [] then
-      Error (Engine.Invalid_input "no requirements: give NAME=FORMULA or --file")
-    else
-      let mode =
-        match (syntactic, semantic) with
-        | true, true ->
-            (* contradictory flags: the stricter one wins nothing; refuse *)
-            None
-        | true, false -> Some Hierarchy.Lint.Syntactic_only
-        | false, true -> Some Hierarchy.Lint.Semantic
-        | false, false -> Some Hierarchy.Lint.Auto
-      in
-      match mode with
-      | None ->
+    match model with
+    | Some path ->
+        run_model_analysis ~budget ~telemetry ~mode ?pool ~format path all
+    | None ->
+        if all = [] then
           Error
             (Engine.Invalid_input
-               "--syntactic-only and --semantic are mutually exclusive")
-      | Some mode ->
-          Result.bind (parse_all all) @@ fun parsed ->
+               "no requirements: give NAME=FORMULA or --file")
+        else
           Result.map
             (fun v ->
-              (match format with
-              | `Text -> Fmt.pr "%a@." Hierarchy.Lint.pp_verdict v
-              | `Json -> print_endline (Hierarchy.Lint.to_json v));
-              (* errors in the spec are reflected in the exit code, so
-                 CI can gate on a clean lint *)
-              if
-                List.exists
-                  (fun d ->
-                    Hierarchy.Lint.severity_of_code d.Hierarchy.Lint.code
-                    = Hierarchy.Lint.Error)
-                  v.Hierarchy.Lint.diagnostics
-              then 1
-              else 0)
-            (Engine.lint ~budget ~telemetry ~mode ?pool parsed)
+              (* retrofit --file origins so JSON findings say where
+                 each requirement came from *)
+              let v =
+                Hierarchy.Lint.with_origins
+                  (List.map (fun (n, _, o) -> (n, o)) all)
+                  v
+              in
+              print_verdict format v;
+              verdict_exit_code v)
+            (Engine.lint ~budget ~telemetry ~mode ?pool
+               (List.map (fun (n, s, _) -> (n, s)) all))
   in
   let info =
     Cmd.info "lint"
@@ -375,8 +441,52 @@ let lint_cmd =
   in
   Cmd.v info
     Term.(const run $ fuel_arg $ timeout_arg $ stats_arg $ trace_arg
-          $ jobs_arg $ engine_arg $ file_arg $ format_arg $ syntactic_arg
-          $ semantic_arg $ specs_arg)
+          $ jobs_arg $ engine_arg $ spec_file_arg $ model_arg $ format_arg
+          $ syntactic_arg $ semantic_arg $ specs_arg)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let model_arg =
+    let doc =
+      "Fair-transition-system model file: var/init/trans/fair/spec lines \
+       (see the manual for the format)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
+  in
+  let spec_arg =
+    let doc =
+      "Extra requirement of the form NAME=FORMULA, analyzed against the \
+       model (repeatable)."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "spec"; "s" ] ~docv:"NAME=FORMULA" ~doc)
+  in
+  let run fuel timeout_ms stats trace jobs engine file format syntactic
+      semantic cli_specs model =
+    with_observability fuel timeout_ms stats trace @@ fun budget telemetry ->
+    with_engine engine @@ fun () ->
+    with_jobs jobs @@ fun pool ->
+    Result.bind (lint_mode syntactic semantic) @@ fun mode ->
+    Result.bind (specs_of_file file) @@ fun file_specs ->
+    Result.bind (specs_of_cli cli_specs) @@ fun extra_specs ->
+    run_model_analysis ~budget ~telemetry ~mode ?pool ~format model
+      (file_specs @ extra_specs)
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Model-aware static analysis of a fair transition system and its \
+         specification: unreachable states, dead transitions, deadlock \
+         sinks, vacuous fairness, antecedent-failure vacuity, constant \
+         spec atoms, verdict-robustness hints.  Exit code 2 means the \
+         budget cut some check short (reported as 'not checked', never \
+         dropped)."
+  in
+  Cmd.v info
+    Term.(const run $ fuel_arg $ timeout_arg $ stats_arg $ trace_arg
+          $ jobs_arg $ engine_arg $ spec_file_arg $ format_arg
+          $ syntactic_arg $ semantic_arg $ spec_arg $ model_arg)
 
 (* ---------------- equiv ---------------- *)
 
@@ -590,6 +700,7 @@ let main =
       build_cmd;
       views_cmd;
       lint_cmd;
+      analyze_cmd;
       equiv_cmd;
       witness_cmd;
       serve_cmd;

@@ -357,6 +357,29 @@ let lint ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled) ?mode
   with_scoped ?engine @@ fun () ->
   Lint.lint_strings ~budget ?mode ?pool specs
 
+let analyze ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
+    ?mode ?pool ?engine ~model specs =
+  let pool = effective_pool pool in
+  protect ~budget ~telemetry @@ fun () ->
+  with_scoped ?engine @@ fun () ->
+  let lint_verdict =
+    (* the formula-only pass degrades rather than aborts: if the budget
+       trips inside it, fall back to the syntactic-only pass (which
+       never ticks the — now sticky — budget), and let the model
+       checks' [Not_checked] statuses report the degradation instead of
+       losing the whole report *)
+    try Lint.lint_located ~budget ?mode ?pool specs
+    with Budget.Tripped _ ->
+      Lint.lint_located ~mode:Lint.Syntactic_only specs
+  in
+  let report =
+    Fts.Analyze.analyze ~budget ~telemetry ?pool
+      ~specs:
+        (List.map (fun it -> (it.Lint.iname, it.Lint.formula)) lint_verdict.Lint.items)
+      model
+  in
+  Lint.with_model report lint_verdict
+
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)

@@ -244,6 +244,25 @@ val lint :
     {!Lint.Auto}).  With [?pool] the per-item pass and the pairwise
     matrix parallelize with a byte-identical verdict (see {!Lint.lint}). *)
 
+val analyze :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?mode:Lint.mode ->
+  ?pool:Pool.t ->
+  ?engine:inclusion_engine ->
+  model:Fts.System.t ->
+  (string * string * Lint.origin option) list ->
+  (Lint.verdict, error) result
+(** Model-aware analysis: lint the (possibly empty) specification, run
+    every {!Fts.Analyze} check against [model], and merge both into one
+    verdict ({!Lint.with_model}).  Specs carry an optional source
+    origin so findings are attributable in JSON output.  [engine]
+    scopes the inclusion engine used by the vacuity queries; verdicts
+    are identical under either engine and at every pool size.  If the
+    budget trips during the formula-only pass, it degrades to the
+    syntactic-only pass and the model checks report [Not_checked] —
+    nothing is silently dropped. *)
+
 (** {2 Parsing and alphabets} *)
 
 val parse : string -> (Logic.Formula.t, error) result

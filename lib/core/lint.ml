@@ -17,11 +17,17 @@ type code =
   | H201  (* written in a higher class than it denotes *)
   | H202  (* outside the canonical fragment *)
   | H203  (* constant subformula *)
+  | Model of Fts.Analyze.code  (* model-aware finding, M3xx/H312 *)
 
 let severity_of_code = function
   | E001 | E002 -> Error
   | W101 | W102 | W103 | W104 | W105 -> Warning
   | H201 | H202 | H203 -> Hint
+  | Model c -> (
+      match Fts.Analyze.severity_of c with
+      | Fts.Analyze.Error -> Error
+      | Fts.Analyze.Warning -> Warning
+      | Fts.Analyze.Hint -> Hint)
 
 let code_name = function
   | E001 -> "E001"
@@ -34,16 +40,21 @@ let code_name = function
   | H201 -> "H201"
   | H202 -> "H202"
   | H203 -> "H203"
+  | Model c -> Fts.Analyze.code_name c
 
 let severity_name = function
   | Error -> "error"
   | Warning -> "warning"
   | Hint -> "hint"
 
+type origin = { file : string; line : int }
+
 type diagnostic = {
   code : code;
   requirement : string option;
   span : Logic.Parser.span option;
+  locus : string list;
+  origin : origin option;
   message : string;
 }
 
@@ -51,6 +62,7 @@ type item = {
   iname : string;
   formula : Logic.Formula.t;
   source : string option;
+  origin : origin option;
   shape : Logic.Shape.t;
   interval : Kappa.interval;
   klass : Kappa.t option;
@@ -60,12 +72,19 @@ type item = {
 
 type mode = Syntactic_only | Auto | Semantic
 
+type model_info = {
+  model_states : int;
+  model_transitions : int;
+  model_checks : (Fts.Analyze.code * Fts.Analyze.status) list;
+}
+
 type verdict = {
   items : item list;
   diagnostics : diagnostic list;
   conjunction_class : Kappa.t option;
   conjunction_interval : Kappa.interval;
   semantic : bool;
+  model : model_info option;
 }
 
 let max_semantic_atoms = 14
@@ -120,7 +139,10 @@ let lint_parsed ?budget ?(mode = Auto) ?pool
   let diags = ref [] in
   let diag ?requirement ?span code fmt =
     Printf.ksprintf
-      (fun message -> diags := { code; requirement; span; message } :: !diags)
+      (fun message ->
+        diags :=
+          { code; requirement; span; locus = []; origin = None; message }
+          :: !diags)
       fmt
   in
   if want_semantic && not semantic then
@@ -160,6 +182,7 @@ let lint_parsed ?budget ?(mode = Auto) ?pool
       iname;
       formula;
       source = Option.map fst src;
+      origin = None;
       shape;
       interval;
       klass;
@@ -304,16 +327,21 @@ let lint_parsed ?budget ?(mode = Auto) ?pool
   in
   let conj_shape = Logic.Shape.infer conj in
   let conjunction_class =
+    (* an empty specification has no conjunction worth reporting
+       (model-only analyze runs lint with zero items) *)
     match alpha with
-    | Some alpha -> Omega.Of_formula.classify ?budget alpha conj
-    | None -> None
+    | Some alpha when specs <> [] ->
+        Omega.Of_formula.classify ?budget alpha conj
+    | Some _ | None -> None
   in
   let conjunction_interval =
     match conjunction_class with
     | Some k -> Kappa.exactly k
-    | None -> conj_shape.Logic.Shape.interval
+    | None ->
+        if specs = [] then Kappa.top_interval
+        else conj_shape.Logic.Shape.interval
   in
-  (if not all_safety then
+  (if (not all_safety) && items <> [] then
      match
        ( conjunction_class,
          conjunction_interval.Kappa.upper )
@@ -333,6 +361,7 @@ let lint_parsed ?budget ?(mode = Auto) ?pool
     conjunction_class;
     conjunction_interval;
     semantic;
+    model = None;
   }
 
 let lint ?budget ?mode ?pool specs =
@@ -345,6 +374,61 @@ let lint_strings ?budget ?mode ?pool specs =
          let sp = Logic.Parser.parse_spanned s in
          (n, sp.Logic.Parser.f, Some (s, sp)))
        specs)
+
+(* Attach source origins (file/line) to the items and to every
+   diagnostic that names an originated requirement. *)
+let with_origins origins v =
+  let of_name n = Option.join (List.assoc_opt n origins) in
+  {
+    v with
+    items = List.map (fun it -> { it with origin = of_name it.iname }) v.items;
+    diagnostics =
+      List.map
+        (fun d ->
+          match d.requirement with
+          | Some r when d.origin = None -> { d with origin = of_name r }
+          | _ -> d)
+        v.diagnostics;
+  }
+
+let lint_located ?budget ?mode ?pool specs =
+  with_origins
+    (List.map (fun (n, _, origin) -> (n, origin)) specs)
+    (lint_strings ?budget ?mode ?pool
+       (List.map (fun (n, s, _) -> (n, s)) specs))
+
+let with_model (report : Fts.Analyze.report) v =
+  let origin_of = function
+    | Some r ->
+        List.find_map
+          (fun it -> if it.iname = r then it.origin else None)
+          v.items
+    | None -> None
+  in
+  let model_diags =
+    List.map
+      (fun (f : Fts.Analyze.finding) ->
+        {
+          code = Model f.Fts.Analyze.code;
+          requirement = f.Fts.Analyze.requirement;
+          span = None;
+          locus = f.Fts.Analyze.locus;
+          origin = origin_of f.Fts.Analyze.requirement;
+          message = f.Fts.Analyze.message;
+        })
+      report.Fts.Analyze.findings
+  in
+  {
+    v with
+    diagnostics = v.diagnostics @ model_diags;
+    model =
+      Some
+        {
+          model_states = report.Fts.Analyze.n_states;
+          model_transitions = report.Fts.Analyze.n_transitions;
+          model_checks = report.Fts.Analyze.statuses;
+        };
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -367,6 +451,21 @@ let pp_verdict ppf v =
       | None, i when i <> Kappa.top_interval ->
           [ "conjunction: " ^ Kappa.interval_name i ]
       | None, _ -> [])
+    @ (match v.model with
+      | None -> []
+      | Some m ->
+          Printf.sprintf "model: %d reachable states, %d transitions"
+            m.model_states m.model_transitions
+          :: List.filter_map
+               (fun (c, st) ->
+                 match (st : Fts.Analyze.status) with
+                 | Fts.Analyze.Checked | Fts.Analyze.Skipped _ -> None
+                 | Fts.Analyze.Not_checked e ->
+                     Some
+                       (Printf.sprintf "not checked %s: %s"
+                          (Fts.Analyze.code_name c)
+                          (Fmt.str "%a" Budget.pp_exhaustion e)))
+               m.model_checks)
     @
     if v.diagnostics = [] then [ "no diagnostics" ]
     else
@@ -412,6 +511,11 @@ let json_interval { Kappa.lower; upper } =
 let json_span { Logic.Parser.start; stop } =
   Printf.sprintf "{\"start\":%d,\"stop\":%d}" start stop
 
+let json_origin { file; line } =
+  Printf.sprintf "{\"file\":%s,\"line\":%d}" (json_string file) line
+
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
 let json_item it =
   String.concat ""
     [
@@ -433,6 +537,8 @@ let json_item it =
       json_opt json_bool it.satisfiable;
       ",\"valid\":";
       json_opt json_bool it.valid;
+      ",\"origin\":";
+      json_opt json_origin it.origin;
       "}";
     ]
 
@@ -447,9 +553,41 @@ let json_diagnostic d =
       json_opt json_string d.requirement;
       ",\"span\":";
       json_opt json_span d.span;
+      ",\"locus\":";
+      json_list json_string d.locus;
+      ",\"origin\":";
+      json_opt json_origin d.origin;
       ",\"message\":";
       json_string d.message;
       "}";
+    ]
+
+let json_status (st : Fts.Analyze.status) =
+  match st with
+  | Fts.Analyze.Checked -> "{\"state\":\"checked\"}"
+  | Fts.Analyze.Not_checked e ->
+      Printf.sprintf "{\"state\":\"not_checked\",\"reason\":%s}"
+        (json_string (Fmt.str "%a" Budget.pp_exhaustion e))
+  | Fts.Analyze.Skipped reason ->
+      Printf.sprintf "{\"state\":\"skipped\",\"reason\":%s}"
+        (json_string reason)
+
+let json_model m =
+  String.concat ""
+    [
+      "{\"states\":";
+      string_of_int m.model_states;
+      ",\"transitions\":";
+      string_of_int m.model_transitions;
+      ",\"checks\":[";
+      String.concat ","
+        (List.map
+           (fun (c, st) ->
+             Printf.sprintf "{\"code\":%s,\"status\":%s}"
+               (json_string (Fts.Analyze.code_name c))
+               (json_status st))
+           m.model_checks);
+      "]}";
     ]
 
 let to_json v =
@@ -465,5 +603,7 @@ let to_json v =
       json_bool v.semantic;
       ",\"diagnostics\":[";
       String.concat "," (List.map json_diagnostic v.diagnostics);
-      "]}";
+      "],\"model\":";
+      json_opt json_model v.model;
+      "}";
     ]

@@ -39,19 +39,42 @@
     - {b H202} requirement outside the canonical fragment: only the
       syntactic bound is available.
     - {b H203} a proper subformula is constantly true/false (with its
-      source span when the requirement was parsed from a string). *)
+      source span when the requirement was parsed from a string).
+
+    Model-aware findings ([M3xx]/[H312], produced by {!Fts.Analyze} when
+    a model is supplied) are wrapped into the same diagnostic stream via
+    the {!Model} constructor: one report type, one JSON schema, one
+    severity/exit-code policy for formula-only and model-aware runs. *)
 
 type severity = Error | Warning | Hint
 
-type code = E001 | E002 | W101 | W102 | W103 | W104 | W105 | H201 | H202 | H203
+type code =
+  | E001
+  | E002
+  | W101
+  | W102
+  | W103
+  | W104
+  | W105
+  | H201
+  | H202
+  | H203
+  | Model of Fts.Analyze.code
+      (** a model-aware finding ({!Fts.Analyze}), e.g. [Model M304];
+          [code_name] renders the inner code ("M304") *)
 
 val severity_of_code : code -> severity
 
 val code_name : code -> string
-(** ["E001"], ["W102"], ... *)
+(** ["E001"], ["W102"], ..., ["M304"], ["H312"]. *)
 
 val severity_name : severity -> string
 (** ["error"], ["warning"], ["hint"]. *)
+
+type origin = { file : string; line : int }
+(** Where a requirement came from, for file-driven runs ([--file],
+    [analyze MODEL]): corpus-scale reports need every finding
+    attributable to a source line. *)
 
 type diagnostic = {
   code : code;
@@ -61,6 +84,12 @@ type diagnostic = {
   span : Logic.Parser.span option;
       (** source extent of the offending (sub)formula, when the
           requirement came in as a string ({!lint_strings}) *)
+  locus : string list;
+      (** span-free model anchors for {!Model} findings: variable,
+          transition and fairness names, rendered states, offending
+          subformulas; [[]] for formula-only diagnostics *)
+  origin : origin option;
+      (** source file/line of the requirement concerned, when known *)
   message : string;
 }
 
@@ -68,6 +97,7 @@ type item = {
   iname : string;
   formula : Logic.Formula.t;
   source : string option;  (** original text, via {!lint_strings} *)
+  origin : origin option;  (** source file/line, via {!lint_located} *)
   shape : Logic.Shape.t;  (** the syntactic analysis, always present *)
   interval : Kappa.interval;
       (** sound enclosure of the exact class: the syntactic interval,
@@ -84,14 +114,26 @@ type mode =
   | Semantic  (** always attempt semantic refinement, including the
                   O(n²) pairwise checks on larger item lists *)
 
+type model_info = {
+  model_states : int;  (** reachable states of the analysed model *)
+  model_transitions : int;
+  model_checks : (Fts.Analyze.code * Fts.Analyze.status) list;
+      (** per-check completion statuses — the degradation contract: a
+          check the budget interrupted says [Not_checked] here instead
+          of silently contributing no diagnostics *)
+}
+
 type verdict = {
   items : item list;
   diagnostics : diagnostic list;  (** in deterministic order: per-item,
-                                      then pairwise, then spec-level *)
+                                      then pairwise, then spec-level,
+                                      then model-aware *)
   conjunction_class : Kappa.t option;
       (** exact class of the whole specification, when computed *)
   conjunction_interval : Kappa.interval;
   semantic : bool;  (** whether the semantic pass ran *)
+  model : model_info option;
+      (** present when a model was analysed ({!with_model}) *)
 }
 
 (** [lint specs]: analyze each named requirement.  Never raises on
@@ -121,9 +163,34 @@ val lint_strings :
   (string * string) list ->
   verdict
 
+(** {!lint_strings} with a source origin per requirement: items and the
+    diagnostics that concern them carry the originating file and line,
+    so corpus-scale JSON output is attributable. *)
+val lint_located :
+  ?budget:Budget.t ->
+  ?mode:mode ->
+  ?pool:Pool.t ->
+  (string * string * origin option) list ->
+  verdict
+
+(** [with_origins origins v] retrofits source origins onto a verdict
+    produced without them: every item and diagnostic whose requirement
+    name appears in [origins] gets that origin.  {!lint_located} is
+    {!lint_strings} followed by this. *)
+val with_origins : (string * origin option) list -> verdict -> verdict
+
+(** [with_model report v] merges a model analysis into a lint verdict:
+    each {!Fts.Analyze.finding} becomes a [Model]-coded diagnostic
+    (appended after the formula-only diagnostics, inheriting the origin
+    of the requirement it names, when known), and [v.model] records the
+    model's size and per-check statuses. *)
+val with_model : Fts.Analyze.report -> verdict -> verdict
+
 val pp_verdict : verdict Fmt.t
 
 (** Machine-readable rendering: a single JSON object
     [{"items":[...],"conjunction":{...},"semantic":bool,
-    "diagnostics":[...]}] with stable field order. *)
+    "diagnostics":[...],"model":...}] with stable field order.
+    Diagnostics carry ["locus"] (model anchors) and ["origin"]
+    (file/line); ["model"] is [null] for formula-only runs. *)
 val to_json : verdict -> string

@@ -22,8 +22,13 @@ let atom_at sys labels state lab atom =
     labels.(lab) = tn
   else System.atom_holds sys state atom
 
-(* Fairness acceptance over split nodes. *)
-let fairness_acc sys labels n_labels =
+(* Fairness acceptance over split nodes.  [fairness] defaults to the
+   system's own requirement set; {!has_fair_computation} overrides it to
+   attribute an empty fair-computation set to individual requirements. *)
+let fairness_acc ?fairness sys labels n_labels =
+  let fairness =
+    match fairness with Some f -> f | None -> System.fairness sys
+  in
   let states = System.internal_states sys in
   let n_states = Array.length states in
   let node sid lab = (sid * n_labels) + lab in
@@ -53,7 +58,7 @@ let fairness_acc sys labels n_labels =
                   (nodes_where (fun st _ -> System.internal_guard sys tn st));
                 Acceptance.Inf (nodes_where (fun _ lab -> labels.(lab) = tn));
               ])
-      (System.fairness sys)
+      fairness
   in
   Acceptance.And conjuncts
 
@@ -77,7 +82,7 @@ let split_graph ~budget ~telemetry sys n_labels =
     (System.internal_edges sys);
   { Graph.n; succ }
 
-let check_with_acc ~budget ~telemetry sys spec_formula =
+let check_with_acc ?fairness ~budget ~telemetry sys spec_formula =
   let labels = labels_of sys in
   let n_labels = Array.length labels in
   let states = System.internal_states sys in
@@ -85,7 +90,7 @@ let check_with_acc ~budget ~telemetry sys spec_formula =
   let starts =
     List.map (fun sid -> sid * n_labels) (System.internal_init_ids sys)
   in
-  let fair = fairness_acc sys labels n_labels in
+  let fair = fairness_acc ?fairness sys labels n_labels in
   match spec_formula with
   | None -> (graph, starts, fair, fun v -> v)
   | Some f ->
@@ -194,10 +199,90 @@ let holds_s ?budget ?telemetry sys s =
   holds ?budget ?telemetry sys (Logic.Parser.parse s)
 
 let has_fair_computation ?(budget = Budget.unlimited)
-    ?(telemetry = Telemetry.disabled) sys =
-  let graph, starts, acc, _ = check_with_acc ~budget ~telemetry sys None in
+    ?(telemetry = Telemetry.disabled) ?fairness sys =
+  let graph, starts, acc, _ =
+    check_with_acc ?fairness ~budget ~telemetry sys None
+  in
   Telemetry.span telemetry "fts.lasso_search" @@ fun () ->
   Graph.find_accepting_lasso graph ~starts acc <> None
+
+(* Subset construction for the safety closure of the system's
+   computation language, projected onto valuations of [atoms].  The
+   result is a complete deterministic automaton accepting exactly the
+   infinite words all of whose finite prefixes are valuation sequences
+   of some computation prefix (fairness is deliberately ignored — the
+   closure over-approximates the fair computations, which is what makes
+   vacuity verdicts derived from it sound).  Correct because the prefix
+   language of a graph is closed: a word is in the closure iff the
+   subset automaton never empties. *)
+let closure_automaton ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) sys ~atoms =
+  let atoms = List.sort_uniq compare atoms in
+  if atoms = [] then invalid_arg "Check.closure_automaton: no atoms";
+  if List.length atoms > 14 then
+    invalid_arg "Check.closure_automaton: too many distinct atoms";
+  let labels = labels_of sys in
+  let n_labels = Array.length labels in
+  let states = System.internal_states sys in
+  let graph = split_graph ~budget ~telemetry sys n_labels in
+  Telemetry.span telemetry "fts.closure_automaton" @@ fun () ->
+  let alpha = Alphabet.of_props atoms in
+  let k = Alphabet.size alpha in
+  let indexed = List.mapi (fun i a -> (i, a)) atoms in
+  let letter =
+    Array.init graph.Graph.n (fun v ->
+        let sid = v / n_labels and lab = v mod n_labels in
+        List.fold_left
+          (fun acc (i, atom) ->
+            if atom_at sys labels states.(sid) lab atom then acc lor (1 lsl i)
+            else acc)
+          0 indexed)
+  in
+  Budget.ticks budget graph.Graph.n;
+  (* Worklist subset construction.  DFA state 0 is the pre-initial
+     state (no letter read yet); every other state is a sorted subset
+     of split nodes; the empty subset is the reject sink. *)
+  let ids = Hashtbl.create 64 in
+  let rows = Hashtbl.create 64 in
+  let pending = Queue.create () in
+  let next = ref 1 in
+  let intern s =
+    match Hashtbl.find_opt ids s with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add ids s i;
+        Queue.add (i, s) pending;
+        Budget.tick budget;
+        i
+  in
+  let bucketize vs =
+    let buckets = Array.make k [] in
+    List.iter (fun w -> buckets.(letter.(w)) <- w :: buckets.(letter.(w))) vs;
+    Array.map (fun l -> intern (List.sort_uniq compare l)) buckets
+  in
+  let starts =
+    List.map (fun sid -> sid * n_labels) (System.internal_init_ids sys)
+  in
+  Hashtbl.add rows 0 (bucketize starts);
+  while not (Queue.is_empty pending) do
+    let i, s = Queue.pop pending in
+    Budget.ticks budget (List.length s + k);
+    Hashtbl.add rows i
+      (bucketize (List.concat_map (fun v -> graph.Graph.succ.(v)) s))
+  done;
+  let n = !next in
+  Telemetry.add telemetry "fts.closure_states" n;
+  let delta = Array.init n (fun i -> Hashtbl.find rows i) in
+  let acc =
+    (* a word is in the closure iff its run never reaches the sink;
+       the sink is absorbing, so "never reaches" = "visits finitely" *)
+    match Hashtbl.find_opt ids [] with
+    | Some sink -> Acceptance.Fin (Iset.add sink Iset.empty)
+    | None -> Acceptance.True
+  in
+  Omega.Automaton.make ~alpha ~n ~start:0 ~delta ~acc
 
 let pp_trace sys ppf { prefix; cycle } =
   let pp_step ppf (st, lab) =

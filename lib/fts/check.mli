@@ -43,8 +43,32 @@ val holds_s :
   ?budget:Budget.t -> ?telemetry:Telemetry.t -> System.t -> string -> result
 
 (** Is there any fair computation at all (sanity check: a system with no
-    fair computations satisfies everything vacuously)? *)
+    fair computations satisfies everything vacuously)?  [fairness]
+    overrides the system's requirement set — {!Analyze} passes singleton
+    lists to attribute an empty fair-computation set to the individual
+    requirement that caused it. *)
 val has_fair_computation :
-  ?budget:Budget.t -> ?telemetry:Telemetry.t -> System.t -> bool
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?fairness:System.fairness list ->
+  System.t ->
+  bool
+
+(** [closure_automaton sys ~atoms] is the safety closure of the system's
+    computation language, projected onto valuations of [atoms], as a
+    complete deterministic automaton (subset construction over the
+    edge-split reachable graph; the empty subset is a rejecting sink).
+    Fairness is ignored, so the result {e over-approximates} the fair
+    computations — sound for vacuity checks of the form
+    "closure ⊆ L(φ') implies every fair computation satisfies φ'".
+    [atoms] follow {!System.atom_holds} plus [taken_tau]; raises
+    [Invalid_argument] on an empty or oversized (> 14) atom set or an
+    unknown atom. *)
+val closure_automaton :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  System.t ->
+  atoms:string list ->
+  Omega.Automaton.t
 
 val pp_trace : System.t -> trace Fmt.t

@@ -205,3 +205,41 @@ let countdown ~n () =
       ]
     ~fairness:[ Weak "dec"; Weak "finish" ]
     ()
+
+let vacuous_fairness () =
+  (* vars: c (0 idle, 1 waiting, 2 using), free *)
+  let c = 0 and free = 1 in
+  let set s assignments =
+    let s' = Array.copy s in
+    List.iter (fun (i, v) -> s'.(i) <- v) assignments;
+    [ s' ]
+  in
+  make
+    ~vars:[ { name = "c"; lo = 0; hi = 2 }; { name = "free"; lo = 0; hi = 1 } ]
+      (* the client starts waiting and the resource starts leaked *)
+    ~init:[ [| 1; 0 |] ]
+    ~transitions:
+      [
+        {
+          tname = "request";
+          guard = (fun s -> s.(c) = 0);
+          action = (fun s -> set s [ (c, 1) ]);
+        };
+        {
+          (* BUG: the guard forgot the [free = 1] conjunct, but the
+             action still refuses to grant a busy resource — [grant] is
+             declared enabled at every reachable state yet can never be
+             taken. *)
+          tname = "grant";
+          guard = (fun s -> s.(c) = 1);
+          action =
+            (fun s -> if s.(free) = 1 then set s [ (c, 2); (free, 0) ] else []);
+        };
+        {
+          tname = "release";
+          guard = (fun s -> s.(c) = 2);
+          action = (fun s -> set s [ (c, 0); (free, 1) ]);
+        };
+      ]
+    ~fairness:[ Strong "grant" ]
+    ()

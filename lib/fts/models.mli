@@ -47,3 +47,15 @@ val countdown : n:int -> unit -> System.t
     state.  With [lefty:true] philosopher 0 grabs the right fork first,
     which breaks the cycle: deadlock-freedom holds. *)
 val philosophers : lefty:bool -> unit -> System.t
+
+(** The fair-computations-may-be-empty trap from {!Check}, as a concrete
+    broken model: a one-client allocator whose [grant] guard forgot the
+    [free = 1] conjunct while its action still refuses a busy resource.
+    The only reachable state is [{c=1; free=0}] (the client waits, the
+    resource is leaked), where [grant] is {e enabled} (its guard holds)
+    but can never be {e taken} (its action yields no successor).  Strong
+    fairness on [grant] therefore rules out every computation — the
+    fair-computation set is empty and any specification, e.g.
+    [[] (c=1 -> <> c=2)], holds vacuously.  [hpt analyze] flags this as
+    M304; {!Check.has_fair_computation} returns [false]. *)
+val vacuous_fairness : unit -> System.t

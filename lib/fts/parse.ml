@@ -1,0 +1,272 @@
+type spec = { sname : string; stext : string; sline : int }
+
+let fail name line fmt =
+  Printf.ksprintf (fun m -> invalid_arg (Printf.sprintf "%s:%d: %s" name line m)) fmt
+
+let strip s =
+  let s = match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  String.trim s
+
+let split_first sep s =
+  match String.index_opt s sep with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.trim (String.sub s 0 i),
+          String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+
+(* first occurrence of a multi-char token, outside nothing fancy (the
+   format has no quoting) *)
+let split_token tok s =
+  let n = String.length s and k = String.length tok in
+  let rec find i =
+    if i + k > n then None
+    else if String.sub s i k = tok then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.trim (String.sub s 0 i),
+          String.trim (String.sub s (i + k) (n - i - k)) )
+
+let split_on_char_trim c s =
+  List.map String.trim (String.split_on_char c s)
+
+(* ---- state-formula compilation ---------------------------------- *)
+
+(* Guards and [when] filters run once per explored state: compile them
+   to closures over the state array at parse time, rejecting anything
+   that is not a state formula over the declared variables. *)
+let compile_formula ~name ~line ~index f =
+  let idx v =
+    match Hashtbl.find_opt index v with
+    | Some i -> i
+    | None -> fail name line "unknown variable %s in condition" v
+  in
+  let atom a =
+    if
+      (String.length a > 3 && String.sub a 0 3 = "en_")
+      || (String.length a > 6 && String.sub a 0 6 = "taken_")
+    then
+      fail name line
+        "atom %s: en_/taken_ atoms are not allowed in model conditions" a
+    else
+      match String.index_opt a '=' with
+      | Some i -> (
+          let v = String.sub a 0 i in
+          let rhs = String.sub a (i + 1) (String.length a - i - 1) in
+          match int_of_string_opt rhs with
+          | Some value ->
+              let j = idx v in
+              fun (s : int array) -> s.(j) = value
+          | None -> fail name line "atom %s: right-hand side must be an integer" a)
+      | None ->
+          let j = idx a in
+          fun s -> s.(j) <> 0
+  in
+  let rec go (f : Logic.Formula.t) =
+    match f with
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Atom a -> atom a
+    | Not g ->
+        let g = go g in
+        fun s -> not (g s)
+    | And (g, h) ->
+        let g = go g and h = go h in
+        fun s -> g s && h s
+    | Or (g, h) ->
+        let g = go g and h = go h in
+        fun s -> g s || h s
+    | Imp (g, h) ->
+        let g = go g and h = go h in
+        fun s -> (not (g s)) || h s
+    | Iff (g, h) ->
+        let g = go g and h = go h in
+        fun s -> g s = h s
+    | Next _ | Until _ | Wuntil _ | Ev _ | Alw _ | Prev _ | Wprev _
+    | Since _ | Wsince _ | Once _ | Hist _ ->
+        fail name line "temporal operator in a model condition (guards and \
+                        'when' filters must be state formulas)"
+  in
+  go f
+
+let parse_condition ~name ~line ~index text =
+  match Logic.Parser.parse text with
+  | f -> compile_formula ~name ~line ~index f
+  | exception Invalid_argument m -> fail name line "bad condition: %s" m
+
+(* Assignment right-hand sides: INT, VAR, VAR+INT, VAR-INT. *)
+let parse_rhs ~name ~line ~index rhs =
+  let var v =
+    match Hashtbl.find_opt index (String.trim v) with
+    | Some i -> i
+    | None -> fail name line "unknown variable %s in assignment" (String.trim v)
+  in
+  match int_of_string_opt rhs with
+  | Some k -> fun (_ : int array) -> k
+  | None -> (
+      let split op =
+        match split_first op rhs with
+        | Some (v, k) when v <> "" -> (
+            match int_of_string_opt k with
+            | Some k -> Some (var v, k)
+            | None -> None)
+        | _ -> None
+      in
+      match split '+' with
+      | Some (j, k) -> fun s -> s.(j) + k
+      | None -> (
+          match split '-' with
+          | Some (j, k) -> fun s -> s.(j) - k
+          | None ->
+              let j = var rhs in
+              fun s -> s.(j)))
+
+let parse_assignments ~name ~line ~index text =
+  if String.trim text = "" then []
+  else
+    List.map
+      (fun a ->
+        match split_token ":=" a with
+        | Some (v, rhs) when v <> "" ->
+            let j =
+              match Hashtbl.find_opt index v with
+              | Some j -> j
+              | None -> fail name line "unknown variable %s in assignment" v
+            in
+            (j, parse_rhs ~name ~line ~index rhs)
+        | _ -> fail name line "bad assignment %S (expected var := expr)" a)
+      (split_on_char_trim ',' text)
+
+(* ---- the line parser -------------------------------------------- *)
+
+let parse ?(name = "<model>") ?budget ?max_states text =
+  let vars = ref [] (* reversed *) in
+  let index = Hashtbl.create 8 in
+  let inits = ref [] (* reversed *) in
+  let transitions = ref [] (* reversed *) in
+  let fairness = ref [] (* reversed *) in
+  let specs = ref [] (* reversed *) in
+  let n_vars () = Hashtbl.length index in
+  let declare_var line rest =
+    match split_on_char_trim ' ' rest |> List.filter (( <> ) "") with
+    | [ vname; range ] -> (
+        if Hashtbl.mem index vname then
+          fail name line "duplicate variable %s" vname;
+        match split_token ".." range with
+        | Some (lo, hi) -> (
+            match (int_of_string_opt lo, int_of_string_opt hi) with
+            | Some lo, Some hi ->
+                Hashtbl.add index vname (n_vars ());
+                vars := { System.name = vname; lo; hi } :: !vars
+            | _ -> fail name line "bad range %S (expected LO..HI)" range)
+        | None -> fail name line "bad range %S (expected LO..HI)" range)
+    | _ -> fail name line "expected: var NAME LO..HI"
+  in
+  let declare_init line rest =
+    let s =
+      Array.of_list (List.rev_map (fun v -> v.System.lo) !vars)
+    in
+    List.iter
+      (fun bind ->
+        match split_first '=' bind with
+        | Some (v, value) -> (
+            let j =
+              match Hashtbl.find_opt index v with
+              | Some j -> j
+              | None -> fail name line "unknown variable %s in init" v
+            in
+            match int_of_string_opt value with
+            | Some value -> s.(j) <- value
+            | None -> fail name line "bad init value %S for %s" value v)
+        | None -> fail name line "bad init binding %S (expected var=value)" bind)
+      (split_on_char_trim ',' rest |> List.filter (( <> ) ""));
+    inits := s :: !inits
+  in
+  let declare_trans line rest =
+    match split_first ':' rest with
+    | Some (tname, body) when tname <> "" -> (
+        match split_token "->" body with
+        | Some (guard_text, actions_text) ->
+            let guard = parse_condition ~name ~line ~index guard_text in
+            let branches =
+              List.map
+                (fun branch ->
+                  let assigns_text, post =
+                    match split_token " when " (" " ^ branch ^ " ") with
+                    | Some (a, w) ->
+                        (a, Some (parse_condition ~name ~line ~index w))
+                    | None -> (branch, None)
+                  in
+                  let assigns =
+                    parse_assignments ~name ~line ~index assigns_text
+                  in
+                  fun (s : int array) ->
+                    let s' = Array.copy s in
+                    List.iter (fun (j, rhs) -> s'.(j) <- rhs s) assigns;
+                    match post with
+                    | Some p when not (p s') -> []
+                    | _ -> [ s' ])
+                (split_on_char_trim '|' actions_text)
+            in
+            transitions :=
+              {
+                System.tname;
+                guard;
+                action = (fun s -> List.concat_map (fun b -> b s) branches);
+              }
+              :: !transitions
+        | None -> fail name line "expected: trans NAME: GUARD -> ASSIGNMENTS"
+        )
+    | _ -> fail name line "expected: trans NAME: GUARD -> ASSIGNMENTS"
+  in
+  let declare_fair line rest =
+    match split_on_char_trim ' ' rest |> List.filter (( <> ) "") with
+    | [ "weak"; tn ] -> fairness := System.Weak tn :: !fairness
+    | [ "strong"; tn ] -> fairness := System.Strong tn :: !fairness
+    | _ -> fail name line "expected: fair weak|strong TRANSITION"
+  in
+  let declare_spec line rest =
+    match split_first '=' rest with
+    | Some (sname, stext) when sname <> "" && stext <> "" ->
+        if List.exists (fun s -> s.sname = sname) !specs then
+          fail name line "duplicate spec %s" sname;
+        specs := { sname; stext; sline = line } :: !specs
+    | _ -> fail name line "expected: spec NAME = FORMULA"
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      match strip raw with
+      | "" -> ()
+      | l -> (
+          match split_first ' ' (l ^ " ") with
+          | Some ("var", rest) -> declare_var line rest
+          | Some ("init", rest) -> declare_init line rest
+          | Some ("trans", rest) -> declare_trans line rest
+          | Some ("fair", rest) -> declare_fair line rest
+          | Some ("spec", rest) -> declare_spec line rest
+          | Some (kw, _) -> fail name line "unknown directive %S" kw
+          | None -> assert false))
+    (String.split_on_char '\n' text);
+  if !vars = [] then fail name 0 "no variables declared";
+  if !inits = [] then fail name 0 "no init line";
+  let sys =
+    try
+      System.make ?budget ?max_states ~vars:(List.rev !vars)
+        ~init:(List.rev !inits)
+        ~transitions:(List.rev !transitions)
+        ~fairness:(List.rev !fairness) ()
+    with Invalid_argument m -> fail name 0 "%s" m
+  in
+  (sys, List.rev !specs)
+
+let load ?budget ?max_states path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  parse ~name:(Filename.basename path) ?budget ?max_states text

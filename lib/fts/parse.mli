@@ -1,0 +1,50 @@
+(** A small line-oriented model format compiling to {!System}, so fair
+    transition systems can live next to their specifications in
+    [examples/] and drive [hpt analyze] without writing OCaml.
+
+    {v
+# comments run to end of line
+var c 0..2                  # one declared variable per line, with range
+var free 0..1
+init c=1, free=0            # one initial state per line; omitted
+                            # variables take their lower bound
+trans request: c=0 -> c:=1  # name: guard -> assignments
+trans grant: c=1 -> c:=2 when free=1
+trans step: c=1 -> c:=0 | c:=2   # '|' separates nondeterministic branches
+fair strong grant           # weak|strong, naming a transition
+spec ok = [] (c=1 -> <> c=2)     # inline requirement, analyzed on demand
+    v}
+
+    Guards and [when] conditions are state formulas in {!Logic.Parser}
+    syntax over atoms [x] (nonzero) and [x=3]; [en_]/[taken_] atoms are
+    rejected there (they would be circular).  A [when] condition
+    filters the {e successor} state: a branch whose post-state fails it
+    yields nothing — this is how the format expresses the
+    enabledness/taken mismatches behind M302/M304 findings (a guard
+    that promises more than the action delivers).  Assignment
+    right-hand sides are integer literals, variables, or [v+k]/[v-k].
+    Branches are split on [|] {e before} conditions are parsed, so a
+    [when] condition cannot use a top-level disjunction — write
+    [!(!a & !b)] instead.
+
+    Errors raise [Invalid_argument] as ["name:LINE: message"]. *)
+
+type spec = {
+  sname : string;
+  stext : string;  (** the requirement formula, unparsed *)
+  sline : int;  (** 1-based line in the model file *)
+}
+
+(** Parse a model from a string.  [name] prefixes error messages
+    (defaults to ["<model>"]); [budget]/[max_states] are passed to
+    {!System.make}'s reachability exploration. *)
+val parse :
+  ?name:string ->
+  ?budget:Budget.t ->
+  ?max_states:int ->
+  string ->
+  System.t * spec list
+
+(** [load path] reads and parses the file at [path]. *)
+val load :
+  ?budget:Budget.t -> ?max_states:int -> string -> System.t * spec list

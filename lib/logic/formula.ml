@@ -76,6 +76,65 @@ let atoms f =
     (function Atom a -> Some a | _ -> None)
     (subformulas f)
 
+let map_children fn = function
+  | (True | False | Atom _) as f -> f
+  | Not f -> Not (fn f)
+  | And (f, g) -> And (fn f, fn g)
+  | Or (f, g) -> Or (fn f, fn g)
+  | Imp (f, g) -> Imp (fn f, fn g)
+  | Iff (f, g) -> Iff (fn f, fn g)
+  | Next f -> Next (fn f)
+  | Until (f, g) -> Until (fn f, fn g)
+  | Wuntil (f, g) -> Wuntil (fn f, fn g)
+  | Ev f -> Ev (fn f)
+  | Alw f -> Alw (fn f)
+  | Prev f -> Prev (fn f)
+  | Wprev f -> Wprev (fn f)
+  | Since (f, g) -> Since (fn f, fn g)
+  | Wsince (f, g) -> Wsince (fn f, fn g)
+  | Once f -> Once (fn f)
+  | Hist f -> Hist (fn f)
+
+let rec replace f ~sub ~by =
+  if f = sub then by else map_children (replace ~sub ~by) f
+
+(* Fold over occurrences of [sub], tracking polarity: [pos] and [neg]
+   record whether any occurrence was seen at positive / negative (or
+   mixed — then both) polarity. *)
+let polarity_of_occurrence f ~sub =
+  let pos = ref false and neg = ref false in
+  (* [p = Some true]: positive context; [Some false]: negative;
+     [None]: mixed (under an [Iff]). *)
+  let flip = function
+    | Some b -> Some (not b)
+    | None -> None
+  in
+  let rec visit p f =
+    if f = sub then begin
+      match p with
+      | Some true -> pos := true
+      | Some false -> neg := true
+      | None ->
+          pos := true;
+          neg := true
+    end
+    else
+      match f with
+      | Not g -> visit (flip p) g
+      | Imp (g, h) ->
+          visit (flip p) g;
+          visit p h
+      | Iff (g, h) ->
+          visit None g;
+          visit None h
+      | _ -> List.iter (visit p) (children f)
+  in
+  visit (Some true) f;
+  match (!pos, !neg) with
+  | true, false -> Some true
+  | false, true -> Some false
+  | _ -> None
+
 let rec expand = function
   | (True | Atom _) as f -> f
   | False -> Not True

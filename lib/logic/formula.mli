@@ -61,6 +61,22 @@ val size : t -> int
 (** Atom names occurring in the formula. *)
 val atoms : t -> string list
 
+(** [replace f ~sub ~by] substitutes [by] for every occurrence of the
+    subformula [sub] in [f] (structural equality, outermost first: an
+    occurrence of [sub] is replaced whole, without first rewriting
+    inside it).  Used by vacuity analysis to run the standard
+    replace-subformula-with-[false] check. *)
+val replace : t -> sub:t -> by:t -> t
+
+(** [polarity_of_occurrence f ~sub] is [Some true] if every occurrence
+    of [sub] in [f] sits under an even number of negations ([Not], or
+    the left side of [Imp]; either side of [Iff] counts as mixed),
+    [Some false] if every occurrence is negative, [None] if [sub] does
+    not occur or occurs with mixed polarity.  Strengthening a
+    positive-polarity subformula strengthens the whole formula, which
+    is what makes the vacuity check sound. *)
+val polarity_of_occurrence : t -> sub:t -> bool option
+
 (** Rewrite derived operators into the core
     [{true, atom, not, and, or, next, until, prev, since}]:
     [p W q -> (p U q) \/ not (true U not p)], [<>, [], <->, [-], B] and

@@ -1,0 +1,92 @@
+Model-aware static analysis on the broken example corpus.
+
+The vacuous-fairness allocator (models.mli's documented trap): the
+grant transition asserts its postcondition instead of guarding on it,
+so it is enabled but never taken — strong fairness then empties the
+fair-computation set and M304 fires as an error (exit 1).
+
+  $ hpt analyze ../examples/specs/vacuous_fairness.fts
+  accessibility            recurrence         [] (c=1 -> <> c=2)
+  conjunction: recurrence
+  model: 1 reachable states, 3 transitions
+  warning M301: variable c never takes values 0, 2 of its declared range 0..2 in any reachable state
+  warning M301: variable free never takes value 1 of its declared range 0..1 in any reachable state
+  warning M302: transition request is dead: its guard holds at no reachable state
+  warning M302: transition grant is never taken: enabled at 1 reachable state ({c=1; free=0}) but its action never yields a successor (enabledness/taken mismatch)
+  warning M302: transition release is dead: its guard holds at no reachable state
+  warning M303: 1 reachable state has no enabled transition — the run can only idle forever there: {c=1; free=0} (deliberate for terminating programs, a deadlock for reactive ones)
+  error M304: the fair-computation set is empty — every specification holds vacuously on this model: strong fairness on grant cannot be met: grant is enabled at {c=1; free=0} but is never taken
+  warning M311: atom c=1 is constantly true on every reachable state of this model: requirement accessibility cannot distinguish any two behaviours through it
+  warning M311: atom c=2 is constantly false on every reachable state of this model: requirement accessibility cannot distinguish any two behaviours through it
+  hint H312: restricted to this model's computations, requirement accessibility denotes a safety property though its structural bound is recurrence: the model's structure, not the formula, carries the verdict — it may not survive model changes
+  [1]
+
+The mutex with a miswired entry guard: enter2 requires the state it is
+supposed to establish, so it (and exit2 behind it) is dead and process
+2 never reaches its critical section.  Warnings only: exit 0.
+
+  $ hpt analyze ../examples/specs/mutex_dead.fts --file ../examples/specs/mutex_dead.spec
+  mutual-exclusion         safety             [] !(pc1=2 & pc2=2)
+  accessibility-1          recurrence         [] (pc1=1 -> <> pc1=2)
+  accessibility-2          recurrence         [] (pc2=1 -> <> pc2=2)
+  conjunction: recurrence
+  model: 6 reachable states, 6 transitions
+  warning M301: variable pc2 never takes value 2 of its declared range 0..2 in any reachable state
+  warning M302: transition enter2 is dead: its guard holds at no reachable state
+  warning M302: transition exit2 is dead: its guard holds at no reachable state
+  warning M311: atom pc2=2 is constantly false on every reachable state of this model: requirements mutual-exclusion, accessibility-2 cannot distinguish any two behaviours through it
+  hint H312: restricted to this model's computations, requirement accessibility-2 denotes a safety property though its structural bound is recurrence: the model's structure, not the formula, carries the verdict — it may not survive model changes
+
+The request/grant handshake whose raise guard is inverted: the
+response requirement holds, but only because its antecedent is never
+exercised — antecedent-failure vacuity (M310).
+
+  $ hpt analyze ../examples/specs/request_grant.fts --file ../examples/specs/request_grant.spec
+  response                 recurrence         [] (req=1 -> <> gnt=1)
+  conjunction: recurrence
+  model: 1 reachable states, 3 transitions
+  warning M301: variable req never takes value 1 of its declared range 0..1 in any reachable state
+  warning M301: variable gnt never takes value 1 of its declared range 0..1 in any reachable state
+  warning M302: transition raise is dead: its guard holds at no reachable state
+  warning M302: transition grant is dead: its guard holds at no reachable state
+  warning M302: transition ack is dead: its guard holds at no reachable state
+  warning M303: 1 reachable state has no enabled transition — the run can only idle forever there: {req=0; gnt=0} (deliberate for terminating programs, a deadlock for reactive ones)
+  warning M310: requirement response holds vacuously on this model: replacing the consequent of [] (req=1 -> <> gnt=1) with false still holds on every computation — the antecedent req=1 is never satisfied where it matters (antecedent failure)
+  warning M311: atom gnt=1 is constantly false on every reachable state of this model: requirement response cannot distinguish any two behaviours through it
+  warning M311: atom req=1 is constantly false on every reachable state of this model: requirement response cannot distinguish any two behaviours through it
+  hint H312: restricted to this model's computations, requirement response denotes a safety property though its structural bound is recurrence: the model's structure, not the formula, carries the verdict — it may not survive model changes
+
+Extra requirements can come from the command line; a requirement whose
+atoms the model does not declare is rejected cleanly:
+
+  $ hpt analyze ../examples/specs/request_grant.fts --spec 'quiet=[] !(req=1 & gnt=1)' --format json | python3 -m json.tool > /dev/null && echo json-ok
+  json-ok
+  $ hpt analyze ../examples/specs/request_grant.fts --spec 'bad=[] nosuch'
+  error: analyze: requirement bad mentions unknown atom nosuch
+  [1]
+
+A tripped budget degrades soundly: every interrupted check reports
+"not checked" (never silently dropped) and the exit code is 2.
+
+  $ hpt analyze ../examples/specs/request_grant.fts --file ../examples/specs/request_grant.spec --fuel 40
+  response                 at most recurrence [] (req=1 -> <> gnt=1)
+  conjunction: at most recurrence
+  model: 1 reachable states, 3 transitions
+  not checked M301: fuel exhausted after 40 ticks
+  not checked M302: fuel exhausted after 40 ticks
+  not checked M303: fuel exhausted after 40 ticks
+  not checked M304: fuel exhausted after 40 ticks
+  not checked M310: fuel exhausted after 40 ticks
+  not checked M311: fuel exhausted after 40 ticks
+  not checked H312: fuel exhausted after 40 ticks
+  no diagnostics
+  [2]
+
+The same analysis through lint --model, replayed on the explicit
+inclusion engine and on a 4-domain pool, is byte-identical:
+
+  $ hpt lint --model ../examples/specs/request_grant.fts --file ../examples/specs/request_grant.spec --format json > base.json
+  $ hpt analyze ../examples/specs/request_grant.fts --file ../examples/specs/request_grant.spec --format json --engine explicit > explicit.json
+  $ hpt analyze ../examples/specs/request_grant.fts --file ../examples/specs/request_grant.spec --format json --jobs 4 > jobs4.json
+  $ diff base.json explicit.json && diff base.json jobs4.json && echo engines-and-jobs-agree
+  engines-and-jobs-agree

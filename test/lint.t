@@ -65,7 +65,7 @@ A constant subformula is reported with its source span:
 --format json emits one machine-readable object, spans included:
 
   $ hpt lint --format json 'wait=p W q'
-  {"items":[{"name":"wait","formula":"p W q","class":"safety","interval":{"lower":"safety","upper":"safety"},"canonical":"simple obligation","structural":"safety","invariant":false,"satisfiable":true,"valid":false}],"conjunction":{"class":"safety","interval":{"lower":"safety","upper":"safety"}},"semantic":true,"diagnostics":[{"code":"H201","severity":"hint","requirement":"wait","span":{"start":0,"stop":5},"message":"requirement \"wait\" is written as simple obligation but denotes a safety property"},{"code":"W102","severity":"warning","requirement":null,"span":null,"message":"every requirement is a safety property: the specification admits do-nothing implementations (the paper's underspecification trap); consider adding a guarantee, recurrence or reactivity requirement"}]}
+  {"items":[{"name":"wait","formula":"p W q","class":"safety","interval":{"lower":"safety","upper":"safety"},"canonical":"simple obligation","structural":"safety","invariant":false,"satisfiable":true,"valid":false,"origin":null}],"conjunction":{"class":"safety","interval":{"lower":"safety","upper":"safety"}},"semantic":true,"diagnostics":[{"code":"H201","severity":"hint","requirement":"wait","span":{"start":0,"stop":5},"locus":[],"origin":null,"message":"requirement \"wait\" is written as simple obligation but denotes a safety property"},{"code":"W102","severity":"warning","requirement":null,"span":null,"locus":[],"origin":null,"message":"every requirement is a safety property: the specification admits do-nothing implementations (the paper's underspecification trap); consider adding a guarantee, recurrence or reactivity requirement"}],"model":null}
 
 Past the 14-atom semantic ceiling the linter degrades to the syntactic
 pass instead of refusing (W104); --syntactic-only skips semantics
