@@ -307,14 +307,17 @@ type views = {
 }
 
 let views ?(budget = Budget.unlimited) ?(telemetry = Telemetry.disabled)
-    alpha f =
+    ?pool alpha f =
+  let pool = effective_pool pool in
   protect ~budget ~telemetry @@ fun () ->
   match Logic.Rewrite.to_canon f with
   | None -> None
   | Some canon ->
       let automaton = Omega.Of_formula.of_canon ~budget ~telemetry alpha canon in
       let safety_part, liveness_part =
-        Omega.Lang.safety_liveness_decomposition automaton
+        (* pool only, no budget: the decomposition stays tick-free
+           here, so trip positions through [views] are unchanged *)
+        Omega.Lang.safety_liveness_decomposition ~telemetry ?pool automaton
       in
       Some
         {

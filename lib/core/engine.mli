@@ -206,10 +206,14 @@ type views = {
 val views :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   Finitary.Alphabet.t ->
   Logic.Formula.t ->
   (views option, error) result
-(** All views of a canonical formula; [Ok None] outside the fragment. *)
+(** All views of a canonical formula; [Ok None] outside the fragment.
+    [?pool] (default: the ambient pool) fans the safety/liveness
+    decomposition's per-conjunct SCC passes out; budget trip positions
+    are unaffected. *)
 
 type side = First_only | Second_only
 

@@ -34,7 +34,8 @@ let analyze_formula alpha f =
 
 let analyze_string alpha s = analyze_formula alpha (Logic.Parser.parse s)
 
-let safety_liveness_decomposition = Omega.Lang.safety_liveness_decomposition
+let safety_liveness_decomposition a =
+  Omega.Lang.safety_liveness_decomposition a
 
 let pp_report ppf r =
   let yn b = if b then "yes" else "no" in

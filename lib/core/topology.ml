@@ -4,7 +4,7 @@ module Iset = Omega.Iset
 
 let distance = Finitary.Word.distance
 
-let closure = Omega.Lang.safety_closure
+let closure a = Omega.Lang.safety_closure a
 
 let interior a = Automaton.complement (closure (Automaton.complement a))
 

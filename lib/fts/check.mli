@@ -63,10 +63,21 @@ val has_fair_computation :
     "closure ⊆ L(φ') implies every fair computation satisfies φ'".
     [atoms] follow {!System.atom_holds} plus [taken_tau]; raises
     [Invalid_argument] on an empty or oversized (> 14) atom set or an
-    unknown atom. *)
+    unknown atom.
+
+    Frontier levels at least [?par_threshold] (default 64) wide are
+    expanded on [?pool] in constant-size chunks: tasks dedup successor
+    subsets against the frozen interning table plus a task-local
+    draft, and the join reconciles genuinely-fresh subsets in task
+    order — the sequential subset numbering exactly.  All [?budget]
+    ticks happen on the submitting domain in frontier order, so the
+    automaton {e and} every trip position are bit-identical with and
+    without a pool, at every job count. *)
 val closure_automaton :
   ?budget:Budget.t ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  ?par_threshold:int ->
   System.t ->
   atoms:string list ->
   Omega.Automaton.t

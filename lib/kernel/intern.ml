@@ -1,0 +1,151 @@
+(* Sharded concurrent interning with deterministic id reconciliation.
+   See intern.mli for the contract; the short version: one owner
+   domain interns, pool tasks read through drafts and record misses,
+   and reconciliation in task order reproduces the sequential id
+   assignment exactly. *)
+
+type 'k bucket = Empty | Cons of 'k * int * 'k bucket
+
+type 'k shard = {
+  mutable buckets : 'k bucket Atomic.t array;
+      (* power-of-two length; replaced wholesale on resize *)
+  mutable size : int;  (* owner-only *)
+}
+
+type 'k t = {
+  shards : 'k shard array;  (* power-of-two length, never resized *)
+  shard_bits : int;
+  mutable count : int;  (* owner-only; next dense id *)
+}
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (2 * acc)
+
+let create ?(shards = 64) () =
+  let ns = pow2_at_least (max 1 shards) 1 in
+  let bits =
+    let rec go b = if 1 lsl b >= ns then b else go (b + 1) in
+    go 0
+  in
+  {
+    shards = Array.init ns (fun _ -> { buckets = Array.init 8 (fun _ -> Atomic.make Empty); size = 0 });
+    shard_bits = bits;
+    count = 0;
+  }
+
+let count t = t.count
+
+(* [Hashtbl.hash] is stable across domains for the acyclic keys we
+   accept; low bits pick the shard, the rest pick the bucket. *)
+let[@inline] shard_of t h = t.shards.(h land ((1 lsl t.shard_bits) - 1))
+
+let[@inline] slot_of t s h =
+  s.buckets.((h lsr t.shard_bits) land (Array.length s.buckets - 1))
+
+let rec chain_find k = function
+  | Empty -> -1
+  | Cons (k', id, rest) -> if k' = k then id else chain_find k rest
+
+let find t k =
+  let h = Hashtbl.hash k in
+  let s = shard_of t h in
+  (* snapshot the bucket array: a concurrent rebuild republishes
+     [s.buckets], but the snapshot stays a valid (possibly stale)
+     chain — a stale read is a spurious miss, which reconciliation
+     absorbs *)
+  chain_find k (Atomic.get (slot_of t s h))
+
+let rehash t s =
+  let old = s.buckets in
+  let nlen = 2 * Array.length old in
+  let fresh = Array.init nlen (fun _ -> Atomic.make Empty) in
+  let reinsert k id =
+    let h = Hashtbl.hash k in
+    let slot = fresh.((h lsr t.shard_bits) land (nlen - 1)) in
+    Atomic.set slot (Cons (k, id, Atomic.get slot))
+  in
+  Array.iter
+    (fun slot ->
+      let rec walk = function
+        | Empty -> ()
+        | Cons (k, id, rest) ->
+            reinsert k id;
+            walk rest
+      in
+      walk (Atomic.get slot))
+    old;
+  (* publish: readers holding [old] still see a valid chain *)
+  s.buckets <- fresh
+
+let intern t k =
+  let h = Hashtbl.hash k in
+  let s = shard_of t h in
+  match chain_find k (Atomic.get (slot_of t s h)) with
+  | id when id >= 0 -> id
+  | _ ->
+      let id = t.count in
+      t.count <- id + 1;
+      s.size <- s.size + 1;
+      if 4 * s.size > 3 * Array.length s.buckets then rehash t s;
+      let slot = slot_of t s h in
+      (* CAS-install so a concurrent [find] walking this chain never
+         sees a torn cons cell; the owner is the only writer, so the
+         CAS cannot actually fail, but the read-modify-write through
+         [Atomic] is what gives the publication its memory ordering *)
+      let rec install () =
+        let cur = Atomic.get slot in
+        if not (Atomic.compare_and_set slot cur (Cons (k, id, cur))) then
+          install ()
+      in
+      install ();
+      id
+
+(* ------------------------------------------------------------------ *)
+(* Drafts                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type 'k draft = {
+  base : 'k t;
+  local : ('k, int) Hashtbl.t;  (* key -> placeholder *)
+  mutable rev_miss : 'k list;
+  mutable n_miss : int;
+}
+
+let draft base = { base; local = Hashtbl.create 32; rev_miss = []; n_miss = 0 }
+
+let lookup d k =
+  let id = find d.base k in
+  if id >= 0 then id
+  else
+    match Hashtbl.find_opt d.local k with
+    | Some p -> p
+    | None ->
+        let p = lnot d.n_miss in
+        Hashtbl.add d.local k p;
+        d.rev_miss <- k :: d.rev_miss;
+        d.n_miss <- d.n_miss + 1;
+        p
+
+let misses d =
+  match d.rev_miss with
+  | [] -> [||]
+  | last :: _ ->
+      let out = Array.make d.n_miss last in
+      let rec fill i = function
+        | [] -> ()
+        | k :: rest ->
+            out.(i) <- k;
+            fill (i - 1) rest
+      in
+      fill (d.n_miss - 1) d.rev_miss;
+      out
+
+let reconcile t ~on_fresh miss =
+  Array.map
+    (fun k ->
+      let before = t.count in
+      let id = intern t k in
+      if id = before then on_fresh k id;
+      id)
+    miss
+
+let resolve ids code = if code >= 0 then code else ids.(lnot code)

@@ -1,0 +1,93 @@
+(** Sharded concurrent interning with deterministic id reconciliation.
+
+    An interning table maps structurally-equal keys to dense integer
+    ids ([0, 1, 2, ...] in first-intern order).  The table is built
+    for the frozen-prefix expansion pattern used by the lazy inclusion
+    product and the subset constructions: one {e owner} domain interns
+    (assigns ids) while pool tasks concurrently {e read} the table
+    through per-task {!draft}s, record the keys they could not find,
+    and hand those misses back to the owner.  The owner reconciles the
+    miss lists in canonical order — task index first, then in-task
+    discovery order — so the id assignment is {e bit-identical} to
+    the sequential scan at every job count.
+
+    {2 Memory layout}
+
+    Keys are hashed ([Hashtbl.hash]) into a power-of-two array of
+    shards; within a shard, buckets are immutable cons chains published
+    with an atomic compare-and-set, so a concurrent {!find} never
+    observes a torn chain.  A shard whose load factor passes 3/4 is
+    rebuilt by the owner and republished.  {!find} racing an insert or
+    a rebuild may spuriously miss a key added {e concurrently} — never
+    one added before the reader's task was submitted (the pool's
+    fork/join edges order those writes) — and a spurious miss is safe
+    by design: it only lands the key on a miss list, and reconciliation
+    collapses duplicates to the already-assigned id.
+
+    {2 Determinism argument}
+
+    Sequential interning assigns ids in scan order.  In the pooled
+    pattern, the scan [lo, hi) is cut into constant-size spans (chunk
+    size fixed by the caller's [par_threshold], so the span list is
+    independent of the job count), span [t] records its fresh keys in
+    scan order, and {!reconcile} walks span 0's misses, then span 1's,
+    ...  The first occurrence of a key across that walk is exactly its
+    first occurrence in the sequential scan, so it receives the same
+    dense id — and every later occurrence resolves to it. *)
+
+type 'k t
+(** An interning table with keys ['k].  Keys are compared with
+    structural equality and hashed with [Hashtbl.hash]; keys must not
+    contain functions or cyclic values. *)
+
+val create : ?shards:int -> unit -> 'k t
+(** [create ()] makes an empty table.  [?shards] (default 64) is
+    rounded up to a power of two. *)
+
+val count : 'k t -> int
+(** Number of interned keys; also the next id to be assigned. *)
+
+val find : 'k t -> 'k -> int
+(** [find t k] is [k]'s id, or [-1] if not (yet) interned.  Safe to
+    call from any domain, lock-free; see the caveat above about reads
+    racing inserts. *)
+
+val intern : 'k t -> 'k -> int
+(** [intern t k] is [k]'s id, assigning the next dense id on a miss.
+    Owner-only: at most one domain may intern at a time, and interning
+    must be ordered (by the pool's fork/join edges) with concurrent
+    {!find}s.  Freshness test: [k] was fresh iff the returned id
+    equals [count t] before the call. *)
+
+(** {2 Per-task drafts} *)
+
+type 'k draft
+(** A task-local view: reads the shared table, records misses locally.
+    Never mutates the shared table. *)
+
+val draft : 'k t -> 'k draft
+(** A fresh draft over [t].  One per task; drafts are not
+    domain-safe. *)
+
+val lookup : 'k draft -> 'k -> int
+(** [lookup d k] is [k]'s id if the shared table knows it, otherwise a
+    {e placeholder} [lnot m] (always negative) where [m] is the index
+    of [k] in this draft's miss list.  Repeated misses of the same key
+    return the same placeholder. *)
+
+val misses : 'k draft -> 'k array
+(** The distinct keys this draft failed to find, in first-lookup
+    order.  Placeholder [lnot m] refers to slot [m] of this array. *)
+
+val reconcile : 'k t -> on_fresh:('k -> int -> unit) -> 'k array -> int array
+(** [reconcile t ~on_fresh misses] interns one task's miss list (in
+    order) into [t] and returns the id each slot resolved to, calling
+    [on_fresh key id] for each key that was genuinely fresh — i.e. not
+    interned by the frozen prefix or by an earlier task's reconcile.
+    Owner-only.  Calling it task by task, in task order, yields the
+    sequential id assignment (see the determinism argument above). *)
+
+val resolve : int array -> int -> int
+(** [resolve ids code] maps a task's raw code to a final id: codes
+    [>= 0] are already ids; a placeholder [lnot m] resolves to
+    [ids.(m)] where [ids] is that task's {!reconcile} result. *)

@@ -1,4 +1,4 @@
-let is_safety ?pool a = Lang.equal ?pool a (Lang.safety_closure a)
+let is_safety ?pool a = Lang.equal ?pool a (Lang.safety_closure ?pool a)
 
 let is_guarantee ?pool a = is_safety ?pool (Automaton.complement a)
 
@@ -238,17 +238,31 @@ let reactivity_rank_raw ?(budget = Budget.unlimited) ?(max_cycles = 4000)
       end;
       !best
   in
-  let groups = Cycles.enumerate ~budget ?max_scc ~telemetry a in
   match pool with
   | None ->
+      let groups = Cycles.enumerate ~budget ?max_scc ~telemetry a in
       List.fold_left (fun acc g -> max acc (group_best budget telemetry g)) 0 groups
   | Some p ->
-      (* one task per cycle group; a [Rank_too_hard] in any group
-         re-raises at the join from the lowest such index *)
+      (* pipelined: one task per accessible SCC, each fusing that
+         component's cycle enumeration with its group DP — no barrier
+         on the full [Cycles.enumerate] result, and the enumeration
+         itself fans out.  The task count (and hence the replica
+         budget split) is the SCC count, a function of the input
+         alone; a [Too_large]/[Rank_too_hard] re-raises at the join
+         from the lowest raising index — the sequential scan's first
+         failure. *)
+      let comps = Cycles.live_comps a in
+      Telemetry.add telemetry "cycles.sccs" (List.length comps);
       List.fold_left max 0
         (Pool.map ~budget ~telemetry ~seq_below:0 p
-           (fun ctx g -> group_best ctx.Pool.budget ctx.Pool.telemetry g)
-           groups)
+           (fun ctx comp ->
+             match
+               Cycles.enumerate_comp ~budget:ctx.Pool.budget ?max_scc
+                 ~telemetry:ctx.Pool.telemetry a comp
+             with
+             | None -> 0
+             | Some g -> group_best ctx.Pool.budget ctx.Pool.telemetry g)
+           comps)
 
 let reactivity_rank ?budget ?max_scc ?telemetry ?pool a =
   let n = reactivity_rank_raw ?budget ?max_scc ?telemetry ?pool a in
@@ -256,10 +270,11 @@ let reactivity_rank ?budget ?max_scc ?telemetry ?pool a =
   else if Lang.is_universal ?pool a then 0
   else 1
 
-let reactivity_rank_opt ?max_scc a =
-  match reactivity_rank ?max_scc a with
+let reactivity_rank_opt ?budget ?max_scc ?telemetry ?pool a =
+  match reactivity_rank ?budget ?max_scc ?telemetry ?pool a with
   | n -> Some n
   | exception (Cycles.Too_large _ | Rank_too_hard _) -> None
+  | exception Budget.Tripped _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* The classification boundary                                         *)

@@ -72,8 +72,16 @@ val reactivity_rank :
   Automaton.t ->
   int
 
-(** [None] when the enumeration budget is exceeded; never raises. *)
-val reactivity_rank_opt : ?max_scc:int -> Automaton.t -> int option
+(** [None] when any resource limit is exceeded — the [max_scc]/cycle
+    caps {e and} a [?budget] trip — so it never raises; [?pool] fans
+    the per-SCC rank search out like {!reactivity_rank}. *)
+val reactivity_rank_opt :
+  ?budget:Budget.t ->
+  ?max_scc:int ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  Automaton.t ->
+  int option
 
 (** The most precise class in the hierarchy: safety and guarantee first,
     then obligation (with its degree), then recurrence/persistence, then

@@ -43,90 +43,100 @@ let rec eval_mask acc m =
   | MAnd l -> List.for_all (fun a -> eval_mask a m) l
   | MOr l -> List.exists (fun a -> eval_mask a m) l
 
-let enumerate ?(budget = Budget.unlimited) ?(max_scc = 22)
-    ?(telemetry = Telemetry.disabled) (a : Automaton.t) =
-  Telemetry.span telemetry "cycles.enumerate" @@ fun () ->
-  let reach = Automaton.reachable a in
-  let comps =
-    List.filter (fun comp -> reach.(List.hd comp)) (Automaton.sccs a)
-  in
-  Telemetry.add telemetry "cycles.sccs" (List.length comps);
-  List.filter_map
-    (fun comp ->
-      Budget.tick budget;
-      let size = List.length comp in
-      Telemetry.observe telemetry "cycles.scc_size" (float_of_int size);
-      if size > max_scc then raise (Too_large size);
-      let states = Array.of_list comp in
-      let pos = Hashtbl.create 16 in
-      Array.iteri (fun i q -> Hashtbl.add pos q i) states;
-      (* successor bitmask of each SCC state, within the SCC *)
-      let adj =
-        Array.map
-          (fun q ->
-            List.fold_left
-              (fun m q' ->
-                match Hashtbl.find_opt pos q' with
-                | Some i -> m lor (1 lsl i)
-                | None -> m)
-              0
-              (Automaton.successors a q))
-          states
-      in
-      let to_mask s =
-        Iset.fold
-          (fun q m ->
-            match Hashtbl.find_opt pos q with
+(* Enumerate the cycles of one SCC already known to fit in [max_scc]:
+   bitmask subset enumeration over the component's states, one budget
+   tick per subset. *)
+let enumerate_comp_checked ~budget ~telemetry (a : Automaton.t) comp size =
+  let states = Array.of_list comp in
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i q -> Hashtbl.add pos q i) states;
+  (* successor bitmask of each SCC state, within the SCC *)
+  let adj =
+    Array.map
+      (fun q ->
+        List.fold_left
+          (fun m q' ->
+            match Hashtbl.find_opt pos q' with
             | Some i -> m lor (1 lsl i)
             | None -> m)
-          s 0
-      in
-      let macc = mask_of_acc to_mask a.acc in
-      (* a subset is a cycle iff every member reaches every member in at
-         least one step inside the subset *)
-      let is_cycle_mask m =
-        let ok = ref true in
-        let i = ref 0 in
-        let mm = ref m in
-        while !ok && !mm <> 0 do
-          if !mm land 1 <> 0 then begin
-            (* BFS from the successors of state !i within m *)
-            let seen = ref (adj.(!i) land m) in
-            let frontier = ref !seen in
-            while !frontier <> 0 do
-              let next = ref 0 in
-              let f = ref !frontier and j = ref 0 in
-              while !f <> 0 do
-                if !f land 1 <> 0 then next := !next lor (adj.(!j) land m);
-                incr j;
-                f := !f lsr 1
-              done;
-              frontier := !next land lnot !seen;
-              seen := !seen lor !frontier
-            done;
-            if !seen land m <> m then ok := false
-          end;
-          incr i;
-          mm := !mm lsr 1
-        done;
-        !ok
-      in
-      let out = ref [] in
-      let full = (1 lsl size) - 1 in
-      Telemetry.add telemetry "cycles.subsets" full;
-      for m = 1 to full do
-        Budget.tick budget;
-        if is_cycle_mask m then begin
-          let c = ref Iset.empty in
-          for i = 0 to size - 1 do
-            if m land (1 lsl i) <> 0 then c := Iset.add states.(i) !c
+          0
+          (Automaton.successors a q))
+      states
+  in
+  let to_mask s =
+    Iset.fold
+      (fun q m ->
+        match Hashtbl.find_opt pos q with
+        | Some i -> m lor (1 lsl i)
+        | None -> m)
+      s 0
+  in
+  let macc = mask_of_acc to_mask a.acc in
+  (* a subset is a cycle iff every member reaches every member in at
+     least one step inside the subset *)
+  let is_cycle_mask m =
+    let ok = ref true in
+    let i = ref 0 in
+    let mm = ref m in
+    while !ok && !mm <> 0 do
+      if !mm land 1 <> 0 then begin
+        (* BFS from the successors of state !i within m *)
+        let seen = ref (adj.(!i) land m) in
+        let frontier = ref !seen in
+        while !frontier <> 0 do
+          let next = ref 0 in
+          let f = ref !frontier and j = ref 0 in
+          while !f <> 0 do
+            if !f land 1 <> 0 then next := !next lor (adj.(!j) land m);
+            incr j;
+            f := !f lsr 1
           done;
-          out := (!c, eval_mask macc m) :: !out
-        end
+          frontier := !next land lnot !seen;
+          seen := !seen lor !frontier
+        done;
+        if !seen land m <> m then ok := false
+      end;
+      incr i;
+      mm := !mm lsr 1
+    done;
+    !ok
+  in
+  let out = ref [] in
+  let full = (1 lsl size) - 1 in
+  Telemetry.add telemetry "cycles.subsets" full;
+  for m = 1 to full do
+    Budget.tick budget;
+    if is_cycle_mask m then begin
+      let c = ref Iset.empty in
+      for i = 0 to size - 1 do
+        if m land (1 lsl i) <> 0 then c := Iset.add states.(i) !c
       done;
-      Telemetry.add telemetry "cycles.found" (List.length !out);
-      match !out with [] -> None | l -> Some l)
-    comps
+      out := (!c, eval_mask macc m) :: !out
+    end
+  done;
+  Telemetry.add telemetry "cycles.found" (List.length !out);
+  match !out with [] -> None | l -> Some l
+
+(* The reachable SCCs, in [Automaton.sccs] order — the enumeration
+   (and task) order every consumer must preserve for determinism. *)
+let live_comps (a : Automaton.t) =
+  let reach = Automaton.reachable a in
+  List.filter (fun comp -> reach.(List.hd comp)) (Automaton.sccs a)
+
+let enumerate_comp ?(budget = Budget.unlimited) ?(max_scc = 22)
+    ?(telemetry = Telemetry.disabled) (a : Automaton.t) comp =
+  Budget.tick budget;
+  let size = List.length comp in
+  Telemetry.observe telemetry "cycles.scc_size" (float_of_int size);
+  if size > max_scc then raise (Too_large size);
+  enumerate_comp_checked ~budget ~telemetry a comp size
+
+let enumerate ?budget ?max_scc ?(telemetry = Telemetry.disabled)
+    (a : Automaton.t) =
+  Telemetry.span telemetry "cycles.enumerate" @@ fun () ->
+  let comps = live_comps a in
+  Telemetry.add telemetry "cycles.sccs" (List.length comps);
+  List.filter_map (enumerate_comp ?budget ?max_scc ~telemetry a) comps
 
 let accepting_family ?budget ?max_scc ?telemetry a =
   List.concat_map

@@ -24,26 +24,54 @@ let scc_nontrivial (a : Automaton.t) fin comp =
 
 (* All states q such that a run entering q can be continued into an
    accepting run: q can reach (in the full graph) an SCC qualifying for
-   some DNF conjunct of the acceptance condition. *)
-let good_scc_states (a : Automaton.t) =
-  let conjuncts = Acceptance.dnf a.acc in
-  List.fold_left
-    (fun acc (fin, infs) ->
-      List.fold_left
-        (fun acc comp ->
-          if
-            scc_nontrivial a fin comp
-            && List.for_all
-                 (fun inf ->
-                   List.exists (fun q -> Iset.mem q inf) comp)
-                 infs
-          then Iset.union acc (Iset.of_list comp)
-          else acc)
-        acc (restricted_sccs a fin))
-    Iset.empty conjuncts
+   some DNF conjunct of the acceptance condition.
 
-let live_states (a : Automaton.t) =
-  let good = good_scc_states a in
+   Each DNF conjunct costs one restricted Tarjan pass over the whole
+   graph, and the conjuncts are independent, so multi-conjunct
+   conditions fan out on [?pool].  The parent budget is ticked once
+   per conjunct {e at the merge}, in conjunct order, on the submitting
+   domain — never from tasks — so the tick sequence (and hence any
+   trip position) is bit-identical with and without a pool, at every
+   job count. *)
+let good_scc_states ?(budget = Budget.unlimited)
+    ?(telemetry = Telemetry.disabled) ?pool (a : Automaton.t) =
+  let conjuncts = Acceptance.dnf a.acc in
+  let conjunct_states (fin, infs) =
+    List.fold_left
+      (fun acc comp ->
+        if
+          scc_nontrivial a fin comp
+          && List.for_all
+               (fun inf -> List.exists (fun q -> Iset.mem q inf) comp)
+               infs
+        then Iset.union acc (Iset.of_list comp)
+        else acc)
+      Iset.empty (restricted_sccs a fin)
+  in
+  match pool with
+  | Some p when List.compare_length_with conjuncts 1 > 0 ->
+      (* tasks run on unlimited replicas (they never tick); the parent
+         budget is ticked once per conjunct at the merge below, so it
+         observes the same k ticks as the sequential branch *)
+      let sets =
+        Pool.map ~telemetry ~seq_below:0 p
+          (fun _ctx c -> conjunct_states c)
+          conjuncts
+      in
+      List.fold_left
+        (fun acc s ->
+          Budget.tick budget;
+          Iset.union acc s)
+        Iset.empty sets
+  | _ ->
+      List.fold_left
+        (fun acc c ->
+          Budget.tick budget;
+          Iset.union acc (conjunct_states c))
+        Iset.empty conjuncts
+
+let live_states ?budget ?telemetry ?pool (a : Automaton.t) =
+  let good = good_scc_states ?budget ?telemetry ?pool a in
   (* backward reachability to [good] in the full graph *)
   let preds = Array.make a.n [] in
   Array.iteri
@@ -104,14 +132,18 @@ let is_empty a = not (nonempty a)
    anywhere in the explored graph — no separate reachability pass.
 
    Determinism under [?pool]: frontier levels at least
-   [par_threshold] wide are expanded in parallel, but tasks only read
-   the frozen pair arrays and return raw successor codes; interning
-   happens at the join, in task order, letter by letter — the id
-   assignment (and hence every downstream verdict, counter and trip
-   point) is bit-identical to the sequential expansion at every job
-   count.  Chunks have constant size [par_threshold], so the chunk
-   count — and with it [Budget.split]'s replica allowances — depends
-   only on the frontier width, never on [jobs]. *)
+   [par_threshold] wide are expanded in parallel.  Tasks read the
+   frozen pair arrays and dedup successor codes against the shared
+   {!Intern} table (lock-free finds) plus a task-local draft, so the
+   sequential suture at the join is only the reconciliation of
+   genuinely-fresh codes — ids are assigned in task order, then
+   in-task discovery order, which is exactly the sequential scan
+   order, so the id assignment (and hence every downstream verdict,
+   counter and trip point) is bit-identical to the sequential
+   expansion at every job count.  Chunks have constant size
+   [par_threshold], so the chunk count — and with it [Budget.split]'s
+   replica allowances — depends only on the frontier width, never on
+   [jobs]. *)
 
 (* Growable int vector (OCaml 5.1 has no [Dynarray] yet). *)
 type ivec = { mutable data : int array; mutable len : int }
@@ -164,29 +196,30 @@ let adaptive_par_threshold (a : Automaton.t) =
 let explore ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
     (b : Automaton.t) =
   let k = Alphabet.size a.alpha in
-  let a_live = live_states a in
+  let a_live = live_states ?pool ~telemetry:tl a in
   let pqa = ivec_create () and pqb = ivec_create () in
   let psucc = rvec_create () in
-  let index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  (* id 0: the absorbing reject sink for dead-[a] pairs *)
+  (* pair key [qa * b.n + qb] -> dense id; tasks read it lock-free
+     through drafts, only the submitting domain interns *)
+  let index : int Intern.t = Intern.create () in
+  (* id 0: the absorbing reject sink for dead-[a] pairs (keyed by the
+     impossible pair code -1 so real keys, all >= 0, never hit it) *)
+  ignore (Intern.intern index (-1));
   ivec_push pqa (-1);
   ivec_push pqb (-1);
   rvec_push psucc (Array.make k 0);
   let pruned = ref 0 in
-  (* [key] is [qa * b.n + qb] for a pair already known [a]-live; the
-     parallel join calls this directly with the task's raw code so the
-     sequential suture does one hash probe per successor and divides
-     only on a miss *)
+  let push_fresh key _id =
+    ivec_push pqa (key / b.Automaton.n);
+    ivec_push pqb (key mod b.Automaton.n);
+    rvec_push psucc [||]
+  in
+  (* [key] is [qa * b.n + qb] for a pair already known [a]-live *)
   let intern_live_key key =
-    match Hashtbl.find_opt index key with
-    | Some id -> id
-    | None ->
-        let id = pqa.len in
-        Hashtbl.add index key id;
-        ivec_push pqa (key / b.Automaton.n);
-        ivec_push pqb (key mod b.Automaton.n);
-        rvec_push psucc [||];
-        id
+    let before = Intern.count index in
+    let id = Intern.intern index key in
+    if id = before then push_fresh key id;
+    id
   in
   let intern qa qb =
     if not a_live.(qa) then begin
@@ -211,11 +244,13 @@ let explore ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
       List.init n_chunks (fun c ->
           (lo + (c * chunk), min hi (lo + ((c + 1) * chunk))))
     in
-    (* tasks read the frozen prefix [0, hi) of the pair arrays *)
+    (* tasks read the frozen prefix [0, hi) of the pair arrays and the
+       frozen interning table (nothing interns while they run) *)
     let qa_data = pqa.data and qb_data = pqb.data in
     let results =
       Pool.map ~budget ~telemetry:tl p
         (fun ctx (clo, chi) ->
+          let d = Intern.draft index in
           let out = Array.make ((chi - clo) * k) 0 in
           for i = clo to chi - 1 do
             Budget.tick ctx.Pool.budget;
@@ -223,24 +258,30 @@ let explore ~budget ~telemetry:tl ?pool ~par_threshold (a : Automaton.t)
             for l = 0 to k - 1 do
               let qa' = a.delta.(qa).(l) in
               out.(((i - clo) * k) + l) <-
-                (if a_live.(qa') then (qa' * b.Automaton.n) + b.delta.(qb).(l)
-                 else -1)
+                (if a_live.(qa') then
+                   Intern.lookup d ((qa' * b.Automaton.n) + b.delta.(qb).(l))
+                 else min_int)
             done
           done;
-          out)
+          (out, Intern.misses d))
         spans
     in
+    (* the sequential suture: reconcile each task's genuinely-fresh
+       keys in task order (= the sequential id assignment), then patch
+       placeholders; already-known successors were resolved inside the
+       tasks, without touching this domain *)
     List.iter2
-      (fun (clo, chi) out ->
+      (fun (clo, chi) (out, miss) ->
+        let ids = Intern.reconcile index ~on_fresh:push_fresh miss in
         for i = clo to chi - 1 do
           psucc.rows.(i) <-
             Array.init k (fun l ->
                 let code = out.(((i - clo) * k) + l) in
-                if code < 0 then begin
+                if code = min_int then begin
                   incr pruned;
                   0
                 end
-                else intern_live_key code)
+                else Intern.resolve ids code)
         done)
       spans results
   in

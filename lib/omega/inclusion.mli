@@ -91,9 +91,18 @@ val nonempty : Automaton.t -> bool
 
 val is_empty : Automaton.t -> bool
 
-val live_states : Automaton.t -> bool array
+val live_states :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  Automaton.t ->
+  bool array
 (** Per-state flag: can a run entering this state be continued into an
-    accepting one? *)
+    accepting one?  Multi-conjunct acceptance conditions fan their
+    per-conjunct SCC passes out on [?pool]; the parent [?budget] is
+    ticked once per DNF conjunct on the submitting domain, so trip
+    positions are identical with and without a pool at every job
+    count. *)
 
 val restricted_sccs : Automaton.t -> Iset.t -> int list list
 (** SCCs of the automaton graph restricted to states outside the given

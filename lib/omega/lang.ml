@@ -282,9 +282,11 @@ let is_universal ?pool ?engine a =
    quadratic product needed. *)
 let included ?pool ?engine a b =
   if
-    caches_enabled ()
-    && a.Automaton.delta == b.Automaton.delta
+    (* physical checks first: the common different-table case then
+       skips the DLS read behind [caches_enabled] entirely *)
+    a.Automaton.delta == b.Automaton.delta
     && a.Automaton.start = b.Automaton.start
+    && caches_enabled ()
   then begin
     Telemetry.incr (Telemetry.ambient ()) "lang.included.same_table";
     is_empty
@@ -353,19 +355,19 @@ let pref (a : Automaton.t) =
 
 (* The non-live states form an absorbing set, so "some prefix outside
    Pref(Pi)" = "the run eventually stays among non-live states". *)
-let dead_set (a : Automaton.t) =
-  let live = live_states a in
+let dead_set ?budget ?telemetry ?pool (a : Automaton.t) =
+  let live = live_states ?budget ?telemetry ?pool a in
   let s = ref Iset.empty in
   Array.iteri (fun q l -> if not l then s := Iset.add q !s) live;
   !s
 
-let safety_closure (a : Automaton.t) =
-  let dead = dead_set a in
+let safety_closure ?budget ?telemetry ?pool (a : Automaton.t) =
+  let dead = dead_set ?budget ?telemetry ?pool a in
   Automaton.make ~alpha:a.alpha ~n:a.n ~start:a.start ~delta:a.delta
     ~acc:(Acceptance.simplify (Acceptance.Fin dead))
 
-let liveness_extension (a : Automaton.t) =
-  let dead = dead_set a in
+let liveness_extension ?budget ?telemetry ?pool (a : Automaton.t) =
+  let dead = dead_set ?budget ?telemetry ?pool a in
   Automaton.make ~alpha:a.alpha ~n:a.n ~start:a.start ~delta:a.delta
     ~acc:(Acceptance.simplify (Acceptance.Or [ a.acc; Acceptance.Inf dead ]))
 
@@ -374,7 +376,9 @@ let is_liveness (a : Automaton.t) =
   let reach = Automaton.reachable a in
   Array.for_all2 (fun r l -> (not r) || l) reach live
 
-let safety_liveness_decomposition a = (safety_closure a, liveness_extension a)
+let safety_liveness_decomposition ?budget ?telemetry ?pool a =
+  ( safety_closure ?budget ?telemetry ?pool a,
+    liveness_extension ?budget ?telemetry ?pool a )
 
 (* ------------------------------------------------------------------ *)
 (* Uniform liveness                                                    *)

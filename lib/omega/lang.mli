@@ -110,8 +110,17 @@ val distinguishing_witness :
   Automaton.t -> Automaton.t -> Finitary.Word.lasso option
 
 (** [live_states a]: per-state flag, true iff the language of the
-    automaton started at that state is non-empty. *)
-val live_states : Automaton.t -> bool array
+    automaton started at that state is non-empty.  Multi-conjunct
+    acceptance fans its per-conjunct SCC passes out on [?pool]; the
+    parent [?budget] is ticked once per DNF conjunct on the submitting
+    domain, never from tasks, so trip positions are identical with and
+    without a pool at every job count. *)
+val live_states :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  Automaton.t ->
+  bool array
 
 (** [pref a]: the paper's [Pref(Pi)] as a DFA — the non-empty finite
     words extendable to an accepted infinite word. *)
@@ -119,20 +128,41 @@ val pref : Automaton.t -> Finitary.Dfa.t
 
 (** The safety closure [A(Pref(Pi))] — topologically, the closure
     [cl(Pi)] (section 3 proves these coincide; we implement the left side
-    and the test suite checks closure axioms). *)
-val safety_closure : Automaton.t -> Automaton.t
+    and the test suite checks closure axioms).  The result shares the
+    argument's transition table; the work is {!live_states}, whose
+    per-conjunct passes fan out on [?pool] with pool-independent
+    [?budget] trip positions. *)
+val safety_closure :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  Automaton.t ->
+  Automaton.t
 
 (** The liveness extension [L(Pi) = Pi union E(not Pref(Pi))] used in the
-    decomposition theorem. *)
-val liveness_extension : Automaton.t -> Automaton.t
+    decomposition theorem.  Same [?budget]/[?pool] behavior as
+    {!safety_closure}. *)
+val liveness_extension :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  Automaton.t ->
+  Automaton.t
 
 (** Is the property a liveness property ([Pref(Pi) = Sigma+];
     topologically: is the set dense)? *)
 val is_liveness : Automaton.t -> bool
 
 (** The decomposition [Pi = Pi_S inter Pi_L] of the paper's claim:
-    returns (safety closure, liveness extension). *)
-val safety_liveness_decomposition : Automaton.t -> Automaton.t * Automaton.t
+    returns (safety closure, liveness extension).  [?budget] is ticked
+    once per DNF conjunct per part, on the submitting domain; [?pool]
+    fans the per-conjunct passes out. *)
+val safety_liveness_decomposition :
+  ?budget:Budget.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
+  Automaton.t ->
+  Automaton.t * Automaton.t
 
 (** Is the property a {e uniform} liveness property: is there a single
     infinite word [w] with [Sigma+ . w <= Pi]?  Decided exactly by a

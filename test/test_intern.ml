@@ -1,0 +1,341 @@
+(* Kernel.Intern: the sharded concurrent interning table behind the
+   parallel inclusion frontier and the pooled subset constructions.
+   The spine is determinism: chunked draft/reconcile must reproduce
+   the sequential id assignment exactly — under uneven shard pressure,
+   at jobs 1/2/4 through the real pooled layers (closure_automaton,
+   safety_closure), and under injected budget trips. *)
+
+open Omega
+module System = Fts.System
+module Check = Fts.Check
+
+(* ------------------------------------------------------------------ *)
+(* Unit: table basics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "dense ids in first-intern order" `Quick (fun () ->
+        let t : int list Intern.t = Intern.create () in
+        Alcotest.(check int) "a" 0 (Intern.intern t [ 7 ]);
+        Alcotest.(check int) "b" 1 (Intern.intern t [ 8; 9 ]);
+        Alcotest.(check int) "a again" 0 (Intern.intern t [ 7 ]);
+        Alcotest.(check int) "count" 2 (Intern.count t);
+        Alcotest.(check int) "find hit" 1 (Intern.find t [ 8; 9 ]);
+        Alcotest.(check int) "find miss" (-1) (Intern.find t [ 9; 8 ]));
+    Alcotest.test_case "resize keeps every key findable" `Quick (fun () ->
+        (* few shards + thousands of keys forces many bucket rebuilds;
+           multiples of a large power of two also pile hash pressure
+           onto few shards *)
+        let t : int Intern.t = Intern.create ~shards:2 () in
+        for i = 0 to 4999 do
+          Alcotest.(check int) "fresh" i (Intern.intern t (i * 1024))
+        done;
+        for i = 0 to 4999 do
+          Alcotest.(check int) "still there" i (Intern.find t (i * 1024))
+        done;
+        Alcotest.(check int) "absent" (-1) (Intern.find t 13));
+    Alcotest.test_case "draft placeholders are stable and resolvable" `Quick
+      (fun () ->
+        let t : int Intern.t = Intern.create () in
+        ignore (Intern.intern t 100);
+        let d = Intern.draft t in
+        Alcotest.(check int) "hit" 0 (Intern.lookup d 100);
+        let p1 = Intern.lookup d 200 in
+        let p2 = Intern.lookup d 300 in
+        Alcotest.(check int) "repeat miss = same placeholder" p1
+          (Intern.lookup d 200);
+        Alcotest.(check bool) "placeholders negative" true (p1 < 0 && p2 < 0);
+        Alcotest.(check (array int))
+          "misses in first-lookup order" [| 200; 300 |]
+          (Intern.misses d);
+        let fresh = ref [] in
+        let ids =
+          Intern.reconcile t
+            ~on_fresh:(fun k id -> fresh := (k, id) :: !fresh)
+            (Intern.misses d)
+        in
+        Alcotest.(check int) "p1 resolves" 1 (Intern.resolve ids p1);
+        Alcotest.(check int) "p2 resolves" 2 (Intern.resolve ids p2);
+        Alcotest.(check int) "hits pass through" 0 (Intern.resolve ids 0);
+        Alcotest.(check (list (pair int int)))
+          "fresh callbacks in order"
+          [ (200, 1); (300, 2) ]
+          (List.rev !fresh));
+    Alcotest.test_case "reconcile dedups across earlier tasks" `Quick
+      (fun () ->
+        let t : int Intern.t = Intern.create () in
+        let d1 = Intern.draft t and d2 = Intern.draft t in
+        ignore (Intern.lookup d1 5);
+        ignore (Intern.lookup d2 5);
+        ignore (Intern.lookup d2 6);
+        let none _ _ = () in
+        let ids1 = Intern.reconcile t ~on_fresh:none (Intern.misses d1) in
+        let ids2 = Intern.reconcile t ~on_fresh:none (Intern.misses d2) in
+        Alcotest.(check (array int)) "task 1 interns 5" [| 0 |] ids1;
+        (* task 2's miss of 5 maps to task 1's id *)
+        Alcotest.(check (array int)) "task 2 reuses then extends" [| 0; 1 |]
+          ids2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism spine: chunked draft/reconcile = sequential interning   *)
+(* ------------------------------------------------------------------ *)
+
+(* Key streams mixing plain small ints with multiples of 1024 (the
+   latter cluster into few shards — uneven pressure) and heavy
+   duplication (the dedup paths are where determinism can break). *)
+let gen_stream =
+  QCheck.Gen.(
+    list_size (10 -- 200)
+      (oneof [ int_bound 30; map (fun i -> i * 1024) (int_bound 30) ]))
+
+let arb_stream_and_chunk =
+  QCheck.make
+    ~print:(fun (keys, chunk) ->
+      Printf.sprintf "chunk=%d keys=[%s]" chunk
+        (String.concat ";" (List.map string_of_int keys)))
+    QCheck.Gen.(pair gen_stream (1 -- 7))
+
+(* sequential reference: intern every key in stream order *)
+let sequential_ids keys =
+  let t : int Intern.t = Intern.create ~shards:4 () in
+  List.map (fun k -> Intern.intern t k) keys
+
+(* chunked: each chunk is a "task" with its own draft (lookups only),
+   then reconcile chunk by chunk in order and resolve *)
+let chunked_ids keys chunk =
+  let t : int Intern.t = Intern.create ~shards:4 () in
+  let rec split l =
+    match l with
+    | [] -> []
+    | _ ->
+        let rec take n l =
+          if n = 0 then ([], l)
+          else
+            match l with
+            | [] -> ([], [])
+            | x :: rest ->
+                let a, b = take (n - 1) rest in
+                (x :: a, b)
+        in
+        let a, b = take chunk l in
+        a :: split b
+  in
+  let chunks = split keys in
+  let tasks =
+    List.map
+      (fun ks ->
+        let d = Intern.draft t in
+        let codes = List.map (fun k -> Intern.lookup d k) ks in
+        (codes, Intern.misses d))
+      chunks
+  in
+  List.concat_map
+    (fun (codes, miss) ->
+      let ids = Intern.reconcile t ~on_fresh:(fun _ _ -> ()) miss in
+      List.map (Intern.resolve ids) codes)
+    tasks
+
+let spine_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make
+        ~name:"chunked draft/reconcile = sequential id assignment"
+        ~count:500 arb_stream_and_chunk (fun (keys, chunk) ->
+          chunked_ids keys chunk = sequential_ids keys);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Through the real layers: closure_automaton at jobs 1/2/4            *)
+(* ------------------------------------------------------------------ *)
+
+(* Random small systems (same raw-table scheme as test_analyze): x in
+   0..2, y in 0..1 encoded as 0..5. *)
+let n_full = 6
+let decode i = [| i mod 3; i / 3 |]
+let encode (s : int array) = s.(0) + (3 * s.(1))
+
+type raw = { rname : string; table : (bool * int list) array }
+
+let gen_raw =
+  let open QCheck.Gen in
+  let cell = pair bool (list_size (int_bound 2) (int_bound (n_full - 1))) in
+  let table = array_size (return n_full) cell in
+  map
+    (fun tables ->
+      List.mapi (fun i table -> { rname = Printf.sprintf "t%d" i; table })
+        tables)
+    (list_size (1 -- 4) table)
+
+let arb_system =
+  QCheck.make
+    ~print:(fun (raws, init) ->
+      let b = Buffer.create 128 in
+      Printf.bprintf b "init=%d" init;
+      List.iter
+        (fun r ->
+          Printf.bprintf b "\n%s:" r.rname;
+          Array.iteri
+            (fun i (g, succs) ->
+              Printf.bprintf b " %d:%c[%s]" i
+                (if g then '+' else '-')
+                (String.concat "," (List.map string_of_int succs)))
+            r.table)
+        raws;
+      Buffer.contents b)
+    QCheck.Gen.(pair gen_raw (int_bound (n_full - 1)))
+
+let system_of_raw (raws, init) =
+  System.make
+    ~vars:
+      [ { System.name = "x"; lo = 0; hi = 2 }; { name = "y"; lo = 0; hi = 1 } ]
+    ~init:[ decode init ]
+    ~transitions:
+      (List.map
+         (fun r ->
+           {
+             System.tname = r.rname;
+             guard = (fun s -> fst r.table.(encode s));
+             action = (fun s -> List.map decode (snd r.table.(encode s)));
+           })
+         raws)
+    ~fairness:[] ()
+
+let atoms = [ "x=0"; "y=1" ]
+
+let pp_auto a = Format.asprintf "%a" Automaton.pp a
+
+(* closure construction outcome under a (possibly injected) budget *)
+let closure_outcome ?budget ?pool sys =
+  match Check.closure_automaton ?budget ?pool ~par_threshold:1 sys ~atoms with
+  | a -> `Auto (pp_auto a)
+  | exception Budget.Tripped { reason; spent } -> `Tripped (reason, spent)
+
+let closure_jobs_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make
+        ~name:"closure_automaton pooled = sequential at jobs 1/2/4"
+        ~count:120 arb_system (fun input ->
+          let sys = system_of_raw input in
+          let reference =
+            `Auto (pp_auto (Check.closure_automaton sys ~atoms))
+          in
+          List.for_all
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun p ->
+                  closure_outcome ~pool:p sys = reference))
+            [ 1; 2; 4 ]);
+      QCheck.Test.make
+        ~name:"closure_automaton injected trips are pool- and jobs-independent"
+        ~count:60
+        (QCheck.pair arb_system (QCheck.make QCheck.Gen.(1 -- 60)))
+        (fun (input, n) ->
+          let sys = system_of_raw input in
+          let reference =
+            closure_outcome ~budget:(Budget.inject_trip_at n) sys
+          in
+          List.for_all
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun p ->
+                  closure_outcome ~budget:(Budget.inject_trip_at n) ~pool:p
+                    sys
+                  = reference))
+            [ 1; 2; 4 ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: safety_closure pooled = sequential                    *)
+(* ------------------------------------------------------------------ *)
+
+let ab = Finitary.Alphabet.of_chars "ab"
+
+let gen_automaton =
+  let open QCheck.Gen in
+  let n = 4 in
+  let gen_set =
+    map
+      (fun mask ->
+        Iset.of_list
+          (List.filteri
+             (fun i _ -> mask land (1 lsl i) <> 0)
+             (List.init n Fun.id)))
+      (int_bound ((1 lsl n) - 1))
+  in
+  let gen_acc =
+    sized_size (int_bound 4)
+    @@ fix (fun self d ->
+           if d = 0 then
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+               ]
+           else
+             oneof
+               [
+                 map (fun s -> Acceptance.Inf s) gen_set;
+                 map (fun s -> Acceptance.Fin s) gen_set;
+                 map2
+                   (fun a b -> Acceptance.And [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+                 map2
+                   (fun a b -> Acceptance.Or [ a; b ])
+                   (self (d - 1)) (self (d - 1));
+               ])
+  in
+  map2
+    (fun rows acc ->
+      Automaton.make ~alpha:ab ~n ~start:0
+        ~delta:(Array.of_list (List.map Array.of_list rows))
+        ~acc)
+    (list_repeat n (list_repeat 2 (int_bound (n - 1))))
+    gen_acc
+
+let arb_automaton =
+  QCheck.make ~print:(fun a -> Format.asprintf "%a" Automaton.pp a)
+    gen_automaton
+
+let closure_diff_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"safety_closure pooled = sequential" ~count:300
+        arb_automaton (fun a ->
+          let reference =
+            (Lang.live_states a, pp_auto (Lang.safety_closure a))
+          in
+          List.for_all
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun p ->
+                  ( Lang.live_states ~pool:p a,
+                    pp_auto (Lang.safety_closure ~pool:p a) )
+                  = reference))
+            [ 1; 2; 4 ]);
+      QCheck.Test.make
+        ~name:"safety_closure injected trips are pool-independent" ~count:100
+        (QCheck.pair arb_automaton (QCheck.make QCheck.Gen.(1 -- 6)))
+        (fun (a, n) ->
+          let outcome ?pool () =
+            match
+              Lang.safety_closure ~budget:(Budget.inject_trip_at n) ?pool a
+            with
+            | c -> `Auto (pp_auto c)
+            | exception Budget.Tripped { reason; spent } ->
+                `Tripped (reason, spent)
+          in
+          let reference = outcome () in
+          List.for_all
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun p -> outcome ~pool:p () = reference))
+            [ 1; 2; 4 ]);
+    ]
+
+let () =
+  Alcotest.run "intern"
+    [
+      ("table", unit_tests);
+      ("determinism-spine", spine_tests);
+      ("closure-jobs", closure_jobs_tests);
+      ("safety-closure-differential", closure_diff_tests);
+    ]
